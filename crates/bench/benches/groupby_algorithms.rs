@@ -1,0 +1,28 @@
+//! Criterion benchmarks of the grouped-aggregation implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use groupby::{AggFn, GroupByAlgorithm, GroupByConfig};
+use sim::Device;
+use workloads::agg::AggWorkload;
+
+fn bench_groupby(c: &mut Criterion) {
+    let dev = Device::a100();
+    let n = 1 << 16;
+    let input = AggWorkload::uniform(n, 1 << 10).generate(&dev);
+    let config = GroupByConfig::default();
+    let mut g = c.benchmark_group("groupby");
+    g.throughput(Throughput::Elements(n as u64));
+    for alg in GroupByAlgorithm::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+            b.iter(|| groupby::run_group_by(&dev, alg, &input, &[AggFn::Sum], &config));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_groupby
+}
+criterion_main!(benches);

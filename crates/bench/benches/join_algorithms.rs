@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the four GPU join implementations plus the CPU
+//! baseline on the paper's default wide workload. Wall-clock here is the
+//! simulator's host cost; the per-phase *simulated* device times are what
+//! the experiment binaries (`fig*`) report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use joins::{Algorithm, JoinConfig};
+use sim::Device;
+use workloads::JoinWorkload;
+
+fn bench_joins(c: &mut Criterion) {
+    let dev = Device::a100();
+    let w = JoinWorkload::wide(1 << 16);
+    let (r, s) = w.generate(&dev);
+    let config = JoinConfig::default();
+    let mut g = c.benchmark_group("join");
+    g.throughput(Throughput::Elements(w.total_tuples() as u64));
+    for alg in [
+        Algorithm::SmjUm,
+        Algorithm::SmjOm,
+        Algorithm::PhjUm,
+        Algorithm::PhjOm,
+        Algorithm::Nphj,
+        Algorithm::CpuRadix,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+            b.iter(|| joins::run_join(&dev, alg, &r, &s, &config));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_joins
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Thin wrapper around [`bench::exp::device_sweep`].
+
+fn main() {
+    let args = bench::Args::parse();
+    let _ = bench::exp::device_sweep::run(&args);
+}

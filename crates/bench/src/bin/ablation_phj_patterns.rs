@@ -1,0 +1,6 @@
+//! Ablation target; see [`bench::exp::ablation`].
+
+fn main() {
+    let args = bench::Args::parse();
+    let _ = bench::exp::ablation::phj_patterns(&args);
+}

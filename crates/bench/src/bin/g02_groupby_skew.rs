@@ -1,0 +1,7 @@
+//! Thin wrapper around [`bench::exp::g02`]; see that module for what the
+//! experiment reproduces.
+
+fn main() {
+    let args = bench::Args::parse();
+    let _ = bench::exp::g02::run(&args);
+}

@@ -1,0 +1,7 @@
+//! Thin wrapper around [`bench::exp::g03`]; see that module for what the
+//! experiment reproduces.
+
+fn main() {
+    let args = bench::Args::parse();
+    let _ = bench::exp::g03::run(&args);
+}

@@ -1,0 +1,6 @@
+//! Thin wrapper around [`bench::exp::g06`].
+
+fn main() {
+    let args = bench::Args::parse();
+    let _ = bench::exp::g06::run(&args);
+}

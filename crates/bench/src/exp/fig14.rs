@@ -1,0 +1,76 @@
+//! Figure 14: effect of foreign-key skewness (Zipf factor sweep). The
+//! bucket-chain partitioner (PHJ-UM) collapses past Zipf ≈ 1 under atomic
+//! serialization; the stable RADIX-PARTITION (PHJ-OM, SMJ-*) stays flat.
+
+use crate::exp::{run_algorithms, total_of};
+use crate::{mtps, Args, Report};
+use joins::{Algorithm, JoinConfig};
+use workloads::JoinWorkload;
+
+/// Run the experiment.
+pub fn run(args: &Args) -> Report {
+    let mut report = Report::new("fig14", "Effect of foreign key skewness", args);
+    let dev = args.device();
+    let n = args.tuples();
+    println!(
+        "Figure 14 — wide join, |R| = |S| = {}, Zipf factor swept ({})\n",
+        n, report.device
+    );
+    print!("{:<8}", "zipf");
+    for alg in Algorithm::GPU_VARIANTS {
+        print!(" {:>10}", alg.name());
+    }
+    println!("  (M tuples/s)");
+
+    let mut phj_um_flat = (0.0f64, 0.0f64); // (t at zipf 0, t at max zipf)
+    let mut phj_om_flat = (0.0f64, 0.0f64);
+    let mut om_always_best = true;
+    for zipf in [0.0f64, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75] {
+        let w = JoinWorkload {
+            r_tuples: n,
+            s_tuples: n,
+            zipf,
+            ..JoinWorkload::wide(n)
+        };
+        let results = run_algorithms(&dev, &w, &Algorithm::GPU_VARIANTS, &JoinConfig::default());
+        print!("{zipf:<8}");
+        let mut row = serde_json::json!({"zipf": zipf});
+        for (alg, stats) in &results {
+            let tput = mtps(w.total_tuples(), stats.phases.total());
+            print!(" {tput:>10.1}");
+            row[alg.name()] = serde_json::json!(tput);
+        }
+        println!();
+        let um = total_of(&results, Algorithm::PhjUm);
+        let om = total_of(&results, Algorithm::PhjOm);
+        if zipf == 0.0 {
+            phj_um_flat.0 = um;
+            phj_om_flat.0 = om;
+        }
+        phj_um_flat.1 = um;
+        phj_om_flat.1 = om;
+        if results
+            .iter()
+            .any(|(a, s)| *a != Algorithm::PhjOm && s.phases.total().secs() < om)
+        {
+            om_always_best = false;
+        }
+        report.push(row);
+    }
+    println!();
+    report.finding(format!(
+        "PHJ-UM slows down {:.1}x from Zipf 0 to 1.75 (paper: bucket chaining is \
+         'particularly sensitive to data skewness')",
+        phj_um_flat.1 / phj_um_flat.0
+    ));
+    report.finding(format!(
+        "PHJ-OM stays within {:.2}x of its uniform performance across the sweep \
+         (paper: RADIX-PARTITION is distribution-robust)",
+        phj_om_flat.1 / phj_om_flat.0
+    ));
+    report.finding(format!(
+        "PHJ-OM is the best implementation at every Zipf factor: {om_always_best} (paper: yes)"
+    ));
+    report.finish(args);
+    report
+}

@@ -1,0 +1,76 @@
+//! G1 (SIGMOD extension): grouped-aggregation throughput vs group count.
+//! Few groups: the global hash table is L2-resident and unbeatable. Many
+//! groups: its random misses dominate and the transform-based variants win.
+
+use crate::{mtps, Args, Report};
+use groupby::{AggFn, GroupByAlgorithm, GroupByConfig};
+use sim::SimTime;
+use workloads::agg::AggWorkload;
+
+/// Run the experiment.
+pub fn run(args: &Args) -> Report {
+    let mut report = Report::new("g01", "Grouped aggregation vs number of groups", args);
+    let dev = args.device();
+    let n = args.tuples();
+    println!(
+        "G1 — SUM over one column, {} rows, group count swept ({})\n",
+        n, report.device
+    );
+    print!("{:<12}", "groups");
+    for alg in GroupByAlgorithm::ALL {
+        print!(" {:>10}", alg.name());
+    }
+    println!("  (M rows/s)");
+
+    let mut hash_small = 0.0;
+    let mut hash_large = 0.0;
+    let mut best_large = (GroupByAlgorithm::HashGlobal, 0.0f64);
+    let sweep: Vec<usize> = (4..args.scale_log2.saturating_sub(1))
+        .step_by(4)
+        .map(|b| 1usize << b)
+        .collect();
+    for &groups in &sweep {
+        let w = AggWorkload::uniform(n, groups);
+        let input = w.generate(&dev);
+        print!("{groups:<12}");
+        let mut row = serde_json::json!({"groups": groups});
+        for alg in GroupByAlgorithm::ALL {
+            let out = groupby::run_group_by(
+                &dev,
+                alg,
+                &input,
+                &[AggFn::Sum],
+                &GroupByConfig::default(),
+            );
+            let tput = mtps(n, out.stats.phases.total());
+            print!(" {tput:>10.1}");
+            row[alg.name()] = serde_json::json!(tput);
+            if alg == GroupByAlgorithm::HashGlobal {
+                if groups == sweep[0] {
+                    hash_small = tput;
+                }
+                hash_large = tput;
+            }
+            if groups == *sweep.last().unwrap() && tput > best_large.1 {
+                best_large = (alg, tput);
+            }
+        }
+        println!();
+        report.push(row);
+    }
+    println!();
+    report.finding(format!(
+        "the global hash aggregation slows down {:.1}x from {} to {} groups \
+         (L2 residency lost)",
+        hash_small / hash_large,
+        sweep[0],
+        sweep.last().unwrap()
+    ));
+    report.finding(format!(
+        "at the largest group count the best variant is {}",
+        best_large.0.name()
+    ));
+    let _ = SimTime::ZERO;
+    report.finish(args);
+    report
+}

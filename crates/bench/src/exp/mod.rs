@@ -1,0 +1,93 @@
+//! Experiment implementations, one module per paper artifact.
+//!
+//! Each module exposes `run(&Args) -> Report`; the `src/bin/*` targets are
+//! thin wrappers, and `run_all` executes every experiment in sequence.
+
+pub mod ablation;
+pub mod device_sweep;
+pub mod fig01;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod g01;
+pub mod g02;
+pub mod g03;
+pub mod g04;
+pub mod g05;
+pub mod g06;
+pub mod table04;
+pub mod table05;
+pub mod table12;
+
+use joins::{Algorithm, JoinConfig, JoinStats};
+use sim::Device;
+use workloads::JoinWorkload;
+
+/// Run one workload through a set of algorithms on a shared device,
+/// returning per-algorithm stats. Inputs are regenerated per algorithm so
+/// the memory ledger starts clean each time.
+pub(crate) fn run_algorithms(
+    dev: &Device,
+    w: &JoinWorkload,
+    algorithms: &[Algorithm],
+    config: &JoinConfig,
+) -> Vec<(Algorithm, JoinStats)> {
+    algorithms
+        .iter()
+        .map(|&alg| {
+            let (r, s) = w.generate(dev);
+            let out = joins::run_join(dev, alg, &r, &s, config);
+            (alg, out.stats)
+        })
+        .collect()
+}
+
+/// Print the standard per-phase breakdown table header.
+pub(crate) fn print_breakdown_header() {
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "algorithm", "transform", "match", "materialize", "total", "mat %"
+    );
+}
+
+/// Print one per-phase breakdown row and return its JSON form.
+pub(crate) fn breakdown_row(label: &str, stats: &JoinStats) -> serde_json::Value {
+    let p = stats.phases;
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>7.0}%",
+        label,
+        p.transform.to_string(),
+        p.match_find.to_string(),
+        p.materialize.to_string(),
+        p.total().to_string(),
+        p.materialize_fraction() * 100.0
+    );
+    serde_json::json!({
+        "algorithm": label,
+        "transform_s": p.transform.secs(),
+        "match_s": p.match_find.secs(),
+        "materialize_s": p.materialize.secs(),
+        "total_s": p.total().secs(),
+        "materialize_fraction": p.materialize_fraction(),
+        "rows": stats.rows,
+        "peak_mem_bytes": stats.peak_mem_bytes,
+    })
+}
+
+/// Total time of one algorithm out of a `run_algorithms` result set.
+pub(crate) fn total_of(results: &[(Algorithm, JoinStats)], alg: Algorithm) -> f64 {
+    results
+        .iter()
+        .find(|(a, _)| *a == alg)
+        .map(|(_, s)| s.phases.total().secs())
+        .expect("algorithm was run")
+}

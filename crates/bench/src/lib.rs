@@ -1,0 +1,207 @@
+//! # bench — the experiment harness
+//!
+//! One runnable target per table and figure of the paper's evaluation
+//! (Section 5), plus the grouped-aggregation extension experiments
+//! (G1..G5). Every binary:
+//!
+//! * prints the same rows/series the paper reports (who wins, by what
+//!   factor, where the crossovers fall — absolute numbers come from the
+//!   simulator's calibrated cost model, not real hardware);
+//! * accepts `--scale <log2-tuples>` (default 22; the paper's headline scale
+//!   is 27), `--device a100|rtx3090`, and `--json <path>` to dump
+//!   machine-readable rows;
+//! * is deterministic: the simulator has no noise, so the paper's
+//!   "median of 7 runs" protocol collapses to a single run (the CPU
+//!   baseline, which measures real wall-clock, still repeats and takes the
+//!   median).
+//!
+//! Run everything at once with `cargo run --release -p bench --bin run_all`.
+
+pub mod exp;
+
+use serde::Serialize;
+use sim::Device;
+use std::path::PathBuf;
+
+/// Shared command-line arguments for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// log2 of the base tuple count (the paper's |R| = 2^27 corresponds to
+    /// `--scale 27`).
+    pub scale_log2: u32,
+    /// Device preset name.
+    pub device: String,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+    /// Repetitions for wall-clock (CPU) measurements.
+    pub reps: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale_log2: 22,
+            device: "a100".to_string(),
+            json: None,
+            reps: 3,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args`. Unknown flags abort with usage help.
+    pub fn parse() -> Args {
+        let mut out = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    out.scale_log2 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a number"));
+                }
+                "--device" => {
+                    out.device = it.next().unwrap_or_else(|| usage("--device needs a name"));
+                }
+                "--json" => {
+                    out.json = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--json needs a path")),
+                    ));
+                }
+                "--reps" => {
+                    out.reps = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--reps needs a number"));
+                }
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        out
+    }
+
+    /// Build the requested device, applying *paper-regime scaling*: the
+    /// paper's headline scale is 2^27 tuples, so a `--scale L` run shrinks
+    /// the device's capacity parameters (L2, shared memory, global memory,
+    /// launch overhead) by `2^(27 - L)` — see
+    /// [`sim::DeviceConfig::scaled`]. At `--scale 27` you get the real
+    /// hardware parameters.
+    pub fn device(&self) -> Device {
+        let cfg = match self.device.as_str() {
+            "a100" => sim::DeviceConfig::a100(),
+            "rtx3090" => sim::DeviceConfig::rtx3090(),
+            other => usage(&format!("unknown device '{other}' (a100|rtx3090)")),
+        };
+        Device::new(cfg.scaled(self.regime_factor()))
+    }
+
+    /// The paper-regime scaling factor `2^(27 - scale)` (1 at the paper's
+    /// full scale).
+    pub fn regime_factor(&self) -> f64 {
+        2f64.powi(27 - self.scale_log2 as i32).max(1.0)
+    }
+
+    /// Base tuple count `2^scale_log2`.
+    pub fn tuples(&self) -> usize {
+        1usize << self.scale_log2
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--scale LOG2] [--device a100|rtx3090] [--json PATH] [--reps N]");
+    std::process::exit(2)
+}
+
+/// A finished experiment: an identifier, headline text, and JSON rows.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Experiment id (e.g. "fig10").
+    pub experiment: &'static str,
+    /// What the paper's corresponding artifact shows.
+    pub title: &'static str,
+    /// Device the run used.
+    pub device: String,
+    /// Base scale (log2 tuples).
+    pub scale_log2: u32,
+    /// One JSON object per printed row.
+    pub rows: Vec<serde_json::Value>,
+    /// Headline findings, one sentence each (these feed EXPERIMENTS.md).
+    pub findings: Vec<String>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(experiment: &'static str, title: &'static str, args: &Args) -> Self {
+        Report {
+            experiment,
+            title,
+            device: args.device.clone(),
+            scale_log2: args.scale_log2,
+            rows: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: serde_json::Value) {
+        self.rows.push(row);
+    }
+
+    /// Record a headline finding (also printed).
+    pub fn finding(&mut self, text: String) {
+        println!(">> {text}");
+        self.findings.push(text);
+    }
+
+    /// Write to `--json` if requested.
+    pub fn finish(&self, args: &Args) {
+        if let Some(path) = &args.json {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let data = serde_json::to_string_pretty(self).expect("report serializes");
+            std::fs::write(path, data).expect("write json report");
+            println!("(wrote {})", path.display());
+        }
+    }
+}
+
+/// Format a tuples/second figure the way the paper's axes do (M tuples/s).
+pub fn mtps(tuples: usize, t: sim::SimTime) -> f64 {
+    tuples as f64 / t.secs() / 1e6
+}
+
+/// `GB` with one decimal.
+pub fn gb(bytes: u64) -> String {
+    format!("{:.2} GB", bytes as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = Args::default();
+        assert_eq!(a.tuples(), 1 << 22);
+        assert!(a.device().config().name.starts_with("A100"));
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let args = Args::default();
+        let mut r = Report::new("figX", "test", &args);
+        r.push(serde_json::json!({"a": 1}));
+        r.finding("works".to_string());
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn mtps_math() {
+        let v = mtps(2_000_000, sim::SimTime::from_secs(1.0));
+        assert!((v - 2.0).abs() < 1e-9);
+    }
+}

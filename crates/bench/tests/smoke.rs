@@ -1,0 +1,75 @@
+//! Smoke tests: every experiment must run end to end at a tiny scale and
+//! produce rows and findings. Guards the harness against bit-rot — a
+//! broken experiment fails here long before anyone re-runs the full
+//! evaluation.
+
+use bench::{exp, Args, Report};
+
+fn tiny() -> Args {
+    Args {
+        scale_log2: 14,
+        reps: 1,
+        ..Args::default()
+    }
+}
+
+fn assert_ran(report: Report) {
+    assert!(
+        !report.rows.is_empty(),
+        "{}: no result rows",
+        report.experiment
+    );
+}
+
+macro_rules! smoke {
+    ($name:ident, $f:path) => {
+        #[test]
+        fn $name() {
+            assert_ran($f(&tiny()));
+        }
+    };
+}
+
+smoke!(fig01, exp::fig01::run);
+smoke!(table04, exp::table04::run);
+smoke!(fig07, exp::fig07::run);
+smoke!(fig08, exp::fig08::run);
+smoke!(fig09, exp::fig09::run);
+smoke!(fig10, exp::fig10::run);
+smoke!(fig11, exp::fig11::run);
+smoke!(fig12, exp::fig12::run);
+smoke!(fig13, exp::fig13::run);
+smoke!(fig14, exp::fig14::run);
+smoke!(fig15, exp::fig15::run);
+smoke!(table05, exp::table05::run);
+smoke!(fig16, exp::fig16::run);
+smoke!(fig17, exp::fig17::run);
+smoke!(fig18, exp::fig18::run);
+smoke!(table12, exp::table12::run);
+smoke!(g01, exp::g01::run);
+smoke!(g02, exp::g02::run);
+smoke!(g03, exp::g03::run);
+smoke!(g04, exp::g04::run);
+smoke!(g05, exp::g05::run);
+smoke!(g06, exp::g06::run);
+smoke!(ablation_radix_bits, exp::ablation::radix_bits);
+smoke!(ablation_sort_bits, exp::ablation::sort_bits);
+smoke!(ablation_phj_patterns, exp::ablation::phj_patterns);
+smoke!(ablation_device_sweep, exp::device_sweep::run);
+
+#[test]
+fn json_reports_are_written_when_requested() {
+    let dir = std::env::temp_dir().join("gpu_join_smoke");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("fig10.json");
+    let args = Args {
+        json: Some(path.clone()),
+        ..tiny()
+    };
+    let _ = exp::fig10::run(&args);
+    let data = std::fs::read_to_string(&path).expect("report file written");
+    let parsed: serde_json::Value = serde_json::from_str(&data).expect("valid json");
+    assert_eq!(parsed["experiment"], "fig10");
+    assert!(parsed["rows"].as_array().is_some_and(|r| !r.is_empty()));
+    let _ = std::fs::remove_file(path);
+}

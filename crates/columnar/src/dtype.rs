@@ -1,0 +1,51 @@
+//! Attribute types. The paper evaluates 4-byte and 8-byte integers
+//! (Section 5.2.5); everything else (strings, decimals) is dictionary- or
+//! fixed-point-encoded into one of these before reaching the device.
+
+use serde::{Deserialize, Serialize};
+
+/// The physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 4-byte signed integer.
+    I32,
+    /// 8-byte signed integer.
+    I64,
+}
+
+impl DType {
+    /// Width in bytes.
+    pub const fn size(self) -> u64 {
+        match self {
+            DType::I32 => 4,
+            DType::I64 => 8,
+        }
+    }
+
+    /// Short display name, matching the paper's "4B"/"8B" labels.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DType::I32 => "4B",
+            DType::I64 => "8B",
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_labels() {
+        assert_eq!(DType::I32.size(), 4);
+        assert_eq!(DType::I64.size(), 8);
+        assert_eq!(DType::I32.to_string(), "4B");
+        assert_eq!(DType::I64.to_string(), "8B");
+    }
+}

@@ -1,0 +1,30 @@
+//! # columnar — column-oriented storage for the GPU join study
+//!
+//! Relations are stored exactly as the paper describes (Section 3): each
+//! column is one contiguous array in device memory; a relation is a join-key
+//! column plus zero or more payload (non-key) columns. Attribute widths are
+//! 4 or 8 bytes ([`DType`]); strings are dictionary-encoded into integers
+//! before they reach the device (Section 5.3), which [`DictionaryEncoder`]
+//! provides.
+//!
+//! ```
+//! use sim::Device;
+//! use columnar::{Column, Relation};
+//!
+//! let dev = Device::a100();
+//! let key = Column::from_i32(&dev, vec![2, 0, 1], "r.key");
+//! let pay = Column::from_i64(&dev, vec![20, 0, 10], "r.p1");
+//! let r = Relation::new("R", key, vec![pay]);
+//! assert_eq!(r.len(), 3);
+//! assert!(r.is_wide() == false); // one payload column => narrow
+//! ```
+
+mod column;
+mod dict;
+mod dtype;
+mod relation;
+
+pub use column::{Column, ColumnElement};
+pub use dict::DictionaryEncoder;
+pub use dtype::DType;
+pub use relation::Relation;

@@ -1,0 +1,133 @@
+//! A thin session object bundling a device with the operator entry points.
+
+use columnar::Relation;
+use groupby::{AggFn, GroupByAlgorithm, GroupByConfig, GroupByOutput};
+use heuristics::{choose_join, Recommendation, WorkloadProfile};
+use joins::{Algorithm, JoinConfig, JoinOutput};
+use sim::{Device, DeviceConfig};
+
+/// An execution session on one simulated GPU.
+///
+/// Owns nothing beyond the [`Device`] handle; relations are built against
+/// the device directly (see [`Executor::device`]) and passed by reference.
+pub struct Executor {
+    dev: Device,
+}
+
+impl Executor {
+    /// Session on an A100-class device (the paper's main machine).
+    pub fn a100() -> Self {
+        Executor { dev: Device::a100() }
+    }
+
+    /// Session on an RTX 3090-class device.
+    pub fn rtx3090() -> Self {
+        Executor {
+            dev: Device::rtx3090(),
+        }
+    }
+
+    /// Session on a custom device configuration.
+    pub fn with_config(config: DeviceConfig) -> Self {
+        Executor {
+            dev: Device::new(config),
+        }
+    }
+
+    /// The underlying device (needed to build [`columnar::Column`]s).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Run a join with an explicitly chosen implementation.
+    pub fn join(
+        &self,
+        algorithm: Algorithm,
+        r: &Relation,
+        s: &Relation,
+        config: &JoinConfig,
+    ) -> JoinOutput {
+        joins::run_join(&self.dev, algorithm, r, s, config)
+    }
+
+    /// Run a join with the implementation the Figure 18 decision tree picks
+    /// for the given profile. Returns the output and the recommendation
+    /// (with its rationale) that was followed.
+    pub fn join_auto(
+        &self,
+        profile: &WorkloadProfile,
+        r: &Relation,
+        s: &Relation,
+        config: &JoinConfig,
+    ) -> (JoinOutput, Recommendation) {
+        let rec = choose_join(profile);
+        let out = self.join(rec.algorithm, r, s, config);
+        (out, rec)
+    }
+
+    /// Run a grouped aggregation.
+    pub fn group_by(
+        &self,
+        algorithm: GroupByAlgorithm,
+        input: &Relation,
+        aggs: &[AggFn],
+        config: &GroupByConfig,
+    ) -> GroupByOutput {
+        groupby::run_group_by(&self.dev, algorithm, input, aggs, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::Column;
+
+    #[test]
+    fn executor_runs_joins_and_aggregations() {
+        let exec = Executor::a100();
+        let dev = exec.device();
+        let r = Relation::new(
+            "R",
+            Column::from_i32(dev, vec![0, 1, 2], "k"),
+            vec![Column::from_i32(dev, vec![5, 6, 7], "p")],
+        );
+        let s = Relation::new(
+            "S",
+            Column::from_i32(dev, vec![1, 2, 2], "k"),
+            vec![Column::from_i32(dev, vec![9, 8, 7], "q")],
+        );
+        let out = exec.join(Algorithm::PhjOm, &r, &s, &JoinConfig::default());
+        assert_eq!(out.len(), 3);
+
+        let g = exec.group_by(
+            GroupByAlgorithm::HashGlobal,
+            &s,
+            &[AggFn::Sum],
+            &GroupByConfig::default(),
+        );
+        assert_eq!(g.rows_sorted(), vec![vec![1, 9], vec![2, 15]]);
+    }
+
+    #[test]
+    fn join_auto_follows_the_tree() {
+        let exec = Executor::a100();
+        let dev = exec.device();
+        let r = Relation::new(
+            "R",
+            Column::from_i32(dev, vec![0, 1], "k"),
+            vec![Column::from_i32(dev, vec![1, 2], "p")],
+        );
+        let s = Relation::new(
+            "S",
+            Column::from_i32(dev, vec![0, 1], "k"),
+            vec![Column::from_i32(dev, vec![3, 4], "q")],
+        );
+        let profile = WorkloadProfile {
+            wide: false,
+            ..WorkloadProfile::default_wide()
+        };
+        let (out, rec) = exec.join_auto(&profile, &r, &s, &JoinConfig::default());
+        assert_eq!(out.stats.algorithm, rec.algorithm);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Query-shaped pipelines: join then grouped aggregation — the shape of the
+//! TPC-H aggregation queries whose joins the paper extracts (e.g. Q18 groups
+//! the join result it studies as J2).
+
+use columnar::{Column, Relation};
+use groupby::{AggFn, GroupByAlgorithm, GroupByConfig, GroupByOutput};
+use joins::{Algorithm, JoinConfig, JoinStats};
+use sim::Device;
+
+/// Which column of the join output becomes the group key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKey {
+    /// Group by the join key itself.
+    JoinKey,
+    /// Group by the `i`-th payload column of R in the join output.
+    RPayload(usize),
+    /// Group by the `i`-th payload column of S in the join output.
+    SPayload(usize),
+}
+
+/// Result of a join → group-by pipeline.
+pub struct PipelineOutput {
+    /// The grouped aggregation result.
+    pub groups: GroupByOutput,
+    /// Statistics of the join stage.
+    pub join_stats: JoinStats,
+    /// Output cardinality of the join stage.
+    pub join_rows: usize,
+}
+
+impl PipelineOutput {
+    /// Total simulated time across both stages.
+    pub fn total_time(&self) -> sim::SimTime {
+        self.join_stats.phases.total() + self.groups.stats.phases.total()
+    }
+}
+
+/// Join `r ⋈ s`, then group the result by `group_key` and aggregate the
+/// remaining payload columns with `aggs` (one per join-output payload
+/// column, in `[r payloads..., s payloads...]` order, *excluding* the group
+/// key column when it is a payload).
+#[allow(clippy::too_many_arguments)] // mirrors the two operators' knobs 1:1
+pub fn join_then_group_by(
+    dev: &Device,
+    r: &Relation,
+    s: &Relation,
+    join_algorithm: Algorithm,
+    join_config: &JoinConfig,
+    group_key: GroupKey,
+    group_algorithm: GroupByAlgorithm,
+    aggs: &[AggFn],
+    group_config: &GroupByConfig,
+) -> PipelineOutput {
+    let joined = joins::run_join(dev, join_algorithm, r, s, join_config);
+    let join_rows = joined.len();
+    let join_stats = joined.stats.clone();
+
+    // Re-shape the join output into a relation keyed by the chosen column.
+    let mut payloads: Vec<Column> = Vec::new();
+    let mut key: Option<Column> = None;
+    let keep = |col: Column, key: &mut Option<Column>, payloads: &mut Vec<Column>, is_key: bool| {
+        if is_key {
+            *key = Some(col);
+        } else {
+            payloads.push(col);
+        }
+    };
+    keep(
+        joined.keys,
+        &mut key,
+        &mut payloads,
+        group_key == GroupKey::JoinKey,
+    );
+    for (i, col) in joined.r_payloads.into_iter().enumerate() {
+        keep(
+            col,
+            &mut key,
+            &mut payloads,
+            group_key == GroupKey::RPayload(i),
+        );
+    }
+    for (i, col) in joined.s_payloads.into_iter().enumerate() {
+        keep(
+            col,
+            &mut key,
+            &mut payloads,
+            group_key == GroupKey::SPayload(i),
+        );
+    }
+    let input = Relation::new(
+        "joined",
+        key.expect("group key column exists in the join output"),
+        payloads,
+    );
+    let groups = groupby::run_group_by(dev, group_algorithm, &input, aggs, group_config);
+    PipelineOutput {
+        groups,
+        join_stats,
+        join_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q18_shaped_pipeline() {
+        // Orders ⋈ lineitem shape, then SUM(quantity) grouped by order key.
+        let dev = Device::a100();
+        let orders = Relation::new(
+            "orders",
+            Column::from_i32(&dev, vec![0, 1, 2, 3], "o_orderkey"),
+            vec![Column::from_i32(&dev, vec![100, 101, 102, 103], "o_custkey")],
+        );
+        let lineitem = Relation::new(
+            "lineitem",
+            Column::from_i32(&dev, vec![0, 0, 1, 2, 2, 2], "l_orderkey"),
+            vec![Column::from_i32(&dev, vec![5, 7, 11, 1, 2, 3], "l_quantity")],
+        );
+        let out = join_then_group_by(
+            &dev,
+            &orders,
+            &lineitem,
+            Algorithm::PhjOm,
+            &JoinConfig::default(),
+            GroupKey::JoinKey,
+            GroupByAlgorithm::SortGftr,
+            &[AggFn::Max, AggFn::Sum], // o_custkey is functionally dependent; take MAX
+            &GroupByConfig::default(),
+        );
+        assert_eq!(out.join_rows, 6);
+        assert_eq!(
+            out.groups.rows_sorted(),
+            vec![vec![0, 100, 12], vec![1, 101, 11], vec![2, 102, 6]],
+        );
+        assert!(out.total_time().secs() > 0.0);
+    }
+
+    #[test]
+    fn grouping_by_a_payload_column() {
+        let dev = Device::a100();
+        let r = Relation::new(
+            "R",
+            Column::from_i32(&dev, vec![0, 1], "k"),
+            vec![Column::from_i32(&dev, vec![7, 7], "category")],
+        );
+        let s = Relation::new(
+            "S",
+            Column::from_i32(&dev, vec![0, 0, 1], "k"),
+            vec![Column::from_i32(&dev, vec![1, 2, 4], "v")],
+        );
+        let out = join_then_group_by(
+            &dev,
+            &r,
+            &s,
+            Algorithm::SmjOm,
+            &JoinConfig::default(),
+            GroupKey::RPayload(0),
+            GroupByAlgorithm::HashGlobal,
+            &[AggFn::Min, AggFn::Sum], // join key, then v
+            &GroupByConfig::default(),
+        );
+        // One group (category 7): min join key 0, sum v = 7.
+        assert_eq!(out.groups.rows_sorted(), vec![vec![7, 0, 7]]);
+    }
+}

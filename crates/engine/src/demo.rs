@@ -1,0 +1,209 @@
+//! A miniature TPC-H-shaped catalog and three query plans over it, used by
+//! the examples, the integration tests and the `g06_queries` benchmark.
+//!
+//! The schema is a cut-down `customer / orders / lineitem` star:
+//!
+//! ```text
+//! customer(c_id, c_nation)
+//! orders(o_id, o_cust, o_date)
+//! lineitem(l_oid, l_qty, l_price, l_flag)
+//! ```
+//!
+//! Every FK matches (the paper's in-database-ML setting); dates, flags and
+//! nations are small integer domains.
+
+use crate::{AggSpec, Catalog, Expr, Plan, Table};
+use columnar::Column;
+use groupby::AggFn;
+use rand::{Rng, SeedableRng};
+use sim::Device;
+
+/// Generate the demo catalog with `orders` orders and ~4 lineitems each.
+pub fn tpch_mini(dev: &Device, orders: usize, seed: u64) -> Catalog {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let customers = (orders / 10).max(1);
+    let lineitems = orders * 4;
+
+    let mut catalog = Catalog::new();
+    catalog.insert(Table::new(
+        "customer",
+        vec![
+            (
+                "c_id",
+                Column::from_i32(dev, (0..customers as i32).collect(), "c_id"),
+            ),
+            (
+                "c_nation",
+                Column::from_i32(
+                    dev,
+                    (0..customers).map(|_| rng.gen_range(0..25)).collect(),
+                    "c_nation",
+                ),
+            ),
+        ],
+    ));
+    let o_cust: Vec<i32> = (0..orders)
+        .map(|_| rng.gen_range(0..customers as i32))
+        .collect();
+    catalog.insert(Table::new(
+        "orders",
+        vec![
+            (
+                "o_id",
+                Column::from_i32(dev, (0..orders as i32).collect(), "o_id"),
+            ),
+            ("o_cust", Column::from_i32(dev, o_cust, "o_cust")),
+            (
+                "o_date",
+                Column::from_i32(
+                    dev,
+                    (0..orders).map(|_| rng.gen_range(0..2557)).collect(),
+                    "o_date",
+                ),
+            ),
+        ],
+    ));
+    let l_oid: Vec<i32> = (0..lineitems)
+        .map(|_| rng.gen_range(0..orders as i32))
+        .collect();
+    catalog.insert(Table::new(
+        "lineitem",
+        vec![
+            ("l_oid", Column::from_i32(dev, l_oid, "l_oid")),
+            (
+                "l_qty",
+                Column::from_i64(
+                    dev,
+                    (0..lineitems).map(|_| rng.gen_range(1..51)).collect(),
+                    "l_qty",
+                ),
+            ),
+            (
+                "l_price",
+                Column::from_i64(
+                    dev,
+                    (0..lineitems).map(|_| rng.gen_range(100..10_000)).collect(),
+                    "l_price",
+                ),
+            ),
+            (
+                "l_flag",
+                Column::from_i32(
+                    dev,
+                    (0..lineitems).map(|_| rng.gen_range(0..3)).collect(),
+                    "l_flag",
+                ),
+            ),
+        ],
+    ));
+    catalog
+}
+
+/// Q1-shaped: filtered scan + grouped aggregation over lineitem.
+///
+/// ```sql
+/// SELECT l_flag, SUM(l_qty), SUM(l_price), COUNT(*)
+/// FROM lineitem WHERE l_qty <= 45 GROUP BY l_flag
+/// ```
+pub fn q1_like() -> Plan {
+    Plan::scan("lineitem")
+        .filter(Expr::col("l_qty").le(Expr::lit(45)))
+        .aggregate(
+            "l_flag",
+            vec![
+                AggSpec::new(AggFn::Sum, "l_qty", "sum_qty"),
+                AggSpec::new(AggFn::Sum, "l_price", "sum_price"),
+                AggSpec::new(AggFn::Count, "l_qty", "count_order"),
+            ],
+        )
+}
+
+/// Q3-shaped: a two-join pipeline with a date filter and revenue
+/// aggregation per order.
+///
+/// ```sql
+/// SELECT o_id, SUM(l_price)
+/// FROM customer ⋈ orders ⋈ lineitem
+/// WHERE o_date < 1000
+/// GROUP BY o_id
+/// ```
+pub fn q3_like() -> Plan {
+    Plan::scan("customer")
+        .join(
+            Plan::scan("orders").filter(Expr::col("o_date").lt(Expr::lit(1000))),
+            "c_id",
+            "o_cust",
+        )
+        .join(Plan::scan("lineitem"), "o_id", "l_oid")
+        .aggregate("o_id", vec![AggSpec::new(AggFn::Sum, "l_price", "revenue")])
+}
+
+/// Q18-shaped: large-quantity orders — join, aggregate, then a HAVING-style
+/// filter over the aggregate.
+///
+/// ```sql
+/// SELECT o_id, SUM(l_qty) AS total
+/// FROM orders ⋈ lineitem GROUP BY o_id HAVING total > 150
+/// ```
+pub fn q18_like() -> Plan {
+    Plan::scan("orders")
+        .join(Plan::scan("lineitem"), "o_id", "l_oid")
+        .aggregate("o_id", vec![AggSpec::new(AggFn::Sum, "l_qty", "total")])
+        .filter(Expr::col("total").gt(Expr::lit(150)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute;
+
+    #[test]
+    fn demo_queries_run_and_make_sense() {
+        let dev = Device::a100();
+        let catalog = tpch_mini(&dev, 1000, 11);
+
+        let q1 = execute(&dev, &catalog, &q1_like()).unwrap();
+        assert!(q1.table.num_rows() <= 3, "at most 3 flags");
+        // Count column is positive everywhere.
+        let counts = q1.table.column("count_order").unwrap();
+        assert!(counts.iter_i64().all(|c| c > 0));
+
+        let q3 = execute(&dev, &catalog, &q3_like()).unwrap();
+        // Only orders with o_date < 1000 survive; every lineitem of such an
+        // order contributes.
+        assert!(q3.table.num_rows() > 0);
+        assert!(q3.table.num_rows() < 1000);
+
+        let q18 = execute(&dev, &catalog, &q18_like()).unwrap();
+        let totals = q18.table.column("total").unwrap();
+        assert!(totals.iter_i64().all(|t| t > 150), "HAVING applied");
+    }
+
+    #[test]
+    fn q1_matches_host_computation() {
+        let dev = Device::a100();
+        let catalog = tpch_mini(&dev, 500, 3);
+        let out = execute(&dev, &catalog, &q1_like()).unwrap();
+
+        // Host recomputation from the catalog.
+        let li = catalog.get("lineitem").unwrap();
+        let mut expected: std::collections::HashMap<i64, (i64, i64, i64)> = Default::default();
+        for i in 0..li.num_rows() {
+            let qty = li.column("l_qty").unwrap().value(i);
+            if qty <= 45 {
+                let e = expected
+                    .entry(li.column("l_flag").unwrap().value(i))
+                    .or_default();
+                e.0 += qty;
+                e.1 += li.column("l_price").unwrap().value(i);
+                e.2 += 1;
+            }
+        }
+        let mut expected: Vec<Vec<i64>> = expected
+            .into_iter()
+            .map(|(k, (q, p, c))| vec![k, q, p, c])
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(out.table.rows_sorted(), expected);
+    }
+}

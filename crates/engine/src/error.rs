@@ -1,0 +1,61 @@
+//! Engine error type: plan-shape problems are reported, not panicked —
+//! they come from user-authored plans, unlike the operator-level invariant
+//! violations below this layer.
+
+/// Errors surfaced while binding or executing a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The plan references a table the catalog does not hold.
+    UnknownTable(String),
+    /// An expression or plan node references a column the input lacks.
+    UnknownColumn {
+        /// Referenced name.
+        column: String,
+        /// Names actually available at that node.
+        available: Vec<String>,
+    },
+    /// Join keys have different physical types.
+    KeyTypeMismatch {
+        /// Left key type label.
+        left: &'static str,
+        /// Right key type label.
+        right: &'static str,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            EngineError::UnknownColumn { column, available } => {
+                write!(f, "unknown column '{column}' (available: {available:?})")
+            }
+            EngineError::KeyTypeMismatch { left, right } => {
+                write!(f, "join key types differ: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            EngineError::UnknownTable("x".into()).to_string(),
+            "unknown table 'x'"
+        );
+        let e = EngineError::UnknownColumn {
+            column: "v".into(),
+            available: vec!["a".into()],
+        };
+        assert!(e.to_string().contains("unknown column 'v'"));
+        assert!(EngineError::KeyTypeMismatch { left: "4B", right: "8B" }
+            .to_string()
+            .contains("differ"));
+    }
+}

@@ -1,0 +1,617 @@
+//! Plan execution against a catalog.
+//!
+//! Columns move between operators as zero-cost aliases (pointer passing);
+//! every operator's device work — predicate kernels, compaction gathers,
+//! joins, aggregations — is charged to the shared simulated device, and the
+//! per-node simulated times come back as a [`NodeStats`] tree.
+
+use crate::{EngineError, Plan, Table};
+use columnar::{Column, Relation};
+use groupby::{GroupByAlgorithm, GroupByConfig};
+use heuristics::{choose_join, estimate_profile};
+use joins::JoinConfig;
+use primitives::gather_column;
+use sim::{Device, SimTime};
+use std::collections::HashMap;
+
+/// The tables a query can scan.
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table under its own name.
+    pub fn insert(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Look a table up.
+    pub fn get(&self, name: &str) -> Result<&Table, EngineError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+}
+
+/// Per-node execution statistics.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// Node description (operator + parameters).
+    pub label: String,
+    /// Output rows.
+    pub rows: usize,
+    /// Simulated time spent in this node, children excluded.
+    pub time: SimTime,
+    /// Child node statistics (inputs first).
+    pub children: Vec<NodeStats>,
+}
+
+impl NodeStats {
+    /// Total simulated time of the subtree.
+    pub fn total_time(&self) -> SimTime {
+        self.time + self.children.iter().map(NodeStats::total_time).sum()
+    }
+
+    /// Render an indented plan-with-times tree.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{:indent$}{} [{} rows, {}]",
+            "",
+            self.label,
+            self.rows,
+            self.time,
+            indent = depth * 2
+        );
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// A finished query: the result table and the node-stats tree.
+pub struct QueryOutput {
+    /// Result rows.
+    pub table: Table,
+    /// Per-node simulated times.
+    pub stats: NodeStats,
+}
+
+/// Execute `plan` against `catalog` on `dev`.
+pub fn execute(dev: &Device, catalog: &Catalog, plan: &Plan) -> Result<QueryOutput, EngineError> {
+    let (table, stats) = run(dev, catalog, plan)?;
+    Ok(QueryOutput { table, stats })
+}
+
+fn run(dev: &Device, catalog: &Catalog, plan: &Plan) -> Result<(Table, NodeStats), EngineError> {
+    match plan {
+        Plan::Scan { table } => {
+            let src = catalog.get(table)?;
+            // Scanning passes pointers; no device work.
+            let cols = src
+                .columns()
+                .iter()
+                .map(|(n, c)| (n.clone(), c.alias()))
+                .collect();
+            let out = Table::from_columns(src.name(), cols);
+            let rows = out.num_rows();
+            Ok((
+                out,
+                NodeStats {
+                    label: plan.label(),
+                    rows,
+                    time: SimTime::ZERO,
+                    children: Vec::new(),
+                },
+            ))
+        }
+        Plan::Filter { input, predicate } => {
+            let (child, child_stats) = run(dev, catalog, input)?;
+            let t0 = dev.elapsed();
+            let mask = predicate.eval_mask(dev, &child)?;
+            let sel: Vec<u32> = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &keep)| keep.then_some(i as u32))
+                .collect();
+            let sel = dev.upload(sel, "filter.sel");
+            // Compaction: one clustered gather per column (the selection
+            // indices ascend).
+            let cols = child
+                .columns()
+                .iter()
+                .map(|(n, c)| (n.clone(), gather_column(dev, c, &sel)))
+                .collect();
+            let out = Table::from_columns("filtered", cols);
+            let rows = out.num_rows();
+            Ok((
+                out,
+                NodeStats {
+                    label: plan.label(),
+                    rows,
+                    time: dev.elapsed() - t0,
+                    children: vec![child_stats],
+                },
+            ))
+        }
+        Plan::Project { input, exprs } => {
+            let (child, child_stats) = run(dev, catalog, input)?;
+            let t0 = dev.elapsed();
+            let mut cols = Vec::with_capacity(exprs.len());
+            for (name, e) in exprs {
+                cols.push((name.clone(), e.eval(dev, &child)?));
+            }
+            let out = Table::from_columns("projected", cols);
+            let rows = out.num_rows();
+            Ok((
+                out,
+                NodeStats {
+                    label: plan.label(),
+                    rows,
+                    time: dev.elapsed() - t0,
+                    children: vec![child_stats],
+                },
+            ))
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+            algorithm,
+        } => {
+            let (lt, lstats) = run(dev, catalog, left)?;
+            let (rt, rstats) = run(dev, catalog, right)?;
+            let t0 = dev.elapsed();
+            let (l_rel, l_names) = to_relation(&lt, left_key)?;
+            let (r_rel, r_names) = to_relation(&rt, right_key)?;
+            if l_rel.key().dtype() != r_rel.key().dtype() {
+                return Err(EngineError::KeyTypeMismatch {
+                    left: l_rel.key().dtype().label(),
+                    right: r_rel.key().dtype().label(),
+                });
+            }
+            let alg = algorithm.unwrap_or_else(|| {
+                // No optimizer statistics here: sample them (match ratio,
+                // skew) and let the Figure 18 tree decide. The sampling cost
+                // is charged and shows up in this node's time.
+                let profile = estimate_profile(dev, &l_rel, &r_rel, 512);
+                choose_join(&profile).algorithm
+            });
+            let config = JoinConfig {
+                unique_build: false,
+                kind: *kind,
+                ..JoinConfig::default()
+            };
+            let joined = joins::run_join(dev, alg, &l_rel, &r_rel, &config);
+
+            // Reassemble with names: key, build payloads, probe payloads.
+            let mut used: HashMap<String, usize> = HashMap::new();
+            let mut unique = |base: &str| -> String {
+                let n = used.entry(base.to_string()).or_insert(0);
+                *n += 1;
+                if *n == 1 {
+                    base.to_string()
+                } else {
+                    format!("{base}_{n}")
+                }
+            };
+            let mut cols = Vec::new();
+            cols.push((unique(left_key), joined.keys));
+            for (name, col) in l_names.iter().zip(joined.r_payloads) {
+                cols.push((unique(name), col));
+            }
+            for (name, col) in r_names.iter().zip(joined.s_payloads) {
+                cols.push((unique(name), col));
+            }
+            let out = Table::from_columns("joined", cols);
+            let rows = out.num_rows();
+            Ok((
+                out,
+                NodeStats {
+                    label: format!("{} via {}", plan.label(), alg.name()),
+                    rows,
+                    time: dev.elapsed() - t0,
+                    children: vec![lstats, rstats],
+                },
+            ))
+        }
+        Plan::Sort {
+            input,
+            by,
+            desc,
+            limit,
+        } => {
+            let (child, child_stats) = run(dev, catalog, input)?;
+            let t0 = dev.elapsed();
+            // SORT-PAIRS on (key, row id), then truncate the id list to the
+            // limit *before* gathering the other columns — only the
+            // surviving rows pay materialization.
+            let key = child.column(by)?;
+            let ids = dev.upload(
+                (0..child.num_rows() as u32).collect::<Vec<u32>>(),
+                "sort.ids",
+            );
+            let sorted_ids: Vec<u32> = match key {
+                Column::I32(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
+                Column::I64(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
+            };
+            let take = limit.unwrap_or(sorted_ids.len()).min(sorted_ids.len());
+            let map: Vec<u32> = if *desc {
+                sorted_ids.iter().rev().take(take).copied().collect()
+            } else {
+                sorted_ids[..take].to_vec()
+            };
+            let map = dev.upload(map, "sort.map");
+            let cols = child
+                .columns()
+                .iter()
+                .map(|(n, c)| (n.clone(), gather_column(dev, c, &map)))
+                .collect();
+            let out = Table::from_columns("sorted", cols);
+            let rows = out.num_rows();
+            Ok((
+                out,
+                NodeStats {
+                    label: plan.label(),
+                    rows,
+                    time: dev.elapsed() - t0,
+                    children: vec![child_stats],
+                },
+            ))
+        }
+        Plan::Distinct { input, column } => {
+            let (child, child_stats) = run(dev, catalog, input)?;
+            let t0 = dev.elapsed();
+            let key = child.column(column)?.alias();
+            let rel = Relation::new("distinct_input", key, Vec::new());
+            let grouped = groupby::run_group_by(
+                dev,
+                GroupByAlgorithm::SortGftr,
+                &rel,
+                &[],
+                &GroupByConfig::default(),
+            );
+            let out = Table::from_columns("distinct", vec![(column.clone(), grouped.keys)]);
+            let rows = out.num_rows();
+            Ok((
+                out,
+                NodeStats {
+                    label: plan.label(),
+                    rows,
+                    time: dev.elapsed() - t0,
+                    children: vec![child_stats],
+                },
+            ))
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            algorithm,
+        } => {
+            let (child, child_stats) = run(dev, catalog, input)?;
+            let t0 = dev.elapsed();
+            let key = child.column(group_by)?.alias();
+            let mut payloads = Vec::with_capacity(aggs.len());
+            let mut fns = Vec::with_capacity(aggs.len());
+            for a in aggs {
+                payloads.push(child.column(&a.column)?.alias());
+                fns.push(a.agg);
+            }
+            let rel = Relation::new("agg_input", key, payloads);
+            let alg = algorithm.unwrap_or(GroupByAlgorithm::PartitionedGftr);
+            let grouped = groupby::run_group_by(dev, alg, &rel, &fns, &GroupByConfig::default());
+            let mut cols = vec![(group_by.clone(), grouped.keys)];
+            for (spec, col) in aggs.iter().zip(grouped.aggregates) {
+                cols.push((spec.output.clone(), col));
+            }
+            let out = Table::from_columns("aggregated", cols);
+            let rows = out.num_rows();
+            Ok((
+                out,
+                NodeStats {
+                    label: format!("{} via {}", plan.label(), alg.name()),
+                    rows,
+                    time: dev.elapsed() - t0,
+                    children: vec![child_stats],
+                },
+            ))
+        }
+    }
+}
+
+/// Split a table into a join relation (key + payload columns) and the
+/// payload column names, preserving order.
+fn to_relation(table: &Table, key: &str) -> Result<(Relation, Vec<String>), EngineError> {
+    let key_idx = table.column_index(key)?;
+    let key_col = table.columns()[key_idx].1.alias();
+    let mut names = Vec::new();
+    let mut payloads = Vec::new();
+    for (i, (n, c)) in table.columns().iter().enumerate() {
+        if i != key_idx {
+            names.push(n.clone());
+            payloads.push(c.alias());
+        }
+    }
+    Ok((Relation::new(table.name(), key_col, payloads), names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggSpec, Expr};
+    use groupby::AggFn;
+    use joins::{Algorithm, JoinKind};
+
+    fn catalog(dev: &Device) -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(Table::new(
+            "orders",
+            vec![
+                ("o_id", Column::from_i32(dev, vec![0, 1, 2, 3], "o_id")),
+                (
+                    "o_cust",
+                    Column::from_i32(dev, vec![100, 101, 100, 102], "o_cust"),
+                ),
+            ],
+        ));
+        c.insert(Table::new(
+            "lineitem",
+            vec![
+                (
+                    "l_oid",
+                    Column::from_i32(dev, vec![0, 0, 1, 2, 2, 3, 9], "l_oid"),
+                ),
+                (
+                    "l_qty",
+                    Column::from_i64(dev, vec![5, 7, 11, 1, 2, 4, 99], "l_qty"),
+                ),
+            ],
+        ));
+        c
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        let plan = Plan::scan("lineitem")
+            .filter(Expr::col("l_qty").ge(Expr::lit(5)))
+            .project(vec![
+                ("oid", Expr::col("l_oid")),
+                ("double_qty", Expr::col("l_qty").mul(Expr::lit(2))),
+            ]);
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert_eq!(
+            out.table.rows_sorted(),
+            vec![vec![0, 10], vec![0, 14], vec![1, 22], vec![9, 198]]
+        );
+        assert!(out.stats.total_time().secs() > 0.0);
+    }
+
+    #[test]
+    fn join_then_aggregate_q18_shape() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        let plan = Plan::scan("orders")
+            .join(Plan::scan("lineitem"), "o_id", "l_oid")
+            .aggregate(
+                "o_id",
+                vec![
+                    AggSpec::new(AggFn::Sum, "l_qty", "total_qty"),
+                    AggSpec::new(AggFn::Max, "o_cust", "cust"),
+                ],
+            );
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert_eq!(
+            out.table.rows_sorted(),
+            vec![
+                vec![0, 12, 100],
+                vec![1, 11, 101],
+                vec![2, 3, 100],
+                vec![3, 4, 102],
+            ]
+        );
+        assert_eq!(out.table.column_names(), vec!["o_id", "total_qty", "cust"]);
+        // The stats tree mirrors the plan.
+        assert!(out.stats.label.starts_with("Aggregate"));
+        assert_eq!(out.stats.children.len(), 1);
+        assert!(out.stats.render().contains("Join"));
+    }
+
+    #[test]
+    fn semi_join_in_a_plan() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        // Orders that have at least one lineitem: probe side = orders.
+        let plan = Plan::scan("lineitem").join_kind(
+            Plan::scan("orders"),
+            "l_oid",
+            "o_id",
+            JoinKind::Semi,
+        );
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert_eq!(
+            out.table.rows_sorted(),
+            vec![
+                vec![0, 100],
+                vec![1, 101],
+                vec![2, 100],
+                vec![3, 102],
+            ]
+        );
+    }
+
+    #[test]
+    fn pinned_algorithm_is_respected() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        let plan = Plan::scan("orders")
+            .join(Plan::scan("lineitem"), "o_id", "l_oid")
+            .with_join_algorithm(Algorithm::SmjOm);
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert!(out.stats.label.contains("SMJ-OM"));
+        assert_eq!(out.table.num_rows(), 6);
+    }
+
+    #[test]
+    fn name_collisions_are_suffixed() {
+        let dev = Device::a100();
+        let mut cat = Catalog::new();
+        cat.insert(Table::new(
+            "a",
+            vec![
+                ("k", Column::from_i32(&dev, vec![1], "k")),
+                ("v", Column::from_i32(&dev, vec![10], "v")),
+            ],
+        ));
+        cat.insert(Table::new(
+            "b",
+            vec![
+                ("k", Column::from_i32(&dev, vec![1], "k")),
+                ("v", Column::from_i32(&dev, vec![20], "v")),
+            ],
+        ));
+        let plan = Plan::scan("a").join(Plan::scan("b"), "k", "k");
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert_eq!(out.table.column_names(), vec!["k", "v", "v_2"]);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        assert!(matches!(
+            execute(&dev, &cat, &Plan::scan("nope")),
+            Err(EngineError::UnknownTable(_))
+        ));
+        let plan = Plan::scan("orders").filter(Expr::col("missing").gt(Expr::lit(0)));
+        assert!(matches!(
+            execute(&dev, &cat, &plan),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        // Top-2 lineitems by quantity, descending.
+        let plan = Plan::scan("lineitem").sort_by("l_qty", true, Some(2));
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert_eq!(out.table.num_rows(), 2);
+        assert_eq!(
+            out.table.column("l_qty").unwrap().to_vec_i64(),
+            vec![99, 11]
+        );
+        // Ascending without a limit keeps everything, ordered.
+        let plan = Plan::scan("lineitem").sort_by("l_qty", false, None);
+        let out = execute(&dev, &cat, &plan).unwrap();
+        let q = out.table.column("l_qty").unwrap().to_vec_i64();
+        assert!(q.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(q.len(), 7);
+        assert!(out.stats.label.starts_with("Sort"));
+    }
+
+    #[test]
+    fn distinct_column() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        let plan = Plan::scan("lineitem").distinct("l_oid");
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert_eq!(
+            out.table.rows_sorted(),
+            vec![vec![0], vec![1], vec![2], vec![3], vec![9]]
+        );
+    }
+
+    #[test]
+    fn q18_full_shape_with_order_by_limit() {
+        // The real Q18 ends ORDER BY total DESC LIMIT 100.
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        let plan = Plan::scan("orders")
+            .join(Plan::scan("lineitem"), "o_id", "l_oid")
+            .aggregate("o_id", vec![AggSpec::new(AggFn::Sum, "l_qty", "total")])
+            .sort_by("total", true, Some(2));
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert_eq!(out.table.column("total").unwrap().to_vec_i64(), vec![12, 11]);
+    }
+
+    #[test]
+    fn composite_key_join_via_pack_projection() {
+        // Join on (a, b) pairs by packing both sides into one i64 key.
+        let dev = Device::a100();
+        let mut cat = Catalog::new();
+        cat.insert(Table::new(
+            "x",
+            vec![
+                ("xa", Column::from_i32(&dev, vec![1, 1, 2], "xa")),
+                ("xb", Column::from_i32(&dev, vec![10, 11, 10], "xb")),
+                ("xv", Column::from_i32(&dev, vec![100, 200, 300], "xv")),
+            ],
+        ));
+        cat.insert(Table::new(
+            "y",
+            vec![
+                ("ya", Column::from_i32(&dev, vec![1, 2, 2], "ya")),
+                ("yb", Column::from_i32(&dev, vec![10, 10, 99], "yb")),
+                ("yv", Column::from_i32(&dev, vec![7, 8, 9], "yv")),
+            ],
+        ));
+        let plan = Plan::scan("x")
+            .project(vec![
+                ("k", Expr::col("xa").pack(Expr::col("xb"))),
+                ("xv", Expr::col("xv")),
+            ])
+            .join(
+                Plan::scan("y").project(vec![
+                    ("k", Expr::col("ya").pack(Expr::col("yb"))),
+                    ("yv", Expr::col("yv")),
+                ]),
+                "k",
+                "k",
+            );
+        let out = execute(&dev, &cat, &plan).unwrap();
+        // Matching pairs: (1,10) and (2,10).
+        let expected = vec![
+            vec![(1i64 << 32) | 10, 100, 7],
+            vec![(2i64 << 32) | 10, 300, 8],
+        ];
+        assert_eq!(out.table.rows_sorted(), expected);
+    }
+
+    #[test]
+    fn key_type_mismatch_is_reported() {
+        let dev = Device::a100();
+        let mut cat = Catalog::new();
+        cat.insert(Table::new(
+            "x",
+            vec![("k", Column::from_i32(&dev, vec![1], "k"))],
+        ));
+        cat.insert(Table::new(
+            "y",
+            vec![("k", Column::from_i64(&dev, vec![1], "k"))],
+        ));
+        let plan = Plan::scan("x").join(Plan::scan("y"), "k", "k");
+        assert!(matches!(
+            execute(&dev, &cat, &plan),
+            Err(EngineError::KeyTypeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! # engine — a minimal columnar query engine on the simulated GPU
+//!
+//! The paper studies joins and grouped aggregations as operators inside GPU
+//! query engines; this crate provides that surrounding engine in miniature,
+//! so whole query segments (the shape of TPC-H Q3/Q18) can run end to end
+//! over the same simulated device:
+//!
+//! * [`Table`] — named columns (thin sugar over [`columnar`]);
+//! * [`Expr`] — column-at-a-time scalar expressions and predicates;
+//! * [`Plan`] — Scan / Filter / Project / Join / Aggregate nodes;
+//! * [`execute`] — evaluates a plan against a [`Catalog`], picking the join
+//!   implementation with the paper's Figure 18 decision tree unless the
+//!   plan pins one, and reporting per-node simulated times.
+//!
+//! ```
+//! use engine::{execute, Catalog, Expr, Plan, Table};
+//! use columnar::Column;
+//! use sim::Device;
+//!
+//! let dev = Device::a100();
+//! let mut catalog = Catalog::new();
+//! catalog.insert(Table::new(
+//!     "t",
+//!     vec![
+//!         ("k", Column::from_i32(&dev, vec![1, 2, 3], "k")),
+//!         ("v", Column::from_i32(&dev, vec![10, 20, 30], "v")),
+//!     ],
+//! ));
+//! let plan = Plan::scan("t").filter(Expr::col("v").gt(Expr::lit(15)));
+//! let out = execute(&dev, &catalog, &plan).unwrap();
+//! assert_eq!(out.table.num_rows(), 2);
+//! ```
+
+pub mod demo;
+mod error;
+mod exec;
+mod expr;
+mod plan;
+mod table;
+
+pub use error::EngineError;
+pub use exec::{execute, Catalog, NodeStats, QueryOutput};
+pub use expr::{CmpOp, Expr};
+pub use plan::{AggSpec, Plan};
+pub use table::Table;

@@ -1,0 +1,132 @@
+//! Property tests: engine plans agree with a straightforward host
+//! interpretation of the same query over arbitrary inputs.
+
+use columnar::Column;
+use engine::{execute, AggSpec, Catalog, Expr, Plan, Table};
+use groupby::AggFn;
+use joins::JoinKind;
+use proptest::prelude::*;
+use sim::Device;
+
+#[derive(Debug, Clone)]
+struct TableSpec {
+    keys: Vec<i32>,
+    vals: Vec<i64>,
+}
+
+fn table_strategy(max_rows: usize, key_range: i32) -> impl Strategy<Value = TableSpec> {
+    (0..=max_rows)
+        .prop_flat_map(move |n| {
+            (
+                proptest::collection::vec(0..key_range, n),
+                proptest::collection::vec(-1000i64..1000, n),
+            )
+        })
+        .prop_map(|(keys, vals)| TableSpec { keys, vals })
+}
+
+fn catalog(dev: &Device, a: &TableSpec, b: &TableSpec) -> Catalog {
+    let mut c = Catalog::new();
+    c.insert(Table::new(
+        "a",
+        vec![
+            ("ak", Column::from_i32(dev, a.keys.clone(), "ak")),
+            ("av", Column::from_i64(dev, a.vals.clone(), "av")),
+        ],
+    ));
+    c.insert(Table::new(
+        "b",
+        vec![
+            ("bk", Column::from_i32(dev, b.keys.clone(), "bk")),
+            ("bv", Column::from_i64(dev, b.vals.clone(), "bv")),
+        ],
+    ));
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn filter_project_matches_host(t in table_strategy(120, 50), threshold in -1000i64..1000) {
+        let dev = Device::a100();
+        let cat = catalog(&dev, &t, &TableSpec { keys: vec![], vals: vec![] });
+        let plan = Plan::scan("a")
+            .filter(Expr::col("av").ge(Expr::lit(threshold)))
+            .project(vec![
+                ("k", Expr::col("ak")),
+                ("v3", Expr::col("av").mul(Expr::lit(3)).sub(Expr::lit(1))),
+            ]);
+        let out = execute(&dev, &cat, &plan).unwrap();
+        let mut expected: Vec<Vec<i64>> = t
+            .keys
+            .iter()
+            .zip(&t.vals)
+            .filter(|(_, &v)| v >= threshold)
+            .map(|(&k, &v)| vec![k as i64, v * 3 - 1])
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(out.table.rows_sorted(), expected);
+    }
+
+    #[test]
+    fn join_plan_matches_host(a in table_strategy(60, 12), b in table_strategy(60, 12)) {
+        let dev = Device::a100();
+        let cat = catalog(&dev, &a, &b);
+        let plan = Plan::scan("a").join(Plan::scan("b"), "ak", "bk");
+        let out = execute(&dev, &cat, &plan).unwrap();
+        let mut expected = Vec::new();
+        for (j, (&bk, &bv)) in b.keys.iter().zip(&b.vals).enumerate() {
+            let _ = j;
+            for (&ak, &av) in a.keys.iter().zip(&a.vals) {
+                if ak == bk {
+                    expected.push(vec![ak as i64, av, bv]);
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(out.table.rows_sorted(), expected);
+    }
+
+    #[test]
+    fn aggregate_plan_matches_host(t in table_strategy(120, 10)) {
+        let dev = Device::a100();
+        let cat = catalog(&dev, &t, &TableSpec { keys: vec![], vals: vec![] });
+        let plan = Plan::scan("a").aggregate(
+            "ak",
+            vec![
+                AggSpec::new(AggFn::Sum, "av", "s"),
+                AggSpec::new(AggFn::Min, "av", "lo"),
+            ],
+        );
+        let out = execute(&dev, &cat, &plan).unwrap();
+        let mut expected: std::collections::HashMap<i64, (i64, i64)> = Default::default();
+        for (&k, &v) in t.keys.iter().zip(&t.vals) {
+            let e = expected.entry(k as i64).or_insert((0, i64::MAX));
+            e.0 += v;
+            e.1 = e.1.min(v);
+        }
+        let mut expected: Vec<Vec<i64>> =
+            expected.into_iter().map(|(k, (s, lo))| vec![k, s, lo]).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(out.table.rows_sorted(), expected);
+    }
+
+    #[test]
+    fn anti_join_plan_matches_host(a in table_strategy(50, 10), b in table_strategy(50, 10)) {
+        let dev = Device::a100();
+        let cat = catalog(&dev, &a, &b);
+        let plan = Plan::scan("a").join_kind(Plan::scan("b"), "ak", "bk", JoinKind::Anti);
+        let out = execute(&dev, &cat, &plan).unwrap();
+        let a_keys: std::collections::HashSet<i32> = a.keys.iter().copied().collect();
+        let mut expected: Vec<Vec<i64>> = b
+            .keys
+            .iter()
+            .zip(&b.vals)
+            .filter(|(k, _)| !a_keys.contains(k))
+            .map(|(&k, &v)| vec![k as i64, v])
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(out.table.rows_sorted(), expected);
+    }
+}

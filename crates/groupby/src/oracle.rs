@@ -1,0 +1,54 @@
+//! Host-side reference grouped aggregation for tests.
+
+use crate::AggFn;
+use columnar::Relation;
+use std::collections::HashMap;
+
+/// Naive grouped aggregation: returns `(key, aggregates...)` rows sorted by
+/// key, widened to `i64`.
+pub fn group_by_oracle(input: &Relation, aggs: &[AggFn]) -> Vec<Vec<i64>> {
+    assert_eq!(aggs.len(), input.num_payloads());
+    let mut table: HashMap<i64, Vec<i64>> = HashMap::new();
+    for i in 0..input.len() {
+        let k = input.key().value(i);
+        let accs = table
+            .entry(k)
+            .or_insert_with(|| aggs.iter().map(|a| a.identity()).collect());
+        for (j, agg) in aggs.iter().enumerate() {
+            accs[j] = agg.fold(accs[j], input.payload(j).value(i));
+        }
+    }
+    let mut rows: Vec<Vec<i64>> = table
+        .into_iter()
+        .map(|(k, accs)| {
+            let mut row = Vec::with_capacity(1 + accs.len());
+            row.push(k);
+            row.extend(accs);
+            row
+        })
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::Column;
+    use sim::Device;
+
+    #[test]
+    fn oracle_groups_and_aggregates() {
+        let dev = Device::a100();
+        let input = Relation::new(
+            "T",
+            Column::from_i32(&dev, vec![2, 1, 2, 1, 2], "k"),
+            vec![
+                Column::from_i32(&dev, vec![10, 20, 30, 40, 50], "v"),
+                Column::from_i64(&dev, vec![1, 2, 3, 4, 5], "w"),
+            ],
+        );
+        let rows = group_by_oracle(&input, &[AggFn::Sum, AggFn::Max]);
+        assert_eq!(rows, vec![vec![1, 60, 4], vec![2, 90, 5]]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Sampling-based workload statistics.
+//!
+//! Section 5.4 of the paper: the decision tree's inputs (match ratio, skew,
+//! widths, sizes) are "typically available to an optimizer". This module
+//! produces them when they are *not* available, from a cheap device-side
+//! sample: one clustered gather of `sample_size` probe keys plus a build-side
+//! membership filter, a few microseconds at any realistic size.
+
+use crate::WorkloadProfile;
+use columnar::{DType, Relation};
+use sim::Device;
+use std::collections::HashMap;
+
+/// Statistics estimated from a key sample.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatedStats {
+    /// Estimated fraction of probe tuples with a build-side partner.
+    pub match_ratio: f64,
+    /// Share of the sample held by the most frequent probe key — the skew
+    /// signal (uniform keys over `d` distinct values give ~1/d; a Zipf(1+)
+    /// distribution gives tens of percent).
+    pub top_key_share: f64,
+    /// Sample size actually used.
+    pub sample_size: usize,
+}
+
+impl EstimatedStats {
+    /// The skew verdict the decision tree wants: is the hottest key heavy
+    /// enough to serialize bucket-chain atomics? The 5% threshold maps to
+    /// roughly Zipf ≥ 1 over realistic domains (compare Figure 14).
+    pub fn skewed(&self) -> bool {
+        self.top_key_share > 0.05
+    }
+}
+
+/// Estimate match ratio and skew by sampling `sample_size` evenly spaced
+/// probe keys and testing membership against a build-side key set.
+///
+/// Device cost: one strided sample gather of the probe keys and one
+/// build-side read to assemble the membership filter (on hardware this is a
+/// Bloom filter build; we charge the same streaming pass).
+pub fn sample_stats(dev: &Device, r: &Relation, s: &Relation, sample_size: usize) -> EstimatedStats {
+    let n = s.len();
+    let sample_size = sample_size.clamp(1, n.max(1));
+    // Membership filter from R's keys (streaming read, like a Bloom build).
+    let build: std::collections::HashSet<i64> = r.key().iter_i64().collect();
+    dev.kernel("estimate_filter_build")
+        .items(r.len() as u64, primitives::STREAM_WARP_INSTR)
+        .seq_read_bytes(r.key().size_bytes())
+        .launch();
+
+    // Evenly spaced probe sample (clustered-ish strided gather).
+    let stride = (n / sample_size).max(1);
+    let mut matched = 0usize;
+    let mut freq: HashMap<i64, usize> = HashMap::new();
+    let mut taken = 0usize;
+    let mut i = 0usize;
+    while i < n && taken < sample_size {
+        let k = s.key().value(i);
+        if build.contains(&k) {
+            matched += 1;
+        }
+        *freq.entry(k).or_insert(0) += 1;
+        taken += 1;
+        i += stride;
+    }
+    dev.kernel("estimate_sample_probe")
+        .items(taken as u64, primitives::STREAM_WARP_INSTR)
+        .seq_read_bytes(taken as u64 * s.key().dtype().size())
+        .launch();
+
+    let top = freq.values().copied().max().unwrap_or(0);
+    EstimatedStats {
+        match_ratio: if taken == 0 {
+            0.0
+        } else {
+            matched as f64 / taken as f64
+        },
+        top_key_share: if taken == 0 {
+            0.0
+        } else {
+            top as f64 / taken as f64
+        },
+        sample_size: taken,
+    }
+}
+
+/// Build a full [`WorkloadProfile`] from the relations plus sampled
+/// statistics — the estimator-backed version of [`crate::profile_of`].
+pub fn estimate_profile(
+    dev: &Device,
+    r: &Relation,
+    s: &Relation,
+    sample_size: usize,
+) -> WorkloadProfile {
+    let stats = sample_stats(dev, r, s, sample_size);
+    let has_8byte = r.key().dtype() == DType::I64
+        || s.key().dtype() == DType::I64
+        || r.payloads().iter().any(|c| c.dtype() == DType::I64)
+        || s.payloads().iter().any(|c| c.dtype() == DType::I64);
+    WorkloadProfile {
+        wide: r.num_payloads() > 1 || s.num_payloads() > 1,
+        match_ratio: stats.match_ratio,
+        skewed: stats.skewed(),
+        has_8byte,
+        small_inputs: r.size_bytes().max(s.size_bytes()) < dev.config().l2_bytes / 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::Column;
+    use sim::Device;
+
+    fn rel(dev: &Device, keys: Vec<i32>) -> Relation {
+        let p = keys.clone();
+        Relation::new(
+            "T",
+            Column::from_i32(dev, keys, "k"),
+            vec![Column::from_i32(dev, p, "p")],
+        )
+    }
+
+    #[test]
+    fn match_ratio_estimate_tracks_truth() {
+        let dev = Device::a100();
+        let nr = 4000;
+        let r = rel(&dev, (0..nr).collect());
+        for ratio in [0.25f64, 0.5, 1.0] {
+            // FKs drawn so that `ratio` of them land inside R's domain.
+            let s_keys: Vec<i32> = (0..8000)
+                .map(|i| {
+                    if (i as f64 / 8000.0) < ratio {
+                        i % nr
+                    } else {
+                        nr + i // outside the domain
+                    }
+                })
+                .collect();
+            let s = rel(&dev, s_keys);
+            let est = sample_stats(&dev, &r, &s, 512);
+            assert!(
+                (est.match_ratio - ratio).abs() < 0.12,
+                "true {ratio}, estimated {}",
+                est.match_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn skew_detection() {
+        let dev = Device::a100();
+        let r = rel(&dev, (0..1024).collect());
+        let uniform = rel(&dev, (0..8192).map(|i| i % 1024).collect());
+        let est = sample_stats(&dev, &r, &uniform, 512);
+        assert!(!est.skewed(), "uniform keys flagged skewed: {est:?}");
+
+        let skewed = rel(
+            &dev,
+            (0..8192).map(|i| if i % 3 == 0 { i % 1024 } else { 7 }).collect(),
+        );
+        let est = sample_stats(&dev, &r, &skewed, 512);
+        assert!(est.skewed(), "2/3 mass on one key must flag: {est:?}");
+    }
+
+    #[test]
+    fn estimator_charges_device_time_proportional_to_sample() {
+        let dev = Device::a100();
+        let r = rel(&dev, (0..1000).collect());
+        let s = rel(&dev, (0..100_000).map(|i| i % 1000).collect());
+        dev.reset_stats();
+        let _ = sample_stats(&dev, &r, &s, 256);
+        let t = dev.elapsed().secs();
+        assert!(t > 0.0, "sampling is charged");
+        // Far cheaper than a pass over S.
+        dev.reset_stats();
+        dev.kernel("full_scan")
+            .seq_read_bytes(s.key().size_bytes())
+            .launch();
+        assert!(t < 10.0 * dev.elapsed().secs());
+    }
+
+    #[test]
+    fn profile_composes_estimates_with_schema_facts() {
+        let dev = Device::a100();
+        let r = rel(&dev, (0..512).collect());
+        let s = rel(&dev, (0..2048).map(|i| i % 512).collect());
+        let p = estimate_profile(&dev, &r, &s, 256);
+        assert!(!p.wide);
+        assert!(p.match_ratio > 0.9);
+        assert!(!p.has_8byte);
+        assert!(p.small_inputs);
+    }
+
+    #[test]
+    fn empty_probe_side() {
+        let dev = Device::a100();
+        let r = rel(&dev, vec![1, 2, 3]);
+        let s = rel(&dev, vec![]);
+        let est = sample_stats(&dev, &r, &s, 64);
+        assert_eq!(est.match_ratio, 0.0);
+        assert!(!est.skewed());
+    }
+}

@@ -1,0 +1,266 @@
+//! # heuristics — the paper's decision trees (Figure 18)
+//!
+//! Section 5.4 distills the performance study into rules a query optimizer
+//! can apply from workload statistics it already has: payload widths, match
+//! ratio estimates, skew estimates, and input sizes.
+//!
+//! * [`choose_join`] encodes Figure 18a — picking among all four GPU
+//!   implementations;
+//! * [`choose_smj`] encodes Figure 18b — the SMJ-OM vs SMJ-UM subtree;
+//! * [`profile_of`] derives a [`WorkloadProfile`] from actual relations, so
+//!   the recommendation can be validated against measured runs (the
+//!   `fig18_decision_tree` experiment does exactly that);
+//! * [`estimate`] fills the statistics an optimizer would otherwise supply
+//!   (match ratio, skew) by sampling — Section 5.4's "this type of
+//!   information is typically available to an optimizer", made operational.
+
+pub mod estimate;
+
+pub use estimate::{estimate_profile, sample_stats, EstimatedStats};
+
+use columnar::{DType, Relation};
+use joins::Algorithm;
+use serde::{Deserialize, Serialize};
+
+/// The workload statistics the decision trees branch on.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// More than one payload column on either input ("wide" join).
+    pub wide: bool,
+    /// Estimated fraction of probe tuples with a match partner.
+    pub match_ratio: f64,
+    /// Foreign keys heavily skewed (Zipf factor ≳ 1).
+    pub skewed: bool,
+    /// Any 8-byte keys or payload columns present.
+    pub has_8byte: bool,
+    /// Inputs small enough that payload columns are L2-resident, which
+    /// makes unclustered gathers cheap (the paper's TPC-H J3 case).
+    pub small_inputs: bool,
+}
+
+impl WorkloadProfile {
+    /// The paper's default microbenchmark shape: wide, 100% match, uniform,
+    /// 4-byte, large.
+    pub fn default_wide() -> Self {
+        WorkloadProfile {
+            wide: true,
+            match_ratio: 1.0,
+            skewed: false,
+            has_8byte: false,
+            small_inputs: false,
+        }
+    }
+}
+
+/// A recommendation plus the branch of the tree that produced it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The implementation to run.
+    pub algorithm: Algorithm,
+    /// Human-readable rationale (the tree path taken).
+    pub rationale: &'static str,
+}
+
+/// Figure 18a: choose among SMJ-UM, SMJ-OM, PHJ-UM and PHJ-OM.
+///
+/// The partitioned hash joins dominate throughout the study ("partitioning
+/// is more efficient than sorting but both transformations make the
+/// match-finding phase similarly efficient"), so the tree mostly decides
+/// *which* PHJ variant to use.
+pub fn choose_join(p: &WorkloadProfile) -> Recommendation {
+    if p.skewed {
+        // Bucket chaining collapses under skew (Figure 14); the stable
+        // radix partitioner does not.
+        return Recommendation {
+            algorithm: Algorithm::PhjOm,
+            rationale: "skewed foreign keys: bucket-chain partitioning (PHJ-UM) degrades, \
+                        RADIX-PARTITION is distribution-robust",
+        };
+    }
+    if !p.wide {
+        return Recommendation {
+            algorithm: Algorithm::PhjUm,
+            rationale: "narrow join: nothing to gain from transforming payloads; \
+                        PHJ-UM and PHJ-OM are nearly identical, bucket chaining is \
+                        marginally ahead on small inputs",
+        };
+    }
+    if p.match_ratio < 0.25 {
+        return Recommendation {
+            algorithm: Algorithm::PhjUm,
+            rationale: "low match ratio: little is materialized, unclustered gathers are \
+                        cheap, and GFTR's transformation cost does not pay off (Figure 13)",
+        };
+    }
+    if p.small_inputs {
+        return Recommendation {
+            algorithm: Algorithm::PhjUm,
+            rationale: "inputs fit the L2 cache: unclustered gathers are already fast \
+                        (the TPC-H J3 effect), skip the payload transformation",
+        };
+    }
+    Recommendation {
+        algorithm: Algorithm::PhjOm,
+        rationale: "wide join with a high match ratio: materialization dominates and \
+                    clustered gathers win despite the partitioning cost (Figure 10); \
+                    PHJ-OM also tolerates 8-byte values where SMJ-OM does not",
+    }
+}
+
+/// Figure 18b: within the sort-merge family, does optimized materialization
+/// pay off?
+pub fn choose_smj(p: &WorkloadProfile) -> Recommendation {
+    if !p.wide {
+        return Recommendation {
+            algorithm: Algorithm::SmjUm,
+            rationale: "narrow join: SMJ-OM degenerates to SMJ-UM",
+        };
+    }
+    if p.match_ratio < 0.25 {
+        return Recommendation {
+            algorithm: Algorithm::SmjUm,
+            rationale: "low match ratio: materialization is not the bottleneck",
+        };
+    }
+    if p.skewed {
+        return Recommendation {
+            algorithm: Algorithm::SmjUm,
+            rationale: "skewed keys: few primary keys have matches, so little is \
+                        materialized and consistent sorting wins (Figure 14)",
+        };
+    }
+    if p.has_8byte {
+        return Recommendation {
+            algorithm: Algorithm::SmjUm,
+            rationale: "8-byte keys/payloads: sorting every payload column becomes too \
+                        expensive (Figure 15); gather from untransformed relations",
+        };
+    }
+    if p.small_inputs {
+        return Recommendation {
+            algorithm: Algorithm::SmjUm,
+            rationale: "L2-resident inputs make unclustered gathers cheap",
+        };
+    }
+    Recommendation {
+        algorithm: Algorithm::SmjOm,
+        rationale: "wide 4-byte join with a high match ratio: clustered gathers repay \
+                    the extra sorting (Figure 10)",
+    }
+}
+
+/// Derive a profile from concrete relations plus distribution estimates the
+/// caller knows (match ratio and skew are generator/optimizer knowledge, not
+/// derivable from a cheap scan).
+pub fn profile_of(
+    r: &Relation,
+    s: &Relation,
+    match_ratio: f64,
+    zipf: f64,
+    l2_bytes: u64,
+) -> WorkloadProfile {
+    let has_8byte = r.key().dtype() == DType::I64
+        || s.key().dtype() == DType::I64
+        || r.payloads().iter().any(|c| c.dtype() == DType::I64)
+        || s.payloads().iter().any(|c| c.dtype() == DType::I64);
+    // "Small" when the larger side's payload data fits in L2 with room to
+    // spare for the gather's working set.
+    let small_inputs = r.size_bytes().max(s.size_bytes()) < l2_bytes / 2;
+    WorkloadProfile {
+        wide: r.num_payloads() > 1 || s.num_payloads() > 1,
+        match_ratio,
+        skewed: zipf >= 1.0,
+        has_8byte,
+        small_inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_always_routes_to_phj_om() {
+        let p = WorkloadProfile {
+            skewed: true,
+            ..WorkloadProfile::default_wide()
+        };
+        assert_eq!(choose_join(&p).algorithm, Algorithm::PhjOm);
+        let narrow_skewed = WorkloadProfile {
+            wide: false,
+            skewed: true,
+            ..WorkloadProfile::default_wide()
+        };
+        assert_eq!(choose_join(&narrow_skewed).algorithm, Algorithm::PhjOm);
+    }
+
+    #[test]
+    fn narrow_uniform_prefers_phj_um() {
+        let p = WorkloadProfile {
+            wide: false,
+            ..WorkloadProfile::default_wide()
+        };
+        assert_eq!(choose_join(&p).algorithm, Algorithm::PhjUm);
+    }
+
+    #[test]
+    fn low_match_ratio_avoids_gftr() {
+        let p = WorkloadProfile {
+            match_ratio: 0.1,
+            ..WorkloadProfile::default_wide()
+        };
+        assert_eq!(choose_join(&p).algorithm, Algorithm::PhjUm);
+        assert_eq!(choose_smj(&p).algorithm, Algorithm::SmjUm);
+    }
+
+    #[test]
+    fn wide_high_match_uses_gftr() {
+        let p = WorkloadProfile::default_wide();
+        assert_eq!(choose_join(&p).algorithm, Algorithm::PhjOm);
+        assert_eq!(choose_smj(&p).algorithm, Algorithm::SmjOm);
+    }
+
+    #[test]
+    fn eight_byte_values_kill_smj_om_but_not_phj_om() {
+        let p = WorkloadProfile {
+            has_8byte: true,
+            ..WorkloadProfile::default_wide()
+        };
+        assert_eq!(choose_smj(&p).algorithm, Algorithm::SmjUm);
+        assert_eq!(choose_join(&p).algorithm, Algorithm::PhjOm);
+    }
+
+    #[test]
+    fn small_inputs_prefer_unoptimized_materialization() {
+        let p = WorkloadProfile {
+            small_inputs: true,
+            ..WorkloadProfile::default_wide()
+        };
+        assert_eq!(choose_join(&p).algorithm, Algorithm::PhjUm);
+        assert_eq!(choose_smj(&p).algorithm, Algorithm::SmjUm);
+    }
+
+    #[test]
+    fn profile_detects_widths_and_size() {
+        use columnar::Column;
+        let dev = sim::Device::a100();
+        let r = Relation::new(
+            "R",
+            Column::from_i32(&dev, vec![1, 2], "k"),
+            vec![Column::from_i64(&dev, vec![1, 2], "p")],
+        );
+        let s = Relation::new(
+            "S",
+            Column::from_i32(&dev, vec![1, 2], "k"),
+            vec![
+                Column::from_i32(&dev, vec![1, 2], "p"),
+                Column::from_i32(&dev, vec![1, 2], "q"),
+            ],
+        );
+        let p = profile_of(&r, &s, 1.0, 0.0, 40 << 20);
+        assert!(p.wide, "S has two payload columns");
+        assert!(p.has_8byte, "R payload is 8-byte");
+        assert!(p.small_inputs);
+        assert!(!p.skewed);
+    }
+}

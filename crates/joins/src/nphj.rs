@@ -1,0 +1,187 @@
+//! NPHJ: the traditional non-partitioned hash join over a global hash table
+//! in device memory — the cuDF baseline of the evaluation (Section 5.2.2).
+//!
+//! There is no transformation phase: R's keys go straight into a global
+//! table, S's keys probe it. Both steps are dominated by random accesses
+//! into the table, which is why the paper finds it the slowest of the GPU
+//! joins for large inputs (but respectable for small ones, where the table
+//! fits in L2). Materialization gathers the probe side clustered (matches
+//! come out in probe order) and the build side unclustered.
+
+use crate::kinds::{apply_kind_timed, JoinKind};
+use crate::smj::dispatch_keys;
+use crate::{timed, Algorithm, JoinConfig, JoinOutput, JoinStats};
+use columnar::{Column, ColumnElement, Relation};
+use primitives::{gather_column, gather_column_or_null, GlobalHashTable};
+use sim::{Device, DeviceBuffer, PhaseTimes};
+
+/// Non-partitioned (global hash table) join, GFUR materialization.
+pub fn nphj(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> JoinOutput {
+    #[allow(clippy::too_many_arguments)]
+    fn typed<K: ColumnElement>(
+        r_keys: &DeviceBuffer<K>,
+        s_keys: &DeviceBuffer<K>,
+        dev: &Device,
+        r: &Relation,
+        s: &Relation,
+        config: &JoinConfig,
+    ) -> JoinOutput {
+        dev.reset_peak_mem();
+        let mut reservation =
+            crate::OutputReservation::new(dev, r, s, crate::estimated_out_rows(config, s));
+        let mut phases = PhaseTimes::default();
+
+        // Match finding: build + probe (no transformation phase at all —
+        // the cuDF structure the paper describes for Figure 8).
+        let (m, t) = timed(dev, || {
+            let mut ht = GlobalHashTable::new(dev, r_keys.len());
+            ht.build(dev, r_keys);
+            reservation.release_keys();
+            ht.probe(dev, s_keys)
+        });
+        phases.match_find = t;
+        // Kind adjustment in physical-ID space (NPHJ never transforms).
+        let adj = apply_kind_timed(dev, config.kind, m, s_keys, s.len());
+        phases.match_find += adj.time;
+
+        // Materialization: r_map is a random permutation (hash order), s_map
+        // is the probe order — clustered.
+        let ((r_payloads, s_payloads), t) = timed(dev, || {
+            let rp: Vec<Column> = if adj.materialize_r {
+                r.payloads()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        reservation.release_r(i);
+                        if config.kind == JoinKind::Outer {
+                            gather_column_or_null(dev, c, &adj.r_map)
+                        } else {
+                            gather_column(dev, c, &adj.r_map)
+                        }
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let sp: Vec<Column> = s
+                .payloads()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    reservation.release_s(i);
+                    gather_column(dev, c, &adj.s_map)
+                })
+                .collect();
+            (rp, sp)
+        });
+        phases.materialize = t;
+
+        let rows = adj.keys.len();
+        JoinOutput {
+            keys: K::wrap(adj.keys),
+            r_payloads,
+            s_payloads,
+            stats: JoinStats {
+                algorithm: Algorithm::Nphj,
+                phases,
+                rows,
+                peak_mem_bytes: dev.mem_report().peak_bytes,
+            },
+        }
+    }
+    dispatch_keys!(r, s, typed(dev, r, s, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::hash_join_oracle;
+    use columnar::Column;
+    use sim::Device;
+
+    #[test]
+    fn nphj_matches_oracle() {
+        let dev = Device::a100();
+        let pk: Vec<i32> = (0..997).map(|i| (i * 31) % 997).collect();
+        let fk: Vec<i32> = (0..3000).map(|i| i % 1400).collect();
+        let r = Relation::new(
+            "R",
+            Column::from_i32(&dev, pk.clone(), "rk"),
+            vec![Column::from_i64(&dev, pk.iter().map(|&k| k as i64).collect(), "r1")],
+        );
+        let s = Relation::new(
+            "S",
+            Column::from_i32(&dev, fk.clone(), "sk"),
+            vec![Column::from_i32(&dev, fk, "s1")],
+        );
+        let out = nphj(&dev, &r, &s, &JoinConfig::default());
+        assert_eq!(out.rows_sorted(), hash_join_oracle(&r, &s));
+        // No transformation phase.
+        assert_eq!(out.stats.phases.transform.secs(), 0.0);
+    }
+
+    #[test]
+    fn nphj_duplicates() {
+        let dev = Device::a100();
+        let r = Relation::new(
+            "R",
+            Column::from_i32(&dev, vec![1, 1, 2], "k"),
+            vec![Column::from_i32(&dev, vec![10, 11, 20], "p")],
+        );
+        let s = Relation::new(
+            "S",
+            Column::from_i32(&dev, vec![1, 2, 2, 3], "k"),
+            vec![Column::from_i32(&dev, vec![100, 200, 201, 300], "q")],
+        );
+        let out = nphj(&dev, &r, &s, &JoinConfig::default());
+        assert_eq!(out.rows_sorted(), hash_join_oracle(&r, &s));
+    }
+
+    #[test]
+    fn large_table_is_slower_per_tuple_than_small() {
+        // Shrunken 1 MB L2: the 2^15-entry table (768 KB) stays resident,
+        // the 2^21-entry one (48 MB) does not — the regime split behind the
+        // paper's "cuDF is fine on small inputs, worst on large" finding.
+        let mut cfg = sim::DeviceConfig::rtx3090();
+        cfg.l2_bytes = 1 << 20;
+        let dev = Device::new(cfg);
+        let make = |n: usize| {
+            let keys: Vec<i32> = (0..n as i32).map(|i| (i.wrapping_mul(2654435761u32 as i32)) % n as i32).collect();
+            let keys: Vec<i32> = keys.iter().map(|k| k.rem_euclid(n as i32)).collect();
+            (
+                Relation::new(
+                    "R",
+                    Column::from_i32(&dev, keys.clone(), "rk"),
+                    vec![Column::from_i32(&dev, keys.clone(), "r1")],
+                ),
+                Relation::new(
+                    "S",
+                    Column::from_i32(&dev, keys.clone(), "sk"),
+                    vec![Column::from_i32(&dev, keys, "s1")],
+                ),
+            )
+        };
+        let cfg = JoinConfig {
+            unique_build: false,
+            ..JoinConfig::default()
+        };
+        // Small: table fits L2 — probes mostly hit. Large: it does not —
+        // hit rate collapses and the random-access tax dominates.
+        let (r, s) = make(1 << 15);
+        dev.reset_stats();
+        let _ = nphj(&dev, &r, &s, &cfg);
+        let small_hits = dev.counters().l2_hit_rate();
+        let (r, s) = make(1 << 21);
+        dev.reset_stats();
+        dev.flush_l2();
+        let large = nphj(&dev, &r, &s, &cfg);
+        let large_hits = dev.counters().l2_hit_rate();
+        assert!(
+            small_hits > 0.6 && large_hits < 0.4,
+            "hit rates: small {small_hits} vs large {large_hits}"
+        );
+        // The random-access tax shows up as a per-warp coalescing failure.
+        assert!(dev.counters().sectors_per_request() > 8.0);
+        assert!(large.stats.phases.match_find.secs() > 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! A naive host-side hash join used as the correctness oracle for every
+//! device implementation. No device costs are charged; output rows come
+//! back sorted so order-insensitive comparison is one `assert_eq!`.
+
+use columnar::Relation;
+use std::collections::HashMap;
+
+/// All matching rows of the inner equi-join `r ⋈ s`, widened to `i64` and
+/// sorted: each row is `[key, r payloads…, s payloads…]`.
+pub fn hash_join_oracle(r: &Relation, s: &Relation) -> Vec<Vec<i64>> {
+    let mut by_key: HashMap<i64, Vec<usize>> = HashMap::new();
+    for i in 0..r.len() {
+        by_key.entry(r.key().value(i)).or_default().push(i);
+    }
+    let mut rows = Vec::new();
+    for j in 0..s.len() {
+        let k = s.key().value(j);
+        if let Some(ris) = by_key.get(&k) {
+            for &i in ris {
+                let mut row = Vec::with_capacity(1 + r.num_payloads() + s.num_payloads());
+                row.push(k);
+                row.extend(r.payloads().iter().map(|c| c.value(i)));
+                row.extend(s.payloads().iter().map(|c| c.value(j)));
+                rows.push(row);
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+/// Reference results for the non-inner join kinds (probe-side semantics,
+/// see [`crate::kinds::JoinKind`]): semi/anti rows are `[key, s
+/// payloads...]`; outer rows are `[key, r payloads (type-MIN when
+/// unmatched)..., s payloads...]`. Rows come back sorted.
+pub fn join_oracle_kind(
+    r: &Relation,
+    s: &Relation,
+    kind: crate::kinds::JoinKind,
+) -> Vec<Vec<i64>> {
+    use crate::kinds::JoinKind;
+    let mut by_key: HashMap<i64, Vec<usize>> = HashMap::new();
+    for i in 0..r.len() {
+        by_key.entry(r.key().value(i)).or_default().push(i);
+    }
+    let null_of = |c: &columnar::Column| match c.dtype() {
+        columnar::DType::I32 => i32::MIN as i64,
+        columnar::DType::I64 => i64::MIN,
+    };
+    let mut rows = Vec::new();
+    for j in 0..s.len() {
+        let k = s.key().value(j);
+        let matches = by_key.get(&k);
+        let s_row = || -> Vec<i64> { s.payloads().iter().map(|c| c.value(j)).collect() };
+        match kind {
+            JoinKind::Inner | JoinKind::Outer => {
+                if let Some(ris) = matches {
+                    for &i in ris {
+                        let mut row = vec![k];
+                        row.extend(r.payloads().iter().map(|c| c.value(i)));
+                        row.extend(s_row());
+                        rows.push(row);
+                    }
+                } else if kind == JoinKind::Outer {
+                    let mut row = vec![k];
+                    row.extend(r.payloads().iter().map(null_of));
+                    row.extend(s_row());
+                    rows.push(row);
+                }
+            }
+            JoinKind::Semi => {
+                if matches.is_some() {
+                    let mut row = vec![k];
+                    row.extend(s_row());
+                    rows.push(row);
+                }
+            }
+            JoinKind::Anti => {
+                if matches.is_none() {
+                    let mut row = vec![k];
+                    row.extend(s_row());
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+/// Exact output cardinality of `r ⋈ s` without materializing payloads.
+pub fn join_cardinality(r: &Relation, s: &Relation) -> usize {
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    for i in 0..r.len() {
+        *counts.entry(r.key().value(i)).or_insert(0) += 1;
+    }
+    (0..s.len())
+        .map(|j| counts.get(&s.key().value(j)).copied().unwrap_or(0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::Column;
+    use sim::Device;
+
+    #[test]
+    fn oracle_emits_all_pairs() {
+        let dev = Device::a100();
+        let r = Relation::new(
+            "R",
+            Column::from_i32(&dev, vec![1, 2, 2], "k"),
+            vec![Column::from_i32(&dev, vec![10, 20, 21], "p")],
+        );
+        let s = Relation::new(
+            "S",
+            Column::from_i32(&dev, vec![2, 3, 1], "k"),
+            vec![Column::from_i64(&dev, vec![200, 300, 100], "q")],
+        );
+        let rows = hash_join_oracle(&r, &s);
+        assert_eq!(
+            rows,
+            vec![
+                vec![1, 10, 100],
+                vec![2, 20, 200],
+                vec![2, 21, 200],
+            ]
+        );
+        assert_eq!(join_cardinality(&r, &s), 3);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let dev = Device::a100();
+        let r = Relation::new("R", Column::from_i32(&dev, vec![], "k"), vec![]);
+        let s = Relation::new("S", Column::from_i32(&dev, vec![1], "k"), vec![]);
+        assert!(hash_join_oracle(&r, &s).is_empty());
+        assert_eq!(join_cardinality(&r, &s), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # primitives — device primitives for joins and grouped aggregations
+//!
+//! The procedures of Section 2.3 of the paper, implemented on the [`sim`]
+//! substrate with the same cost structure as their CUB/Thrust/ModernGPU
+//! originals:
+//!
+//! * [`radix_partition`] / [`radix_partition_pass`] — stable LSD radix
+//!   partitioning, at most 8 bits per pass (the Ampere limit the paper
+//!   cites), with partition offsets computed by histogram + prefix sum.
+//! * [`sort_pairs`] — least-significant-digit radix sort of (key, value)
+//!   pairs, built from partition passes exactly like CUB's OneSweep; for
+//!   4-byte keys this is the "~17 sequential passes" of Section 4.2.
+//! * [`gather`] / [`gather_column`] / [`scatter`] — the Thrust-style gather
+//!   with warp-level coalescing accounting; this is where clustered vs
+//!   unclustered maps (Table 4) diverge.
+//! * [`merge_join`] — merge-path-balanced sorted merge join (ModernGPU /
+//!   Rui et al. style).
+//! * [`join_copartitions`] — per-partition shared-memory hash join
+//!   (the match-finding kernel of the paper's PHJ-OM, Section 4.3).
+//! * [`GlobalHashTable`] — a non-partitioned global hash table (the cuDF
+//!   baseline's core).
+//! * [`exclusive_scan`], [`run_boundaries`] — support primitives for
+//!   partition offsets and sort-based grouped aggregation.
+
+mod costs;
+mod gather;
+mod hash;
+mod merge;
+mod partition;
+mod scan;
+mod sort;
+
+pub use costs::*;
+pub use gather::{gather, gather_column, gather_column_or_null, gather_or, scatter, NULL_ID};
+pub use hash::{GlobalHashTable, MatchResult};
+pub use hash::{join_copartitions, CoPartitionCost};
+pub use merge::{merge_join, merge_path_partitions};
+pub use partition::{partition_of, radix_partition, radix_partition_pass, PartitionedPairs};
+pub use scan::{exclusive_scan, run_boundaries};
+pub use sort::{sort_pairs, sort_pairs_bits};

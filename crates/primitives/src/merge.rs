@@ -1,0 +1,206 @@
+//! Merge join over sorted inputs, balanced with the Merge Path algorithm
+//! (Green et al., ICS'12) as used by Rui et al. and ModernGPU.
+//!
+//! Merge Path splits both sorted arrays into co-partitions of equal total
+//! work regardless of the data distribution — the property that makes SMJ's
+//! match-finding phase skew-resilient (Section 5.2.4 of the paper). The
+//! bounds search reads both key arrays once per pass; primary-key joins need
+//! a single pass, general joins two (lower and upper bounds, Section 3.1).
+
+use crate::hash::MatchResult;
+use crate::MERGE_WARP_INSTR;
+use sim::{Device, DeviceBuffer, Element};
+
+/// Split the merge of `r` and `s` into `num_parts` balanced co-partitions.
+///
+/// Returns `num_parts + 1` split points `(i, j)`: partition `p` merges
+/// `r[i_p..i_{p+1}]` with `s[j_p..j_{p+1}]`, and every partition covers the
+/// same number of elements (±1) of the combined input.
+pub fn merge_path_partitions<K: Element + Ord>(
+    r: &[K],
+    s: &[K],
+    num_parts: usize,
+) -> Vec<(usize, usize)> {
+    assert!(num_parts > 0, "need at least one partition");
+    let total = r.len() + s.len();
+    let mut splits = Vec::with_capacity(num_parts + 1);
+    for p in 0..=num_parts {
+        let diag = (total * p) / num_parts;
+        // Binary search along the diagonal: find i in [max(0, diag-|s|),
+        // min(diag, |r|)] such that r[..i] and s[..diag-i] interleave.
+        let mut lo = diag.saturating_sub(s.len());
+        let mut hi = diag.min(r.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let j = diag - mid;
+            // Merge Path invariant: r[mid] vs s[j-1].
+            if j > 0 && mid < r.len() && r[mid] < s[j - 1] {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        splits.push((lo, diag - lo));
+    }
+    splits
+}
+
+/// Merge-join two *sorted* key arrays, producing matched keys and the pair
+/// of matching positions into each input.
+///
+/// Output order is s-major (all matches of `s[0]`, then `s[1]`, ...), so
+/// both index columns come out *clustered* when the inputs are sorted —
+/// the property GFTR's cheap gathers rely on (Section 4.1).
+///
+/// `unique_r` declares `r` duplicate-free (a primary key side): the bounds
+/// search then runs once instead of twice, as the paper's PK-FK
+/// specialization does.
+pub fn merge_join<K: Element + Ord>(
+    dev: &Device,
+    r_keys: &DeviceBuffer<K>,
+    s_keys: &DeviceBuffer<K>,
+    unique_r: bool,
+) -> MatchResult<K> {
+    debug_assert!(r_keys.windows(2).all(|w| w[0] <= w[1]), "r must be sorted");
+    debug_assert!(s_keys.windows(2).all(|w| w[0] <= w[1]), "s must be sorted");
+
+    let bound_passes = if unique_r { 1 } else { 2 };
+    for _ in 0..bound_passes {
+        dev.kernel("merge_path_bounds")
+            .items((r_keys.len() + s_keys.len()) as u64, MERGE_WARP_INSTR)
+            .seq_read_bytes((r_keys.len() + s_keys.len()) as u64 * K::SIZE)
+            .launch();
+    }
+
+    let mut keys = Vec::new();
+    let mut r_idx = Vec::new();
+    let mut s_idx = Vec::new();
+    let (r, s) = (r_keys.as_slice(), s_keys.as_slice());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < r.len() && j < s.len() {
+        if r[i] < s[j] {
+            i += 1;
+        } else if s[j] < r[i] {
+            j += 1;
+        } else {
+            let k = r[i];
+            let ri_end = i + r[i..].iter().take_while(|&&x| x == k).count();
+            let sj_end = j + s[j..].iter().take_while(|&&x| x == k).count();
+            for sj in j..sj_end {
+                for ri in i..ri_end {
+                    keys.push(k);
+                    r_idx.push(ri as u32);
+                    s_idx.push(sj as u32);
+                }
+            }
+            i = ri_end;
+            j = sj_end;
+        }
+    }
+
+    let out_rows = keys.len() as u64;
+    dev.kernel("merge_join_expand")
+        .items((r.len() + s.len()) as u64, MERGE_WARP_INSTR)
+        .seq_read_bytes((r.len() + s.len()) as u64 * K::SIZE)
+        .seq_write_bytes(out_rows * (K::SIZE + 4 + 4))
+        .launch();
+
+    MatchResult {
+        keys: dev.upload(keys, "merge_join.keys"),
+        r_idx: dev.upload(r_idx, "merge_join.r_idx"),
+        s_idx: dev.upload(s_idx, "merge_join.s_idx"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Device;
+
+    #[test]
+    fn merge_path_splits_cover_everything_evenly() {
+        let r: Vec<i32> = (0..100).map(|i| i * 2).collect();
+        let s: Vec<i32> = (0..50).map(|i| i * 4 + 1).collect();
+        let parts = 8;
+        let splits = merge_path_partitions(&r, &s, parts);
+        assert_eq!(splits.len(), parts + 1);
+        assert_eq!(splits[0], (0, 0));
+        assert_eq!(splits[parts], (r.len(), s.len()));
+        for w in splits.windows(2) {
+            let work = (w[1].0 - w[0].0) + (w[1].1 - w[0].1);
+            let ideal = (r.len() + s.len()) / parts;
+            assert!(work.abs_diff(ideal) <= 1, "unbalanced split: {work} vs {ideal}");
+            // Split points must be monotone.
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn merge_path_is_balanced_even_on_skew() {
+        // All of s equals one value that sits in the middle of r.
+        let r: Vec<i32> = (0..1000).collect();
+        let s: Vec<i32> = vec![500; 1000];
+        let splits = merge_path_partitions(&r, &s, 16);
+        for w in splits.windows(2) {
+            let work = (w[1].0 - w[0].0) + (w[1].1 - w[0].1);
+            assert!(work.abs_diff(2000 / 16) <= 1);
+        }
+    }
+
+    #[test]
+    fn pk_fk_join_finds_all_matches() {
+        let dev = Device::a100();
+        let r = dev.upload(vec![1i32, 3, 5, 7], "r");
+        let s = dev.upload(vec![1i32, 1, 3, 6, 7, 7], "s");
+        let m = merge_join(&dev, &r, &s, true);
+        assert_eq!(m.keys.as_slice(), &[1, 1, 3, 7, 7]);
+        assert_eq!(m.r_idx.as_slice(), &[0, 0, 1, 3, 3]);
+        assert_eq!(m.s_idx.as_slice(), &[0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn many_to_many_emits_cross_product_per_key() {
+        let dev = Device::a100();
+        let r = dev.upload(vec![2i32, 2, 5], "r");
+        let s = dev.upload(vec![2i32, 2, 2], "s");
+        let m = merge_join(&dev, &r, &s, false);
+        assert_eq!(m.len(), 6); // 2 × 3
+        // s-major order, r ascending within each s.
+        assert_eq!(m.s_idx.as_slice(), &[0, 0, 1, 1, 2, 2]);
+        assert_eq!(m.r_idx.as_slice(), &[0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn disjoint_inputs_produce_nothing() {
+        let dev = Device::a100();
+        let r = dev.upload(vec![1i32, 2], "r");
+        let s = dev.upload(vec![3i32, 4], "s");
+        let m = merge_join(&dev, &r, &s, true);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn unique_r_saves_a_bounds_pass() {
+        let dev = Device::a100();
+        let r = dev.upload((0..1024i32).collect::<Vec<_>>(), "r");
+        let s = dev.upload((0..1024i32).collect::<Vec<_>>(), "s");
+        dev.reset_stats();
+        let _ = merge_join(&dev, &r, &s, true);
+        let pk = dev.counters().kernel_launches;
+        dev.reset_stats();
+        let _ = merge_join(&dev, &r, &s, false);
+        let general = dev.counters().kernel_launches;
+        assert_eq!(general, pk + 1);
+    }
+
+    #[test]
+    fn output_indices_are_clustered() {
+        let dev = Device::a100();
+        let r = dev.upload((0..512i32).collect::<Vec<_>>(), "r");
+        let s = dev.upload((0..512i32).flat_map(|k| [k, k]).collect::<Vec<_>>(), "s");
+        let m = merge_join(&dev, &r, &s, true);
+        // s-idx strictly non-decreasing; r-idx non-decreasing for PK-FK.
+        assert!(m.s_idx.windows(2).all(|w| w[0] <= w[1]));
+        assert!(m.r_idx.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,93 @@
+//! Prefix scans and sorted-run boundary detection.
+
+use crate::STREAM_WARP_INSTR;
+use sim::Device;
+
+/// Exclusive prefix sum of `counts`, returning a vector one element longer:
+/// `out[i]` is the sum of `counts[..i]`, `out[counts.len()]` the grand total.
+///
+/// Used to turn radix histograms into partition offsets. The device cost of
+/// one streaming pass over the counts is charged (scans of histogram-sized
+/// arrays are negligible next to the data passes, exactly as on hardware).
+pub fn exclusive_scan(dev: &Device, counts: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    out.push(0);
+    for &c in counts {
+        acc = acc
+            .checked_add(c)
+            .expect("prefix sum overflowed u32 — partition too large");
+        out.push(acc);
+    }
+    dev.kernel("exclusive_scan")
+        .items(counts.len() as u64, STREAM_WARP_INSTR)
+        .seq_read_bytes(counts.len() as u64 * 4)
+        .seq_write_bytes(out.len() as u64 * 4)
+        .launch();
+    out
+}
+
+/// Boundaries of equal-key runs in a sorted slice: returns `b` with
+/// `b[0] = 0`, `b[last] = keys.len()`, and one entry at every index where
+/// `keys[i] != keys[i-1]`.
+///
+/// This is the segment-detection kernel of sort-based grouped aggregation
+/// (one streaming read of the keys plus a compacted write of the flags).
+pub fn run_boundaries<K: PartialEq + sim::Element>(dev: &Device, keys: &[K]) -> Vec<u32> {
+    let mut b = Vec::new();
+    b.push(0u32);
+    if keys.is_empty() {
+        // Zero groups: a single boundary, so `len - 1 == 0` segments.
+        return b;
+    }
+    for i in 1..keys.len() {
+        if keys[i] != keys[i - 1] {
+            b.push(i as u32);
+        }
+    }
+    b.push(keys.len() as u32);
+    dev.kernel("run_boundaries")
+        .items(keys.len() as u64, STREAM_WARP_INSTR)
+        .seq_read_bytes(keys.len() as u64 * K::SIZE)
+        .seq_write_bytes(b.len() as u64 * 4)
+        .launch();
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Device;
+
+    #[test]
+    fn scan_basic() {
+        let dev = Device::a100();
+        assert_eq!(exclusive_scan(&dev, &[3, 0, 2, 5]), vec![0, 3, 3, 5, 10]);
+        assert_eq!(exclusive_scan(&dev, &[]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn scan_overflow_detected() {
+        let dev = Device::a100();
+        let _ = exclusive_scan(&dev, &[u32::MAX, 2]);
+    }
+
+    #[test]
+    fn boundaries_of_sorted_runs() {
+        let dev = Device::a100();
+        let keys: Vec<i32> = vec![1, 1, 1, 4, 4, 9];
+        assert_eq!(run_boundaries(&dev, &keys), vec![0, 3, 5, 6]);
+        let empty: Vec<i32> = vec![];
+        assert_eq!(run_boundaries(&dev, &empty), vec![0], "empty input: zero groups");
+        assert_eq!(run_boundaries(&dev, &[7i32]), vec![0, 1]);
+    }
+
+    #[test]
+    fn scan_charges_device_time() {
+        let dev = Device::a100();
+        let before = dev.elapsed();
+        let _ = exclusive_scan(&dev, &[1; 1024]);
+        assert!(dev.elapsed() > before);
+    }
+}

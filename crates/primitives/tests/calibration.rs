@@ -1,0 +1,126 @@
+//! Calibration of the simulator against Table 4 of the paper: the
+//! microarchitectural comparison between unclustered and clustered GATHERs.
+//!
+//! Table 4 (A100, 2^27 items):
+//!
+//! | metric                        | unclustered | clustered |
+//! |-------------------------------|-------------|-----------|
+//! | avg sectors per load request  | 18          | 6         |
+//! | memory reads                  | 4.5 GB      | 1.5 GB    |
+//! | cycles ratio                  | ~8.5x       | 1x        |
+//!
+//! We reproduce the *shape* at a reduced scale, choosing the region size
+//! relative to L2 the way the paper's scale relates to the A100's 40 MB
+//! (region >> L2, so unclustered gathers miss). The RTX 3090 preset (6 MB
+//! L2) gives that regime at 2^24 items without minute-long test runs.
+
+use primitives::gather;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sim::Device;
+
+const N: usize = 1 << 24;
+
+fn random_map(n: usize) -> Vec<u32> {
+    let mut map: Vec<u32> = (0..n as u32).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    map.shuffle(&mut rng);
+    map
+}
+
+#[test]
+fn table4_unclustered_vs_clustered_gather() {
+    let dev = Device::rtx3090();
+    let src = dev.upload((0..N as i32).collect::<Vec<_>>(), "src");
+
+    // Unclustered: a random permutation map (what GFUR's materialization
+    // sees after sorting/partitioning scrambles tuple IDs).
+    let map = dev.upload(random_map(N), "umap");
+    dev.reset_stats();
+    let _ = gather(&dev, &src, &map);
+    let unclustered = dev.counters();
+    let unclustered_time = dev.elapsed();
+
+    // Clustered: the identity map (what GFTR's materialization sees — the
+    // matched virtual IDs are sorted positions).
+    let map = dev.upload((0..N as u32).collect::<Vec<_>>(), "cmap");
+    dev.reset_stats();
+    let _ = gather(&dev, &src, &map);
+    let clustered = dev.counters();
+    let clustered_time = dev.elapsed();
+
+    // Same instruction work on both sides (Table 4: identical warp
+    // instruction counts).
+    assert_eq!(unclustered.warp_instructions, clustered.warp_instructions);
+
+    // Sectors per request: ~18 unclustered (32 data + 4 map averaged),
+    // ~4-6 clustered.
+    let spr_u = unclustered.sectors_per_request();
+    let spr_c = clustered.sectors_per_request();
+    assert!(
+        (15.0..=19.0).contains(&spr_u),
+        "unclustered sectors/request {spr_u}, Table 4 says 18"
+    );
+    assert!(
+        (3.5..=7.0).contains(&spr_c),
+        "clustered sectors/request {spr_c}, Table 4 says 6"
+    );
+
+    // Memory reads ratio ~3x (4.5 GB vs 1.5 GB).
+    let reads_ratio = unclustered.dram_read_bytes as f64 / clustered.dram_read_bytes as f64;
+    assert!(
+        (2.0..=4.5).contains(&reads_ratio),
+        "read-bytes ratio {reads_ratio}, Table 4 says 3x"
+    );
+
+    // Cycle/time ratio ~8.5x; accept the 5-14x band for the model.
+    let cycle_ratio = unclustered_time.secs() / clustered_time.secs();
+    assert!(
+        (5.0..=14.0).contains(&cycle_ratio),
+        "cycle ratio {cycle_ratio}, Table 4 says 8.5x"
+    );
+}
+
+#[test]
+fn small_relation_gathers_hit_l2_and_get_cheap() {
+    // The paper's TPC-H J3 observation: when inputs are small, the L2
+    // absorbs unclustered gathers and the GFUR pattern stops losing.
+    let dev = Device::a100();
+    let n = 1 << 18; // 1 MB region, far below the 40 MB L2
+    let src = dev.upload((0..n as i32).collect::<Vec<_>>(), "src");
+    let map = dev.upload(random_map(n), "umap");
+    // Warm up, then measure the steady state.
+    let _ = gather(&dev, &src, &map);
+    dev.reset_stats();
+    let _ = gather(&dev, &src, &map);
+    let c = dev.counters();
+    assert!(
+        c.l2_hit_rate() > 0.9,
+        "small-region gather should be L2-resident, hit rate {}",
+        c.l2_hit_rate()
+    );
+}
+
+#[test]
+fn a100_larger_l2_still_cannot_fix_huge_unclustered_gathers() {
+    // Figure 7's note: "a larger GPU like the A100 with a much larger L2
+    // cache ... cannot alleviate the inefficiency of unclustered gathers"
+    // — because the gathered region dwarfs even 40 MB.
+    let dev = Device::a100();
+    let n = 1 << 24; // 64 MB region vs 40 MB L2
+    let src = dev.upload((0..n as i32).collect::<Vec<_>>(), "src");
+    let map = dev.upload(random_map(n), "umap");
+    dev.reset_stats();
+    let _ = gather(&dev, &src, &map);
+    let slow = dev.elapsed();
+    let cmap = dev.upload((0..n as u32).collect::<Vec<_>>(), "cmap");
+    dev.reset_stats();
+    let _ = gather(&dev, &src, &cmap);
+    let fast = dev.elapsed();
+    assert!(
+        slow.secs() > 2.0 * fast.secs(),
+        "unclustered {} vs clustered {}",
+        slow,
+        fast
+    );
+}

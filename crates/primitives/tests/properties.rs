@@ -1,0 +1,172 @@
+//! Property-based tests of the device primitives: the invariants every
+//! operator builds on.
+
+use primitives::{
+    exclusive_scan, gather, merge_join, partition_of, radix_partition, run_boundaries, scatter,
+    sort_pairs,
+};
+use proptest::prelude::*;
+use sim::Device;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// sort_pairs sorts keys and keeps every (key, value) pair intact.
+    #[test]
+    fn sort_pairs_sorts_and_preserves_pairs(keys in proptest::collection::vec(any::<i32>(), 0..300)) {
+        let dev = Device::a100();
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let kb = dev.upload(keys.clone(), "k");
+        let vb = dev.upload(vals.clone(), "v");
+        let (sk, sv) = sort_pairs(&dev, &kb, &vb);
+        // Sorted...
+        prop_assert!(sk.windows(2).all(|w| w[0] <= w[1]));
+        // ...and a permutation of the input pairing.
+        let mut got: Vec<(i32, u32)> = sk.iter().copied().zip(sv.iter().copied()).collect();
+        let mut expected: Vec<(i32, u32)> = keys.into_iter().zip(vals).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// sort_pairs is stable: equal keys keep their input order.
+    #[test]
+    fn sort_pairs_is_stable(keys in proptest::collection::vec(0i32..16, 0..300)) {
+        let dev = Device::a100();
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let kb = dev.upload(keys, "k");
+        let vb = dev.upload(vals, "v");
+        let (sk, sv) = sort_pairs(&dev, &kb, &vb);
+        for w in sk.windows(2).zip(sv.windows(2)) {
+            if w.0[0] == w.0[1] {
+                prop_assert!(w.1[0] < w.1[1], "stability violated on equal keys");
+            }
+        }
+    }
+
+    /// radix_partition groups by the digit, stably, with exact offsets.
+    #[test]
+    fn radix_partition_is_a_stable_grouping(
+        keys in proptest::collection::vec(any::<i32>(), 0..300),
+        bits in 1u32..10,
+    ) {
+        let dev = Device::a100();
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let kb = dev.upload(keys.clone(), "k");
+        let vb = dev.upload(vals, "v");
+        let p = radix_partition(&dev, &kb, &vb, bits);
+        prop_assert_eq!(p.offsets.len(), (1usize << bits) + 1);
+        prop_assert_eq!(*p.offsets.last().unwrap() as usize, keys.len());
+        for part in 0..p.num_partitions() {
+            let range = p.partition_range(part);
+            // Every key belongs to this partition...
+            prop_assert!(range.clone().all(|i| partition_of(p.keys[i], bits) == part));
+            // ...and values (input positions) ascend within it (stability).
+            prop_assert!(range
+                .clone()
+                .zip(range.skip(1))
+                .all(|(a, b)| p.vals[a] < p.vals[b]));
+        }
+    }
+
+    /// scatter by a permutation then gather by the same permutation is the
+    /// identity.
+    #[test]
+    fn scatter_then_gather_roundtrip(n in 0usize..300, seed in any::<u64>()) {
+        let dev = Device::a100();
+        let data: Vec<i64> = (0..n as i64).map(|i| i * 3 - 7).collect();
+        // Build a permutation from the seed.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let src = dev.upload(data.clone(), "src");
+        let map = dev.upload(perm, "map");
+        let scattered = scatter(&dev, &src, &map, n);
+        let back = gather(&dev, &scattered, &map);
+        prop_assert_eq!(back.as_slice(), data.as_slice());
+    }
+
+    /// merge_join equals the quadratic oracle on sorted inputs.
+    #[test]
+    fn merge_join_matches_quadratic_oracle(
+        mut r in proptest::collection::vec(-20i32..20, 0..60),
+        mut s in proptest::collection::vec(-20i32..20, 0..60),
+    ) {
+        r.sort_unstable();
+        s.sort_unstable();
+        let dev = Device::a100();
+        let rb = dev.upload(r.clone(), "r");
+        let sb = dev.upload(s.clone(), "s");
+        let m = merge_join(&dev, &rb, &sb, false);
+        let mut got: Vec<(i32, u32, u32)> = (0..m.len())
+            .map(|i| (m.keys[i], m.r_idx[i], m.s_idx[i]))
+            .collect();
+        let mut expected = Vec::new();
+        for (j, &sv) in s.iter().enumerate() {
+            for (i, &rv) in r.iter().enumerate() {
+                if rv == sv {
+                    expected.push((rv, i as u32, j as u32));
+                }
+            }
+        }
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// exclusive_scan is the running sum.
+    #[test]
+    fn scan_is_running_sum(counts in proptest::collection::vec(0u32..1000, 0..200)) {
+        let dev = Device::a100();
+        let out = exclusive_scan(&dev, &counts);
+        prop_assert_eq!(out.len(), counts.len() + 1);
+        let mut acc = 0u32;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(out[i], acc);
+            acc += c;
+        }
+        prop_assert_eq!(*out.last().unwrap(), acc);
+    }
+
+    /// run_boundaries reconstructs the segment structure of any sorted input.
+    #[test]
+    fn boundaries_segment_sorted_keys(mut keys in proptest::collection::vec(-50i32..50, 0..300)) {
+        keys.sort_unstable();
+        let dev = Device::a100();
+        let b = run_boundaries(&dev, &keys);
+        // Segments are non-empty, cover everything, and are key-constant.
+        prop_assert_eq!(b[0], 0);
+        prop_assert_eq!(*b.last().unwrap() as usize, keys.len());
+        for w in b.windows(2) {
+            prop_assert!(w[0] < w[1] || (keys.is_empty() && w[0] == w[1]));
+            let seg = &keys[w[0] as usize..w[1] as usize];
+            prop_assert!(seg.windows(2).all(|x| x[0] == x[1]));
+        }
+        // Adjacent segments have different keys.
+        for w in b.windows(3) {
+            prop_assert_ne!(keys[w[0] as usize], keys[w[1] as usize]);
+        }
+    }
+
+    /// Gathers never mutate their source and always produce map-length
+    /// output.
+    #[test]
+    fn gather_shape_and_source_invariance(
+        src in proptest::collection::vec(any::<i32>(), 1..100),
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..200),
+    ) {
+        let dev = Device::a100();
+        let map: Vec<u32> = picks.iter().map(|ix| ix.index(src.len()) as u32).collect();
+        let sb = dev.upload(src.clone(), "src");
+        let mb = dev.upload(map.clone(), "map");
+        let out = gather(&dev, &sb, &mb);
+        prop_assert_eq!(out.len(), map.len());
+        prop_assert_eq!(sb.as_slice(), src.as_slice());
+        for (o, &m) in out.iter().zip(&map) {
+            prop_assert_eq!(*o, src[m as usize]);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The element trait implemented by every type that can live in device
+//! memory: fixed size, plain-old-data, and radix-convertible.
+
+/// A value type storable in a [`crate::DeviceBuffer`].
+///
+/// The paper's workloads use 4-byte and 8-byte integers (Section 5.2.5);
+/// strings are dictionary-encoded into integers before joining (Section 5.3),
+/// so these are the only widths the device ever sees.
+pub trait Element: Copy + Clone + Default + Send + Sync + std::fmt::Debug + 'static {
+    /// Size of one element in bytes, as charged to the memory model.
+    const SIZE: u64;
+
+    /// A radix/ordering-preserving mapping into `u64`, used by the radix
+    /// partitioner and sorter. For signed types the sign bit is flipped so
+    /// that unsigned radix order equals signed numeric order.
+    fn to_radix(self) -> u64;
+
+    /// Inverse of [`Element::to_radix`].
+    fn from_radix(bits: u64) -> Self;
+}
+
+impl Element for u32 {
+    const SIZE: u64 = 4;
+    fn to_radix(self) -> u64 {
+        self as u64
+    }
+    fn from_radix(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl Element for i32 {
+    const SIZE: u64 = 4;
+    fn to_radix(self) -> u64 {
+        (self as u32 ^ 0x8000_0000) as u64
+    }
+    fn from_radix(bits: u64) -> Self {
+        (bits as u32 ^ 0x8000_0000) as i32
+    }
+}
+
+impl Element for u64 {
+    const SIZE: u64 = 8;
+    fn to_radix(self) -> u64 {
+        self
+    }
+    fn from_radix(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Element for i64 {
+    const SIZE: u64 = 8;
+    fn to_radix(self) -> u64 {
+        (self as u64) ^ 0x8000_0000_0000_0000
+    }
+    fn from_radix(bits: u64) -> Self {
+        (bits ^ 0x8000_0000_0000_0000) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_roundtrip() {
+        for v in [i32::MIN, -7, 0, 7, i32::MAX] {
+            assert_eq!(i32::from_radix(v.to_radix()), v);
+        }
+        for v in [i64::MIN, -7, 0, 7, i64::MAX] {
+            assert_eq!(i64::from_radix(v.to_radix()), v);
+        }
+        for v in [0u32, 1, u32::MAX] {
+            assert_eq!(u32::from_radix(v.to_radix()), v);
+        }
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::from_radix(v.to_radix()), v);
+        }
+    }
+
+    #[test]
+    fn radix_order_matches_numeric_order_for_signed() {
+        let mut vals = vec![-5i32, 3, -1, 0, i32::MIN, i32::MAX, 2];
+        let mut by_radix = vals.clone();
+        vals.sort();
+        by_radix.sort_by_key(|v| v.to_radix());
+        assert_eq!(vals, by_radix);
+
+        let mut vals = vec![-5i64, 3, -1, 0, i64::MIN, i64::MAX, 2];
+        let mut by_radix = vals.clone();
+        vals.sort();
+        by_radix.sort_by_key(|v| v.to_radix());
+        assert_eq!(vals, by_radix);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(<i32 as Element>::SIZE, 4);
+        assert_eq!(<u32 as Element>::SIZE, 4);
+        assert_eq!(<i64 as Element>::SIZE, 8);
+        assert_eq!(<u64 as Element>::SIZE, 8);
+    }
+}

@@ -1,0 +1,172 @@
+//! Simulated time and the per-phase breakdown used throughout the paper's
+//! figures (transformation / match finding / materialization).
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of *simulated* device time.
+///
+/// All GPU-side costs in this workspace are expressed as `SimTime`; the CPU
+/// baseline reports real wall-clock converted into the same type so the two
+/// can be charted together.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Zero duration.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        SimTime(s)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        SimTime(ms * 1e-3)
+    }
+
+    /// The span in seconds.
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// The span in milliseconds.
+    pub fn millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// `bytes / self`, in bytes per second. Returns infinity for a zero span.
+    pub fn throughput(self, bytes: u64) -> f64 {
+        if self.0 <= 0.0 {
+            f64::INFINITY
+        } else {
+            bytes as f64 / self.0
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3} s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3} ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.1} us", self.0 * 1e6)
+        }
+    }
+}
+
+/// Per-phase time breakdown of a join or grouped aggregation, matching the
+/// three phases defined in Section 2.2 of the paper and reported in Figures
+/// 1, 9, 10, 13, 14, 15, 17.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Transformation phase: sorting or partitioning inputs.
+    pub transform: SimTime,
+    /// Match-finding phase: merge join / hash build+probe (or, for grouped
+    /// aggregation, group-slot assignment).
+    pub match_find: SimTime,
+    /// Materialization phase: gathering payload columns into the output.
+    pub materialize: SimTime,
+}
+
+impl PhaseTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> SimTime {
+        self.transform + self.match_find + self.materialize
+    }
+
+    /// Fraction of total time spent materializing (Figure 1 reports this
+    /// reaching ~75% for unoptimized wide joins).
+    pub fn materialize_fraction(&self) -> f64 {
+        let t = self.total().secs();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.materialize.secs() / t
+        }
+    }
+}
+
+impl Add for PhaseTimes {
+    type Output = PhaseTimes;
+    fn add(self, rhs: PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            transform: self.transform + rhs.transform,
+            match_find: self.match_find + rhs.match_find,
+            materialize: self.materialize + rhs.materialize,
+        }
+    }
+}
+
+impl AddAssign for PhaseTimes {
+    fn add_assign(&mut self, rhs: PhaseTimes) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = SimTime::from_millis(2.0);
+        let b = SimTime::from_millis(3.0);
+        assert!((a + b).millis() - 5.0 < 1e-9);
+        assert_eq!((b - a).millis(), 1.0);
+        // saturating subtraction
+        assert_eq!((a - b).secs(), 0.0);
+        assert_eq!(format!("{}", SimTime::from_secs(2.5)), "2.500 s");
+        assert_eq!(format!("{}", SimTime::from_millis(2.5)), "2.500 ms");
+        assert_eq!(format!("{}", SimTime::from_secs(2.5e-6)), "2.5 us");
+    }
+
+    #[test]
+    fn throughput_of_zero_span_is_infinite() {
+        assert!(SimTime::ZERO.throughput(100).is_infinite());
+        assert_eq!(SimTime::from_secs(2.0).throughput(4 << 30), (2u64 << 30) as f64);
+    }
+
+    #[test]
+    fn phase_totals() {
+        let p = PhaseTimes {
+            transform: SimTime::from_millis(1.0),
+            match_find: SimTime::from_millis(1.0),
+            materialize: SimTime::from_millis(6.0),
+        };
+        assert!((p.total().millis() - 8.0).abs() < 1e-9);
+        assert!((p.materialize_fraction() - 0.75).abs() < 1e-9);
+        let sum = p + p;
+        assert!((sum.total().millis() - 16.0).abs() < 1e-9);
+    }
+}

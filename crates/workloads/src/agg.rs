@@ -1,0 +1,112 @@
+//! Grouped-aggregation workloads for the SIGMOD-extension experiments:
+//! group-count sweeps, skew sweeps, and wide aggregations.
+
+use crate::synthetic::payload_column;
+use columnar::{DType, Relation};
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+use sim::Device;
+
+/// Declarative description of a grouped-aggregation input.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggWorkload {
+    /// Number of input rows.
+    pub tuples: usize,
+    /// Number of distinct group keys the generator draws from.
+    pub groups: usize,
+    /// Width of the group-key column.
+    pub key_type: DType,
+    /// Widths of the columns to aggregate.
+    pub payloads: Vec<DType>,
+    /// Zipf exponent over the group keys; 0.0 = uniform.
+    pub zipf: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AggWorkload {
+    /// Uniform groups, one 4-byte value column — the baseline shape.
+    pub fn uniform(tuples: usize, groups: usize) -> Self {
+        AggWorkload {
+            tuples,
+            groups,
+            key_type: DType::I32,
+            payloads: vec![DType::I32],
+            zipf: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// Materialize on a device.
+    pub fn generate(&self, dev: &Device) -> Relation {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let keys: Vec<i64> = if self.zipf > 0.0 {
+            let dist = Zipf::new(self.groups as u64, self.zipf).expect("valid zipf");
+            (0..self.tuples)
+                .map(|_| dist.sample(&mut rng) as i64 - 1)
+                .collect()
+        } else {
+            (0..self.tuples)
+                .map(|_| rng.gen_range(0..self.groups as i64))
+                .collect()
+        };
+        let payloads = self
+            .payloads
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| payload_column(dev, d, &keys, i as i64 + 1, "agg.payload"))
+            .collect();
+        Relation::new(
+            "AGG",
+            crate::synthetic::key_column(dev, self.key_type, &keys, "agg.key"),
+            payloads,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Device;
+    use std::collections::HashSet;
+
+    #[test]
+    fn group_domain_respected() {
+        let dev = Device::a100();
+        let w = AggWorkload::uniform(10_000, 64);
+        let rel = w.generate(&dev);
+        let distinct: HashSet<i64> = rel.key().iter_i64().collect();
+        assert!(distinct.len() <= 64);
+        assert!(distinct.len() > 48, "uniform draw should hit most groups");
+        assert!(rel.key().iter_i64().all(|k| (0..64).contains(&k)));
+    }
+
+    #[test]
+    fn zipf_concentrates_groups() {
+        let dev = Device::a100();
+        let w = AggWorkload {
+            zipf: 1.75,
+            ..AggWorkload::uniform(10_000, 1024)
+        };
+        let rel = w.generate(&dev);
+        let mut counts = std::collections::HashMap::new();
+        for k in rel.key().iter_i64() {
+            *counts.entry(k).or_insert(0u64) += 1;
+        }
+        let hottest = *counts.values().max().unwrap();
+        assert!(hottest as f64 / 10_000.0 > 0.3);
+    }
+
+    #[test]
+    fn wide_payloads() {
+        let dev = Device::a100();
+        let w = AggWorkload {
+            payloads: vec![DType::I32, DType::I64, DType::I32],
+            ..AggWorkload::uniform(1000, 10)
+        };
+        let rel = w.generate(&dev);
+        assert_eq!(rel.num_payloads(), 3);
+        assert_eq!(rel.payload(1).dtype(), DType::I64);
+    }
+}

@@ -1,0 +1,21 @@
+//! # workloads — data generators for the evaluation
+//!
+//! Everything Section 5 of the paper joins or aggregates:
+//!
+//! * [`synthetic`] — the microbenchmark generator: shuffled primary keys,
+//!   foreign keys with configurable match ratio and Zipf skew, arbitrary
+//!   payload column counts and widths (Figures 7-15, Tables 4-5).
+//! * [`star`] — star schemas for the sequences-of-joins experiment
+//!   (Figure 16).
+//! * [`tpc`] — the five TPC-H/TPC-DS join extracts of Table 6 (Figure 17),
+//!   generated synthetically at a configurable scale with the paper's row
+//!   counts, key/non-key layouts and join cardinalities.
+//! * [`agg`] — grouped-aggregation inputs (group-count and skew sweeps) for
+//!   the SIGMOD-extension experiments.
+
+pub mod agg;
+pub mod star;
+pub mod synthetic;
+pub mod tpc;
+
+pub use synthetic::{JoinWorkload, PayloadSpec};

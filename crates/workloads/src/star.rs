@@ -1,0 +1,74 @@
+//! Star schemas for the sequences-of-joins experiment (Section 5.2.7,
+//! Figure 16): a fact table with `N` foreign keys and `N` dimension tables.
+
+use crate::synthetic::payload_column;
+use columnar::{Column, DType, Relation};
+use joins::plan::FactTable;
+use rand::{Rng, SeedableRng};
+use sim::Device;
+
+/// Generate the Figure 16 workload: `|F| = fact_tuples` rows with
+/// `num_joins` uniformly distributed FK columns, and `num_joins` dimension
+/// tables of `dim_tuples` rows (PK `0..dim_tuples`, shuffled; one payload
+/// column each). All FKs match (the paper's setting).
+pub fn star_schema(
+    dev: &Device,
+    fact_tuples: usize,
+    dim_tuples: usize,
+    num_joins: usize,
+    seed: u64,
+) -> (FactTable, Vec<Relation>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let fks = (0..num_joins)
+        .map(|_| {
+            Column::from_i32(
+                dev,
+                (0..fact_tuples)
+                    .map(|_| rng.gen_range(0..dim_tuples as i32))
+                    .collect(),
+                "star.fk",
+            )
+        })
+        .collect();
+    let dims = (0..num_joins)
+        .map(|d| {
+            let mut pk: Vec<i64> = (0..dim_tuples as i64).collect();
+            use rand::seq::SliceRandom;
+            pk.shuffle(&mut rng);
+            Relation::new(
+                format!("D{d}"),
+                Column::from_i32(dev, pk.iter().map(|&k| k as i32).collect(), "star.dk"),
+                vec![payload_column(dev, DType::I32, &pk, d as i64 + 1, "star.dp")],
+            )
+        })
+        .collect();
+    (FactTable::new(fks), dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joins::{plan::join_sequence, Algorithm, JoinConfig};
+    use sim::Device;
+
+    #[test]
+    fn all_fks_match_and_pipeline_runs() {
+        let dev = Device::a100();
+        let (fact, dims) = star_schema(&dev, 2000, 256, 3, 7);
+        assert_eq!(fact.len(), 2000);
+        assert_eq!(dims.len(), 3);
+        let out = join_sequence(&dev, &fact, &dims, Algorithm::PhjOm, &JoinConfig::default());
+        assert_eq!(out.rows, 2000, "100% match keeps every fact row");
+        assert_eq!(out.payloads.len(), 3);
+        // Spot-check payload correctness: every value must equal
+        // fk * 31 + (dim index + 1) for some fk in the dimension domain.
+        for (d, col) in out.payloads.iter().enumerate() {
+            for v in col.iter_i64() {
+                let tag = d as i64 + 1;
+                let fk = (v - tag) / 31;
+                assert_eq!(fk * 31 + tag, v);
+                assert!((0..256).contains(&fk));
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The microbenchmark workload generator (Section 5.1):
+//!
+//! * R holds primary keys `0..|R|-1`, randomly shuffled;
+//! * S holds foreign keys drawn uniformly (or Zipf-distributed) from R's
+//!   key domain;
+//! * the match ratio is lowered by replacing a fraction of R's primary keys
+//!   with values outside the foreign-key domain (Section 5.2.3);
+//! * payloads are derived deterministically from the key so tests can check
+//!   results without shipping the generator's state around.
+
+use columnar::{Column, DType, Relation};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+use sim::Device;
+
+/// Width of one payload column.
+pub type PayloadSpec = DType;
+
+/// Declarative description of a two-relation PK-FK join workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinWorkload {
+    /// Rows in the primary-key relation R.
+    pub r_tuples: usize,
+    /// Rows in the foreign-key relation S.
+    pub s_tuples: usize,
+    /// Width of the join key columns.
+    pub key_type: DType,
+    /// Payload column widths for R.
+    pub r_payloads: Vec<PayloadSpec>,
+    /// Payload column widths for S.
+    pub s_payloads: Vec<PayloadSpec>,
+    /// Fraction of S tuples that find a partner (1.0 = every FK matches,
+    /// the paper's default).
+    pub match_ratio: f64,
+    /// Zipf exponent for the FK distribution; 0.0 = uniform.
+    pub zipf: f64,
+    /// RNG seed (fixed seeds make every experiment reproducible).
+    pub seed: u64,
+}
+
+impl JoinWorkload {
+    /// The paper's default shape: narrow 4-byte join with `|S| = 2|R|`,
+    /// 100% match ratio, uniform keys.
+    pub fn narrow(r_tuples: usize) -> Self {
+        JoinWorkload {
+            r_tuples,
+            s_tuples: r_tuples * 2,
+            key_type: DType::I32,
+            r_payloads: vec![DType::I32],
+            s_payloads: vec![DType::I32],
+            match_ratio: 1.0,
+            zipf: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// The paper's wide-join shape: two payload columns per relation
+    /// (Figure 10).
+    pub fn wide(r_tuples: usize) -> Self {
+        JoinWorkload {
+            r_payloads: vec![DType::I32; 2],
+            s_payloads: vec![DType::I32; 2],
+            ..Self::narrow(r_tuples)
+        }
+    }
+
+    /// Total input bytes (the paper's `1G ⋈ 2G` notation measures this).
+    pub fn total_bytes(&self) -> u64 {
+        let row = |payloads: &[DType]| {
+            self.key_type.size() + payloads.iter().map(|d| d.size()).sum::<u64>()
+        };
+        self.r_tuples as u64 * row(&self.r_payloads)
+            + self.s_tuples as u64 * row(&self.s_payloads)
+    }
+
+    /// Total input tuples `|R| + |S|` (the throughput denominator).
+    pub fn total_tuples(&self) -> usize {
+        self.r_tuples + self.s_tuples
+    }
+
+    /// Materialize the workload on a device.
+    pub fn generate(&self, dev: &Device) -> (Relation, Relation) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let nr = self.r_tuples;
+
+        // Primary keys 0..nr-1, shuffled; a (1 - match_ratio) fraction is
+        // bumped out of the FK domain so those S tuples dangle.
+        let mut pk: Vec<i64> = (0..nr as i64).collect();
+        pk.shuffle(&mut rng);
+        if self.match_ratio < 1.0 {
+            let replace = ((1.0 - self.match_ratio) * nr as f64).round() as usize;
+            for slot in pk.iter_mut().take(replace) {
+                *slot += nr as i64; // outside 0..nr, never referenced by S
+            }
+        }
+
+        // Foreign keys: uniform or Zipf over the *original* PK domain.
+        let fk: Vec<i64> = if self.zipf > 0.0 {
+            let dist = Zipf::new(nr as u64, self.zipf).expect("valid zipf parameters");
+            (0..self.s_tuples)
+                .map(|_| dist.sample(&mut rng) as i64 - 1)
+                .collect()
+        } else {
+            (0..self.s_tuples)
+                .map(|_| rng.gen_range(0..nr as i64))
+                .collect()
+        };
+
+        let r = Relation::new(
+            "R",
+            key_column(dev, self.key_type, &pk, "r.key"),
+            self.r_payloads
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| payload_column(dev, d, &pk, i as i64 + 1, "r.payload"))
+                .collect(),
+        );
+        let s = Relation::new(
+            "S",
+            key_column(dev, self.key_type, &fk, "s.key"),
+            self.s_payloads
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| payload_column(dev, d, &fk, -(i as i64) - 1, "s.payload"))
+                .collect(),
+        );
+        (r, s)
+    }
+}
+
+/// Build a key column of the requested width. Panics if a value does not
+/// fit (4-byte workloads cap the domain well below `i32::MAX`).
+pub fn key_column(dev: &Device, dtype: DType, values: &[i64], label: &'static str) -> Column {
+    match dtype {
+        DType::I32 => Column::from_i32(
+            dev,
+            values
+                .iter()
+                .map(|&v| i32::try_from(v).expect("key exceeds 4-byte domain"))
+                .collect(),
+            label,
+        ),
+        DType::I64 => Column::from_i64(dev, values.to_vec(), label),
+    }
+}
+
+/// Deterministic payload derived from the key: `key * 31 + tag`, truncated
+/// to the column width. Tests recompute this to validate join outputs.
+pub fn payload_column(
+    dev: &Device,
+    dtype: DType,
+    keys: &[i64],
+    tag: i64,
+    label: &'static str,
+) -> Column {
+    match dtype {
+        DType::I32 => Column::from_i32(
+            dev,
+            keys.iter()
+                .map(|&k| (k.wrapping_mul(31).wrapping_add(tag)) as i32)
+                .collect(),
+            label,
+        ),
+        DType::I64 => Column::from_i64(
+            dev,
+            keys.iter()
+                .map(|&k| k.wrapping_mul(31).wrapping_add(tag))
+                .collect(),
+            label,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joins::oracle::join_cardinality;
+    use sim::Device;
+
+    #[test]
+    fn full_match_ratio_matches_every_s_tuple() {
+        let dev = Device::a100();
+        let w = JoinWorkload::narrow(1000);
+        let (r, s) = w.generate(&dev);
+        assert_eq!(r.len(), 1000);
+        assert_eq!(s.len(), 2000);
+        assert_eq!(join_cardinality(&r, &s), 2000);
+    }
+
+    #[test]
+    fn match_ratio_scales_join_cardinality() {
+        let dev = Device::a100();
+        for ratio in [0.25, 0.5, 0.75] {
+            let w = JoinWorkload {
+                match_ratio: ratio,
+                ..JoinWorkload::narrow(2000)
+            };
+            let (r, s) = w.generate(&dev);
+            let matched = join_cardinality(&r, &s) as f64 / s.len() as f64;
+            assert!(
+                (matched - ratio).abs() < 0.05,
+                "requested {ratio}, observed {matched}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_mass() {
+        let dev = Device::a100();
+        let w = JoinWorkload {
+            zipf: 1.5,
+            ..JoinWorkload::narrow(4096)
+        };
+        let (_, s) = w.generate(&dev);
+        let mut counts = std::collections::HashMap::new();
+        for v in s.key().iter_i64() {
+            *counts.entry(v).or_insert(0u64) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        // Under Zipf(1.5) the hottest of 4096 keys draws a large share;
+        // uniform would put ~1/4096 on each.
+        assert!(
+            max as f64 / s.len() as f64 > 0.2,
+            "hottest share {}",
+            max as f64 / s.len() as f64
+        );
+        // And the keys stay inside the PK domain.
+        assert!(counts.keys().all(|&k| (0..4096).contains(&k)));
+    }
+
+    #[test]
+    fn same_seed_reproduces_different_seed_differs() {
+        let dev = Device::a100();
+        let w = JoinWorkload::narrow(512);
+        let (r1, _) = w.generate(&dev);
+        let (r2, _) = w.generate(&dev);
+        assert_eq!(r1.key().to_vec_i64(), r2.key().to_vec_i64());
+        let w2 = JoinWorkload {
+            seed: 43,
+            ..JoinWorkload::narrow(512)
+        };
+        let (r3, _) = w2.generate(&dev);
+        assert_ne!(r1.key().to_vec_i64(), r3.key().to_vec_i64());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let w = JoinWorkload {
+            r_payloads: vec![DType::I64, DType::I32],
+            s_payloads: vec![DType::I32],
+            ..JoinWorkload::narrow(100)
+        };
+        // R: 100 * (4 + 8 + 4), S: 200 * (4 + 4).
+        assert_eq!(w.total_bytes(), 100 * 16 + 200 * 8);
+        assert_eq!(w.total_tuples(), 300);
+    }
+
+    #[test]
+    fn wide_payloads_are_derivable_from_keys() {
+        let dev = Device::a100();
+        let w = JoinWorkload::wide(256);
+        let (r, _) = w.generate(&dev);
+        for i in 0..r.len() {
+            let k = r.key().value(i);
+            assert_eq!(r.payload(0).value(i), (k * 31 + 1) as i32 as i64);
+            assert_eq!(r.payload(1).value(i), (k * 31 + 2) as i32 as i64);
+        }
+    }
+}

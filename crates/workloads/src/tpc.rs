@@ -1,0 +1,340 @@
+//! The five TPC-H / TPC-DS join extracts of Table 6 (Section 5.3), generated
+//! synthetically with the paper's row counts, key/non-key column layouts and
+//! join cardinalities:
+//!
+//! | ID | query | \|R\| | \|S\| | \|R ⋈ S\| | payload columns | remark |
+//! |----|-------|------|------|----------|-----------------|--------|
+//! | J1 | TPC-H Q7 (SF10)   | 15M  | 18.2M | 18.2M | 1K3NK(R) + 1NK(S) | PK-FK wide |
+//! | J2 | TPC-H Q18 (SF10)  | 15M  | 60M   | 60M   | 1K2NK(R) + 1NK(S) | PK-FK wide |
+//! | J3 | TPC-H Q19 (SF10)  | 2M   | 2.1M  | 2.1M  | 3NK(R) + 3NK(S)   | PK-FK wide |
+//! | J4 | TPC-DS Q64 (SF100)| 1.9M | 58M   | 58M   | 1NK(R) + 3K7NK(S) | PK-FK wide |
+//! | J5 | TPC-DS Q95 (SF100)| 72M  | 72M   | 904M  | 1NK(R) + 1NK(S)   | self narrow FK-FK |
+//!
+//! Following the paper, "K" payload columns (primary/foreign keys carried as
+//! payloads) take the join-key width and "NK" columns are 8 bytes; string
+//! attributes are dictionary-encoded into integers first (J3 exercises the
+//! real [`columnar::DictionaryEncoder`] on TPC-H-shaped brand/container
+//! strings). A `scale` factor shrinks the row counts proportionally so the
+//! simulator can sweep all five joins quickly.
+
+use crate::synthetic::{key_column, payload_column};
+use columnar::{Column, DType, DictionaryEncoder, Relation};
+use joins::JoinConfig;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sim::Device;
+
+/// Identifier of one of the five extracted joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TpcJoinId {
+    /// TPC-H Q7: supplier ⋈ lineitem side.
+    J1,
+    /// TPC-H Q18: customer/orders ⋈ lineitem side.
+    J2,
+    /// TPC-H Q19: part ⋈ lineitem (small inputs).
+    J3,
+    /// TPC-DS Q64: item ⋈ store_sales (many payload columns on S).
+    J4,
+    /// TPC-DS Q95: web_sales self join on order number (exploding output).
+    J5,
+}
+
+impl TpcJoinId {
+    /// All five joins, in paper order.
+    pub const ALL: [TpcJoinId; 5] = [
+        TpcJoinId::J1,
+        TpcJoinId::J2,
+        TpcJoinId::J3,
+        TpcJoinId::J4,
+        TpcJoinId::J5,
+    ];
+
+    /// The paper's static description of this join.
+    pub fn spec(self) -> TpcSpec {
+        match self {
+            TpcJoinId::J1 => TpcSpec {
+                id: "J1",
+                benchmark: "TPC-H SF10",
+                query: "Q7",
+                r_tuples: 15_000_000,
+                s_tuples: 18_200_000,
+                out_tuples: 18_200_000,
+                r_key_payloads: 1,
+                r_nonkey_payloads: 3,
+                s_key_payloads: 0,
+                s_nonkey_payloads: 1,
+                self_join: false,
+            },
+            TpcJoinId::J2 => TpcSpec {
+                id: "J2",
+                benchmark: "TPC-H SF10",
+                query: "Q18",
+                r_tuples: 15_000_000,
+                s_tuples: 60_000_000,
+                out_tuples: 60_000_000,
+                r_key_payloads: 1,
+                r_nonkey_payloads: 2,
+                s_key_payloads: 0,
+                s_nonkey_payloads: 1,
+                self_join: false,
+            },
+            TpcJoinId::J3 => TpcSpec {
+                id: "J3",
+                benchmark: "TPC-H SF10",
+                query: "Q19",
+                r_tuples: 2_000_000,
+                s_tuples: 2_100_000,
+                out_tuples: 2_100_000,
+                r_key_payloads: 0,
+                r_nonkey_payloads: 3,
+                s_key_payloads: 0,
+                s_nonkey_payloads: 3,
+                self_join: false,
+            },
+            TpcJoinId::J4 => TpcSpec {
+                id: "J4",
+                benchmark: "TPC-DS SF100",
+                query: "Q64",
+                r_tuples: 1_900_000,
+                s_tuples: 58_000_000,
+                out_tuples: 58_000_000,
+                r_key_payloads: 0,
+                r_nonkey_payloads: 1,
+                s_key_payloads: 3,
+                s_nonkey_payloads: 7,
+                self_join: false,
+            },
+            TpcJoinId::J5 => TpcSpec {
+                id: "J5",
+                benchmark: "TPC-DS SF100",
+                query: "Q95",
+                r_tuples: 72_000_000,
+                s_tuples: 72_000_000,
+                out_tuples: 904_000_000,
+                r_key_payloads: 0,
+                r_nonkey_payloads: 1,
+                s_key_payloads: 0,
+                s_nonkey_payloads: 1,
+                self_join: true,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for TpcJoinId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec().id)
+    }
+}
+
+/// Static shape of one Table 6 join.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TpcSpec {
+    /// Paper label (J1..J5).
+    pub id: &'static str,
+    /// Source benchmark and scale factor.
+    pub benchmark: &'static str,
+    /// Source query.
+    pub query: &'static str,
+    /// Build-side rows at the paper's scale.
+    pub r_tuples: usize,
+    /// Probe-side rows at the paper's scale.
+    pub s_tuples: usize,
+    /// Output rows at the paper's scale.
+    pub out_tuples: usize,
+    /// Key-typed payload columns on R ("K" in Table 6).
+    pub r_key_payloads: usize,
+    /// 8-byte payload columns on R ("NK").
+    pub r_nonkey_payloads: usize,
+    /// Key-typed payload columns on S.
+    pub s_key_payloads: usize,
+    /// 8-byte payload columns on S.
+    pub s_nonkey_payloads: usize,
+    /// FK-FK self join (J5): both sides share a duplicated key multiset.
+    pub self_join: bool,
+}
+
+/// A generated instance: the two relations plus how to join them.
+pub struct TpcInstance {
+    /// The static spec this instance was generated from.
+    pub spec: TpcSpec,
+    /// Build side.
+    pub r: Relation,
+    /// Probe side.
+    pub s: Relation,
+    /// Join configuration (uniqueness of the build side).
+    pub config: JoinConfig,
+    /// Expected output cardinality at this scale (approximate for J5).
+    pub expected_out: usize,
+}
+
+/// Generate one of the Table 6 joins at `scale` (1.0 = the paper's SF10 /
+/// SF100 row counts) with `key_type`-wide join keys and key payloads.
+pub fn generate(dev: &Device, id: TpcJoinId, scale: f64, key_type: DType) -> TpcInstance {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let spec = id.spec();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE ^ id as u64);
+    let nr = ((spec.r_tuples as f64 * scale).round() as usize).max(64);
+    let ns = ((spec.s_tuples as f64 * scale).round() as usize).max(64);
+
+    let (r_keys, s_keys, expected_out, unique_build) = if spec.self_join {
+        // J5: both sides draw the same duplicated key multiset. The paper's
+        // cardinalities imply ~12.5 rows per order number.
+        let mult = (spec.out_tuples as f64 / spec.s_tuples as f64).round() as usize;
+        let distinct = (nr / mult).max(1);
+        let mut keys: Vec<i64> = (0..nr).map(|i| (i % distinct) as i64).collect();
+        keys.shuffle(&mut rng);
+        let mut keys2 = keys.clone();
+        keys2.shuffle(&mut rng);
+        // Both sides share the multiset, so |out| = Σ c_k² exactly: keys
+        // 0..(nr % distinct) occur ⌊nr/distinct⌋+1 times, the rest ⌊·⌋.
+        let q = nr / distinct;
+        let rem = nr % distinct;
+        let expected = (distinct - rem) * q * q + rem * (q + 1) * (q + 1);
+        (keys, keys2, expected, false)
+    } else {
+        let mut pk: Vec<i64> = (0..nr as i64).collect();
+        pk.shuffle(&mut rng);
+        let fk: Vec<i64> = (0..ns).map(|_| rng.gen_range(0..nr as i64)).collect();
+        (pk, fk, ns, true)
+    };
+
+    let mut r_payloads = Vec::new();
+    for i in 0..spec.r_key_payloads {
+        r_payloads.push(payload_column(dev, key_type, &r_keys, i as i64 + 1, "tpc.rk"));
+    }
+    for i in 0..spec.r_nonkey_payloads {
+        r_payloads.push(payload_column(
+            dev,
+            DType::I64,
+            &r_keys,
+            100 + i as i64,
+            "tpc.rnk",
+        ));
+    }
+    // J3 (Q19) filters on string attributes: dictionary-encode brand and
+    // container strings into the first NK column of each side, the way the
+    // paper preprocesses strings.
+    if id == TpcJoinId::J3 {
+        let mut dict = DictionaryEncoder::new();
+        let brands: Vec<i64> = r_keys
+            .iter()
+            .map(|&k| dict.encode(&format!("Brand#{}", 11 + (k % 45))) as i64)
+            .collect();
+        r_payloads[0] = Column::from_i64(dev, brands, "tpc.brand");
+    }
+
+    let mut s_payloads = Vec::new();
+    for i in 0..spec.s_key_payloads {
+        s_payloads.push(payload_column(dev, key_type, &s_keys, i as i64 + 1, "tpc.sk"));
+    }
+    for i in 0..spec.s_nonkey_payloads {
+        s_payloads.push(payload_column(
+            dev,
+            DType::I64,
+            &s_keys,
+            200 + i as i64,
+            "tpc.snk",
+        ));
+    }
+    if id == TpcJoinId::J3 {
+        let mut dict = DictionaryEncoder::new();
+        let containers = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX"];
+        let vals: Vec<i64> = s_keys
+            .iter()
+            .map(|&k| dict.encode(containers[(k % 6) as usize]) as i64)
+            .collect();
+        s_payloads[0] = Column::from_i64(dev, vals, "tpc.container");
+    }
+
+    let r = Relation::new(
+        format!("{}_R", spec.id),
+        key_column(dev, key_type, &r_keys, "tpc.r_key"),
+        r_payloads,
+    );
+    let s = Relation::new(
+        format!("{}_S", spec.id),
+        key_column(dev, key_type, &s_keys, "tpc.s_key"),
+        s_payloads,
+    );
+    TpcInstance {
+        spec,
+        r,
+        s,
+        config: JoinConfig {
+            unique_build,
+            ..JoinConfig::default()
+        },
+        expected_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joins::oracle::join_cardinality;
+    use sim::Device;
+
+    #[test]
+    fn specs_match_table6() {
+        let j2 = TpcJoinId::J2.spec();
+        assert_eq!(j2.r_tuples, 15_000_000);
+        assert_eq!(j2.s_tuples, 60_000_000);
+        assert_eq!((j2.r_key_payloads, j2.r_nonkey_payloads), (1, 2));
+        let j4 = TpcJoinId::J4.spec();
+        assert_eq!((j4.s_key_payloads, j4.s_nonkey_payloads), (3, 7));
+        assert!(TpcJoinId::J5.spec().self_join);
+    }
+
+    #[test]
+    fn pkfk_extracts_have_full_match() {
+        let dev = Device::a100();
+        for id in [TpcJoinId::J1, TpcJoinId::J2, TpcJoinId::J3, TpcJoinId::J4] {
+            let inst = generate(&dev, id, 0.0005, DType::I32);
+            assert_eq!(
+                join_cardinality(&inst.r, &inst.s),
+                inst.s.len(),
+                "{id}: every FK must match"
+            );
+            assert_eq!(inst.expected_out, inst.s.len());
+            assert_eq!(
+                inst.r.num_payloads(),
+                inst.spec.r_key_payloads + inst.spec.r_nonkey_payloads
+            );
+        }
+    }
+
+    #[test]
+    fn j5_explodes_by_the_multiplicity_squared() {
+        let dev = Device::a100();
+        let inst = generate(&dev, TpcJoinId::J5, 0.0002, DType::I32);
+        let actual = join_cardinality(&inst.r, &inst.s);
+        let ratio = actual as f64 / inst.s.len() as f64;
+        // Paper: 904M / 72M ≈ 12.5x explosion.
+        assert!(
+            (10.0..=16.0).contains(&ratio),
+            "output explosion ratio {ratio}"
+        );
+        assert!(!inst.config.unique_build);
+    }
+
+    #[test]
+    fn j3_uses_dictionary_encoded_strings() {
+        let dev = Device::a100();
+        let inst = generate(&dev, TpcJoinId::J3, 0.001, DType::I32);
+        // Brand codes are dense, small integers (45 distinct brands).
+        let max_code = inst.r.payload(0).iter_i64().max().unwrap();
+        assert!(max_code < 45, "dictionary codes must be dense, got {max_code}");
+        let max_cont = inst.s.payload(0).iter_i64().max().unwrap();
+        assert!(max_cont < 6);
+    }
+
+    #[test]
+    fn wide_keys_change_column_width() {
+        let dev = Device::a100();
+        let inst = generate(&dev, TpcJoinId::J1, 0.0005, DType::I64);
+        assert_eq!(inst.r.key().dtype(), DType::I64);
+        assert_eq!(inst.r.payload(0).dtype(), DType::I64); // key payload
+    }
+}

@@ -1,0 +1,104 @@
+//! Failure injection: the simulator surfaces the same hard edges a real GPU
+//! deployment hits — out-of-memory on undersized devices, invalid gather
+//! maps, mismatched schemas.
+
+use gpu_join::prelude::*;
+use std::panic::AssertUnwindSafe;
+use gpu_join::workloads::JoinWorkload;
+
+/// A device too small for the intermediate state of a wide join.
+fn tiny_device() -> Executor {
+    let mut cfg = DeviceConfig::a100();
+    cfg.global_mem_bytes = 1 << 20; // 1 MiB
+    Executor::with_config(cfg)
+}
+
+#[test]
+fn join_oom_panics_with_allocation_context() {
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let exec = tiny_device();
+        let (r, s) = JoinWorkload::wide(1 << 16).generate(exec.device());
+        exec.join(Algorithm::PhjOm, &r, &s, &JoinConfig::default())
+    }));
+    let err = match result {
+        Ok(_) => panic!("a 1 MiB device cannot hold this join"),
+        Err(e) => e,
+    };
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("device out of memory"),
+        "panic should identify the OOM, got: {msg}"
+    );
+}
+
+#[test]
+fn workload_that_fits_barely_succeeds() {
+    // Same device, much smaller join: must complete.
+    let exec = tiny_device();
+    let (r, s) = JoinWorkload::narrow(1 << 8).generate(exec.device());
+    let out = exec.join(Algorithm::PhjOm, &r, &s, &JoinConfig::default());
+    assert_eq!(out.len(), 1 << 9);
+}
+
+#[test]
+fn mismatched_key_types_rejected_for_every_algorithm() {
+    let exec = Executor::a100();
+    let dev = exec.device();
+    let r = Relation::new("R", Column::from_i32(dev, vec![1], "k"), vec![]);
+    let s = Relation::new("S", Column::from_i64(dev, vec![1], "k"), vec![]);
+    for alg in [
+        Algorithm::SmjUm,
+        Algorithm::SmjOm,
+        Algorithm::PhjUm,
+        Algorithm::PhjOm,
+        Algorithm::Nphj,
+        Algorithm::CpuRadix,
+    ] {
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            joins::run_join(dev, alg, &r, &s, &JoinConfig::default())
+        }));
+        assert!(res.is_err(), "{alg} must reject mixed key types");
+    }
+}
+
+#[test]
+fn aggregation_spec_arity_checked() {
+    let exec = Executor::a100();
+    let dev = exec.device();
+    let input = Relation::new(
+        "T",
+        Column::from_i32(dev, vec![1, 2], "k"),
+        vec![Column::from_i32(dev, vec![3, 4], "v")],
+    );
+    let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        exec.group_by(
+            GroupByAlgorithm::HashGlobal,
+            &input,
+            &[AggFn::Sum, AggFn::Sum], // two aggs, one payload
+            &GroupByConfig::default(),
+        )
+    }));
+    assert!(res.is_err(), "arity mismatch must be rejected");
+}
+
+#[test]
+fn ledger_balances_after_oom_unwind() {
+    // After an OOM panic unwinds, dropped buffers must leave the ledger
+    // balanced (no phantom allocations).
+    let exec = tiny_device();
+    let dev = exec.device().clone();
+    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let (r, s) = JoinWorkload::wide(1 << 16).generate(&dev);
+        joins::run_join(&dev, Algorithm::SmjOm, &r, &s, &JoinConfig::default())
+    }));
+    assert_eq!(
+        dev.mem_report().current_bytes,
+        0,
+        "all buffers must be released during unwind"
+    );
+    assert_eq!(dev.mem_report().live_allocations, 0);
+}
