@@ -28,7 +28,10 @@ pub fn radix_bits(args: &Args) -> Report {
         "Ablation — PHJ-OM radix bits, |R| = {} ({})\n",
         w.r_tuples, report.device
     );
-    println!("{:<8} {:>12} {:>12} {:>12}", "bits", "transform", "match", "total");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "bits", "transform", "match", "total"
+    );
     let mut best = (0u32, f64::INFINITY);
     let auto_time;
     for bits in [4u32, 8, 12, 14, 16, 18] {
@@ -56,10 +59,9 @@ pub fn radix_bits(args: &Args) -> Report {
         }
     }
     {
-        let (_, stats) =
-            run_algorithms(&dev, &w, &[Algorithm::PhjOm], &JoinConfig::default())
-                .pop()
-                .expect("one result");
+        let (_, stats) = run_algorithms(&dev, &w, &[Algorithm::PhjOm], &JoinConfig::default())
+            .pop()
+            .expect("one result");
         auto_time = stats.phases.total().secs();
         println!(
             "{:<8} {:>12} {:>12} {:>12}",
@@ -135,7 +137,10 @@ pub fn phj_patterns(args: &Args) -> Report {
         "Ablation — one PHJ implementation, two patterns, |R| = |S| = {n} ({})\n",
         report.device
     );
-    println!("{:<10} {:>12} {:>12} {:>10}", "match %", "GFTR", "GFUR", "winner");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "match %", "GFTR", "GFUR", "winner"
+    );
     let mut crossover = None;
     for pct in [5.0f64, 15.0, 30.0, 60.0, 100.0] {
         let w = JoinWorkload {

@@ -12,7 +12,11 @@ use workloads::JoinWorkload;
 
 /// Run the experiment.
 pub fn run(args: &Args) -> Report {
-    let mut report = Report::new("ablation_device_sweep", "Wide join across device generations", args);
+    let mut report = Report::new(
+        "ablation_device_sweep",
+        "Wide join across device generations",
+        args,
+    );
     let w = JoinWorkload {
         s_tuples: args.tuples() * 2,
         ..JoinWorkload::wide(args.tuples())
@@ -56,8 +60,12 @@ pub fn run(args: &Args) -> Report {
         }));
     }
     println!();
-    let first = report.rows.first().unwrap()["phj_om_over_um"].as_f64().unwrap();
-    let last = report.rows.last().unwrap()["phj_om_over_um"].as_f64().unwrap();
+    let first = report.rows.first().unwrap()["phj_om_over_um"]
+        .as_f64()
+        .unwrap();
+    let last = report.rows.last().unwrap()["phj_om_over_um"]
+        .as_f64()
+        .unwrap();
     report.finding(format!(
         "PHJ-OM's advantage persists across generations ({first:.2}x on RTX 3090, \
          {last:.2}x on H100): growing L2 and bandwidth together does not fix \

@@ -39,7 +39,10 @@ fn bars(dev: &Device, n: usize) -> Vec<(String, f64)> {
         let (_, sorted) = sort_pairs(dev, &kb, &vb);
         let map = dev.upload((0..n as u32).collect::<Vec<_>>(), "f7.cmap");
         let _ = gather(dev, &sorted, &map);
-        out.push(("sort + clustered (SMJ-OM)".to_string(), mtps(n, dev.elapsed())));
+        out.push((
+            "sort + clustered (SMJ-OM)".to_string(),
+            mtps(n, dev.elapsed()),
+        ));
     }
     // PHJ-OM: two-pass radix partition, then a clustered gather.
     {
@@ -67,7 +70,10 @@ pub fn run(args: &Args) -> Report {
     );
     let n = args.tuples();
     println!("Figure 7 — gather efficiency for {n} items, both devices (paper-regime scaled)\n");
-    println!("{:<32} {:>14} {:>14}", "configuration", "A100 Mt/s", "3090 Mt/s");
+    println!(
+        "{:<32} {:>14} {:>14}",
+        "configuration", "A100 Mt/s", "3090 Mt/s"
+    );
 
     let f = args.regime_factor();
     let a100 = bars(&Device::new(DeviceConfig::a100().scaled(f)), n);

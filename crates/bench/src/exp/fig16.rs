@@ -50,7 +50,11 @@ pub fn run(args: &Args) -> Report {
         report.push(row);
     }
     println!();
-    let first = ratio_at.iter().find(|(n, _)| *n == 2).map(|(_, r)| *r).unwrap_or(1.0);
+    let first = ratio_at
+        .iter()
+        .find(|(n, _)| *n == 2)
+        .map(|(_, r)| *r)
+        .unwrap_or(1.0);
     let last = ratio_at.last().map(|(_, r)| *r).unwrap_or(1.0);
     report.finding(format!(
         "PHJ-OM's advantage over PHJ-UM grows with pipeline depth: {first:.2}x at 2 joins \

@@ -26,7 +26,11 @@ pub fn run(args: &Args) -> Report {
         );
         for id in TpcJoinId::ALL {
             // J5's output explodes 12.5x; run it two scale steps smaller.
-            let s = if id == TpcJoinId::J5 { scale / 4.0 } else { scale };
+            let s = if id == TpcJoinId::J5 {
+                scale / 4.0
+            } else {
+                scale
+            };
             let inst = generate(&dev, id, s, key_type);
             println!(
                 "\n  {} ({} {}): |R| = {}, |S| = {}",

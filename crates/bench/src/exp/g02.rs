@@ -33,13 +33,8 @@ pub fn run(args: &Args) -> Report {
         print!("{zipf:<8}");
         let mut row = serde_json::json!({"zipf": zipf});
         for alg in GroupByAlgorithm::ALL {
-            let out = groupby::run_group_by(
-                &dev,
-                alg,
-                &input,
-                &[AggFn::Sum],
-                &GroupByConfig::default(),
-            );
+            let out =
+                groupby::run_group_by(&dev, alg, &input, &[AggFn::Sum], &GroupByConfig::default());
             let tput = mtps(n, out.stats.phases.total());
             print!(" {tput:>10.1}");
             row[alg.name()] = serde_json::json!(tput);

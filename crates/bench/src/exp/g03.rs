@@ -35,8 +35,7 @@ pub fn run(args: &Args) -> Report {
         let mut om = 0.0;
         let mut um = 0.0;
         for alg in GroupByAlgorithm::ALL {
-            let out =
-                groupby::run_group_by(&dev, alg, &input, &aggs, &GroupByConfig::default());
+            let out = groupby::run_group_by(&dev, alg, &input, &aggs, &GroupByConfig::default());
             let tput = mtps(n, out.stats.phases.total());
             print!(" {tput:>10.1}");
             row[alg.name()] = serde_json::json!(tput);

@@ -16,7 +16,10 @@ pub fn run(args: &Args) -> Report {
     );
     let dev = args.device();
     let n = args.tuples();
-    println!("Table 4 — gathering {} 4-byte items on {}\n", n, report.device);
+    println!(
+        "Table 4 — gathering {} 4-byte items on {}\n",
+        n, report.device
+    );
 
     let src = dev.upload((0..n as i32).collect::<Vec<_>>(), "t4.src");
 
@@ -45,10 +48,7 @@ pub fn run(args: &Args) -> Report {
     let unclustered = measure(unclustered_map, "unclustered");
     let clustered = measure((0..n as u32).collect(), "clustered");
 
-    println!(
-        "{:<36} {:>16} {:>16}",
-        "metric", "unclustered", "clustered"
-    );
+    println!("{:<36} {:>16} {:>16}", "metric", "unclustered", "clustered");
     for (key, fmt) in [
         ("items", "%d"),
         ("total_cycles", "%.0f"),
@@ -75,8 +75,8 @@ pub fn run(args: &Args) -> Report {
     }
     println!();
 
-    let cycle_ratio = unclustered["total_cycles"].as_f64().unwrap()
-        / clustered["total_cycles"].as_f64().unwrap();
+    let cycle_ratio =
+        unclustered["total_cycles"].as_f64().unwrap() / clustered["total_cycles"].as_f64().unwrap();
     let read_ratio = unclustered["memory_reads_bytes"].as_f64().unwrap()
         / clustered["memory_reads_bytes"].as_f64().unwrap();
     report.finding(format!(

@@ -72,9 +72,7 @@ pub fn run(args: &Args) -> Report {
          (paper: yes — the bucket pool's fragmentation costs PHJ-UM 10-20%)"
     ));
     let smj_worst = (0..combos.len())
-        .map(|c| {
-            peaks[idx(Algorithm::SmjOm)][c] as f64 / peaks[idx(Algorithm::SmjUm)][c] as f64
-        })
+        .map(|c| peaks[idx(Algorithm::SmjOm)][c] as f64 / peaks[idx(Algorithm::SmjUm)][c] as f64)
         .fold(0.0f64, f64::max);
     report.finding(format!(
         "SMJ-OM stays within {smj_worst:.2}x of SMJ-UM's footprint across the mixes \

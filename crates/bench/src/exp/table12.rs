@@ -53,7 +53,11 @@ pub fn run(args: &Args) -> Report {
     let results = run_algorithms(&dev, &w, &Algorithm::GPU_VARIANTS, &JoinConfig::default());
     println!();
     for (alg, stats) in &results {
-        println!("measured peak {:<8} {}", alg.name(), gb(stats.peak_mem_bytes));
+        println!(
+            "measured peak {:<8} {}",
+            alg.name(),
+            gb(stats.peak_mem_bytes)
+        );
         report.push(serde_json::json!({
             "algorithm": alg.name(), "measured_peak": stats.peak_mem_bytes,
         }));

@@ -17,7 +17,9 @@ pub struct Executor {
 impl Executor {
     /// Session on an A100-class device (the paper's main machine).
     pub fn a100() -> Self {
-        Executor { dev: Device::a100() }
+        Executor {
+            dev: Device::a100(),
+        }
     }
 
     /// Session on an RTX 3090-class device.

@@ -111,12 +111,20 @@ mod tests {
         let orders = Relation::new(
             "orders",
             Column::from_i32(&dev, vec![0, 1, 2, 3], "o_orderkey"),
-            vec![Column::from_i32(&dev, vec![100, 101, 102, 103], "o_custkey")],
+            vec![Column::from_i32(
+                &dev,
+                vec![100, 101, 102, 103],
+                "o_custkey",
+            )],
         );
         let lineitem = Relation::new(
             "lineitem",
             Column::from_i32(&dev, vec![0, 0, 1, 2, 2, 2], "l_orderkey"),
-            vec![Column::from_i32(&dev, vec![5, 7, 11, 1, 2, 3], "l_quantity")],
+            vec![Column::from_i32(
+                &dev,
+                vec![5, 7, 11, 1, 2, 3],
+                "l_quantity",
+            )],
         );
         let out = join_then_group_by(
             &dev,

@@ -54,8 +54,11 @@ mod tests {
             available: vec!["a".into()],
         };
         assert!(e.to_string().contains("unknown column 'v'"));
-        assert!(EngineError::KeyTypeMismatch { left: "4B", right: "8B" }
-            .to_string()
-            .contains("differ"));
+        assert!(EngineError::KeyTypeMismatch {
+            left: "4B",
+            right: "8B"
+        }
+        .to_string()
+        .contains("differ"));
     }
 }

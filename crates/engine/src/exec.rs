@@ -439,21 +439,12 @@ mod tests {
         let dev = Device::a100();
         let cat = catalog(&dev);
         // Orders that have at least one lineitem: probe side = orders.
-        let plan = Plan::scan("lineitem").join_kind(
-            Plan::scan("orders"),
-            "l_oid",
-            "o_id",
-            JoinKind::Semi,
-        );
+        let plan =
+            Plan::scan("lineitem").join_kind(Plan::scan("orders"), "l_oid", "o_id", JoinKind::Semi);
         let out = execute(&dev, &cat, &plan).unwrap();
         assert_eq!(
             out.table.rows_sorted(),
-            vec![
-                vec![0, 100],
-                vec![1, 101],
-                vec![2, 100],
-                vec![3, 102],
-            ]
+            vec![vec![0, 100], vec![1, 101], vec![2, 100], vec![3, 102],]
         );
     }
 
@@ -550,7 +541,10 @@ mod tests {
             .aggregate("o_id", vec![AggSpec::new(AggFn::Sum, "l_qty", "total")])
             .sort_by("total", true, Some(2));
         let out = execute(&dev, &cat, &plan).unwrap();
-        assert_eq!(out.table.column("total").unwrap().to_vec_i64(), vec![12, 11]);
+        assert_eq!(
+            out.table.column("total").unwrap().to_vec_i64(),
+            vec![12, 11]
+        );
     }
 
     #[test]

@@ -254,7 +254,9 @@ mod tests {
         let t = table(&dev);
         let e = Expr::col("a").mul(Expr::lit(10)).add(Expr::col("b"));
         assert_eq!(e.eval(&dev, &t).unwrap().to_vec_i64(), vec![20, 40, 60, 80]);
-        let p = Expr::col("a").ge(Expr::lit(2)).and(Expr::col("b").lt(Expr::lit(40)));
+        let p = Expr::col("a")
+            .ge(Expr::lit(2))
+            .and(Expr::col("b").lt(Expr::lit(40)));
         assert_eq!(
             p.eval_mask(&dev, &t).unwrap(),
             vec![false, true, true, false]
@@ -265,8 +267,13 @@ mod tests {
     fn or_and_ne() {
         let dev = Device::a100();
         let t = table(&dev);
-        let p = Expr::col("a").eq(Expr::lit(1)).or(Expr::col("a").ne(Expr::lit(3)));
-        assert_eq!(p.eval_mask(&dev, &t).unwrap(), vec![true, true, false, true]);
+        let p = Expr::col("a")
+            .eq(Expr::lit(1))
+            .or(Expr::col("a").ne(Expr::lit(3)));
+        assert_eq!(
+            p.eval_mask(&dev, &t).unwrap(),
+            vec![true, true, false, true]
+        );
     }
 
     #[test]
@@ -289,7 +296,10 @@ mod tests {
                 ("lo", Column::from_i32(&dev, vec![7, -7, 0, i32::MIN], "lo")),
             ],
         );
-        let packed = Expr::col("hi").pack(Expr::col("lo")).eval(&dev, &t).unwrap();
+        let packed = Expr::col("hi")
+            .pack(Expr::col("lo"))
+            .eval(&dev, &t)
+            .unwrap();
         for i in 0..4 {
             let v = packed.value(i);
             let hi = (v >> 32) as i32;

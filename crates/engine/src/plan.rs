@@ -117,10 +117,7 @@ impl Plan {
     pub fn project(self, exprs: Vec<(&str, Expr)>) -> Plan {
         Plan::Project {
             input: Box::new(self),
-            exprs: exprs
-                .into_iter()
-                .map(|(n, e)| (n.to_string(), e))
-                .collect(),
+            exprs: exprs.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
         }
     }
 
@@ -199,7 +196,9 @@ impl Plan {
                 ..
             } => format!("Join({left_key}={right_key}, {})", kind.name()),
             Plan::Aggregate { group_by, .. } => format!("Aggregate(by {group_by})"),
-            Plan::Sort { by, desc, limit, .. } => format!(
+            Plan::Sort {
+                by, desc, limit, ..
+            } => format!(
                 "Sort(by {by}{}{})",
                 if *desc { " desc" } else { "" },
                 limit.map_or(String::new(), |l| format!(", limit {l}"))

@@ -120,8 +120,9 @@ pub fn hash_groupby(
                     .atomics(blocks * groups as u64, blocks)
                     .launch();
             } else {
-                let accs_addrs: Vec<u64> =
-                    (0..n).map(|i| accs.addr_of(row_group[i] as usize)).collect();
+                let accs_addrs: Vec<u64> = (0..n)
+                    .map(|i| accs.addr_of(row_group[i] as usize))
+                    .collect();
                 dev.kernel("hash_gb_aggregate")
                     .items(n as u64, STREAM_WARP_INSTR)
                     .seq_read_bytes(n as u64 * (col.dtype().size() + 4))
@@ -190,11 +191,17 @@ mod tests {
     #[test]
     fn i64_keys_and_negative_values() {
         let dev = Device::a100();
-        let keys: Vec<i64> = (0..1000).map(|i| ((i % 13) - 6) as i64 * 1_000_000_000).collect();
+        let keys: Vec<i64> = (0..1000)
+            .map(|i| ((i % 13) - 6) as i64 * 1_000_000_000)
+            .collect();
         let input = Relation::new(
             "T",
             Column::from_i64(&dev, keys.clone(), "k"),
-            vec![Column::from_i32(&dev, (0..1000).map(|i| i - 500).collect(), "v")],
+            vec![Column::from_i32(
+                &dev,
+                (0..1000).map(|i| i - 500).collect(),
+                "v",
+            )],
         );
         check(&dev, &input, &[AggFn::Sum]);
     }
@@ -228,7 +235,9 @@ mod tests {
         let dev = Device::a100();
         let n = 1 << 17;
         let uniform: Vec<i32> = (0..n).map(|i| i % 65536).collect();
-        let skewed: Vec<i32> = (0..n).map(|i| if i % 10 == 0 { i % 65536 } else { 1 }).collect();
+        let skewed: Vec<i32> = (0..n)
+            .map(|i| if i % 10 == 0 { i % 65536 } else { 1 })
+            .collect();
         let mk = |keys: Vec<i32>| {
             Relation::new(
                 "T",

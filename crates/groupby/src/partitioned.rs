@@ -9,9 +9,7 @@
 use crate::hash::dispatch_key_column;
 use crate::{AggFn, GroupByAlgorithm, GroupByConfig, GroupByOutput, GroupByStats};
 use columnar::{Column, ColumnElement, Relation};
-use primitives::{
-    gather_column, radix_partition, BUILD_WARP_INSTR, STREAM_WARP_INSTR,
-};
+use primitives::{gather_column, radix_partition, BUILD_WARP_INSTR, STREAM_WARP_INSTR};
 use sim::{Device, DeviceBuffer, PhaseTimes};
 use std::collections::HashMap;
 
@@ -202,7 +200,12 @@ mod tests {
                 Column::from_i64(&dev, keys.iter().map(|&k| 1000 - k as i64).collect(), "w"),
             ],
         );
-        check(&dev, &input, &[AggFn::Sum, AggFn::Min], &GroupByConfig::default());
+        check(
+            &dev,
+            &input,
+            &[AggFn::Sum, AggFn::Min],
+            &GroupByConfig::default(),
+        );
     }
 
     #[test]
@@ -212,7 +215,11 @@ mod tests {
         let input = Relation::new(
             "T",
             Column::from_i32(&dev, keys.clone(), "k"),
-            vec![Column::from_i32(&dev, keys.iter().map(|&k| k.abs()).collect(), "v")],
+            vec![Column::from_i32(
+                &dev,
+                keys.iter().map(|&k| k.abs()).collect(),
+                "v",
+            )],
         );
         for bits in [1, 5, 9] {
             check(
@@ -256,7 +263,9 @@ mod tests {
         let n = 1 << 17;
         // Wide group domain: too many groups for shared-memory
         // privatization, so the hash table pays hot-group atomics.
-        let skewed: Vec<i32> = (0..n).map(|i| if i % 10 == 0 { i % 65536 } else { 1 }).collect();
+        let skewed: Vec<i32> = (0..n)
+            .map(|i| if i % 10 == 0 { i % 65536 } else { 1 })
+            .collect();
         let input = Relation::new(
             "T",
             Column::from_i32(&dev, skewed.clone(), "k"),

@@ -15,12 +15,7 @@ use sim::{Device, DeviceBuffer, PhaseTimes};
 
 /// Segmented fold of a (already ordered) column: one streaming read, one
 /// `|G|`-sized write.
-fn segmented_fold(
-    dev: &Device,
-    col: &Column,
-    boundaries: &[u32],
-    agg: AggFn,
-) -> Column {
+fn segmented_fold(dev: &Device, col: &Column, boundaries: &[u32], agg: AggFn) -> Column {
     let groups = boundaries.len().saturating_sub(1);
     let mut out = Vec::with_capacity(groups);
     for g in 0..groups {
@@ -120,10 +115,7 @@ pub fn sort_groupby(
             aggregates.push(segmented_fold(dev, &ordered, &boundaries, *agg));
         }
         // Group keys: one value per segment start (clustered gather).
-        let starts = dev.upload(
-            boundaries[..groups].to_vec(),
-            "sort_gb.starts",
-        );
+        let starts = dev.upload(boundaries[..groups].to_vec(), "sort_gb.starts");
         let group_keys = primitives::gather(dev, &sorted_keys, &starts);
         phases.materialize = dev.elapsed() - t0;
 

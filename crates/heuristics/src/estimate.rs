@@ -39,7 +39,12 @@ impl EstimatedStats {
 /// Device cost: one strided sample gather of the probe keys and one
 /// build-side read to assemble the membership filter (on hardware this is a
 /// Bloom filter build; we charge the same streaming pass).
-pub fn sample_stats(dev: &Device, r: &Relation, s: &Relation, sample_size: usize) -> EstimatedStats {
+pub fn sample_stats(
+    dev: &Device,
+    r: &Relation,
+    s: &Relation,
+    sample_size: usize,
+) -> EstimatedStats {
     let n = s.len();
     let sample_size = sample_size.clamp(1, n.max(1));
     // Membership filter from R's keys (streaming read, like a Bloom build).
@@ -158,7 +163,9 @@ mod tests {
 
         let skewed = rel(
             &dev,
-            (0..8192).map(|i| if i % 3 == 0 { i % 1024 } else { 7 }).collect(),
+            (0..8192)
+                .map(|i| if i % 3 == 0 { i % 1024 } else { 7 })
+                .collect(),
         );
         let est = sample_stats(&dev, &r, &skewed, 512);
         assert!(est.skewed(), "2/3 mass on one key must flag: {est:?}");

@@ -39,12 +39,12 @@ fn chunk_bytes_needed(r: &Relation, s: &Relation, chunk_rows: usize, out_rows: u
         + r.payloads().iter().map(|c| c.dtype().size()).sum::<u64>()
         + s.payloads().iter().map(|c| c.dtype().size()).sum::<u64>();
     let m_c = (chunk_rows.max(r.len()) as u64) * 8; // widest column pairs
-    // Transformation intermediates: histograms and scans sized to the
-    // fan-out the build side needs, plus fixed kernel scratch.
+                                                    // Transformation intermediates: histograms and scans sized to the
+                                                    // fan-out the build side needs, plus fixed kernel scratch.
     let m_t = (64 << 10) + (r.len() as u64 / 512) * 16;
     chunk_rows as u64 * s_row           // staged probe chunk
         + out_rows as u64 * out_row     // output reservation for the chunk
-        + m_t + 4 * m_c                 // transformation state (Table 2)
+        + m_t + 4 * m_c // transformation state (Table 2)
 }
 
 /// Plan the probe-side chunking for the device's free memory. Returns
@@ -175,9 +175,11 @@ pub fn chunked_join(
 
 fn rebuild(dev: &Device, proto: &Column, vals: Vec<i64>) -> Column {
     match proto.dtype() {
-        columnar::DType::I32 => {
-            Column::from_i32(dev, vals.into_iter().map(|v| v as i32).collect(), "chunk.out")
-        }
+        columnar::DType::I32 => Column::from_i32(
+            dev,
+            vals.into_iter().map(|v| v as i32).collect(),
+            "chunk.out",
+        ),
         columnar::DType::I64 => Column::from_i64(dev, vals, "chunk.out"),
     }
 }
@@ -210,7 +212,11 @@ mod tests {
             Relation::new(
                 "S",
                 Column::from_i32(dev, fk.clone(), "sk"),
-                vec![Column::from_i64(dev, fk.iter().map(|&k| k as i64).collect(), "s1")],
+                vec![Column::from_i64(
+                    dev,
+                    fk.iter().map(|&k| k as i64).collect(),
+                    "s1",
+                )],
             ),
         )
     }
@@ -236,7 +242,10 @@ mod tests {
         assert!(direct.is_err(), "the direct path must OOM on this device");
 
         let (out, plan) = chunked_join(&dev, Algorithm::PhjOm, &r, &s, &JoinConfig::default());
-        assert!(plan.chunks > 1, "expected probe-side chunking, got {plan:?}");
+        assert!(
+            plan.chunks > 1,
+            "expected probe-side chunking, got {plan:?}"
+        );
         assert_eq!(out.rows_sorted(), hash_join_oracle(&r, &s));
         assert!(
             dev.mem_report().current_bytes <= dev.config().global_mem_bytes,
@@ -248,7 +257,7 @@ mod tests {
     fn chunked_kinds_distribute_over_probe_chunks() {
         let dev = small_device(1 << 20);
         let pk: Vec<i32> = (0..1500).collect();
-        let fk: Vec<i32> = (0..24_000).map(|i| (i % 3000) as i32).collect(); // half dangle
+        let fk: Vec<i32> = (0..24_000).map(|i| i % 3000).collect(); // half dangle
         let r = Relation::new(
             "R",
             Column::from_i32(&dev, pk.clone(), "rk"),

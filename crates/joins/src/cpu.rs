@@ -132,8 +132,7 @@ fn join_partitions<K: ColumnElement>(
                     table.resize(slots, (u64::MAX, u32::MAX));
                     for i in rr {
                         let k = r_keys[i].to_radix();
-                        let mut h =
-                            (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+                        let mut h = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
                         while table[h].1 != u32::MAX {
                             h = (h + 1) & mask;
                         }
@@ -141,8 +140,7 @@ fn join_partitions<K: ColumnElement>(
                     }
                     for j in sr {
                         let k = s_keys[j].to_radix();
-                        let mut h =
-                            (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+                        let mut h = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
                         while table[h].1 != u32::MAX {
                             if table[h].0 == k {
                                 keys.push(s_keys[j]);
@@ -261,14 +259,12 @@ pub fn cpu_radix_join(dev: &Device, r: &Relation, s: &Relation, config: &JoinCon
         s: &Relation,
         config: &JoinConfig,
     ) -> JoinOutput {
-        let bits = config
-            .radix_bits
-            .unwrap_or_else(|| {
-                // Partitions sized to roughly fit L2 per core.
-                let target = 16_384u64;
-                let parts = (r.len() as u64).div_ceil(target).max(1);
-                (64 - (parts - 1).leading_zeros()).clamp(4, 14)
-            });
+        let bits = config.radix_bits.unwrap_or_else(|| {
+            // Partitions sized to roughly fit L2 per core.
+            let target = 16_384u64;
+            let parts = (r.len() as u64).div_ceil(target).max(1);
+            (64 - (parts - 1).leading_zeros()).clamp(4, 14)
+        });
         let mut phases = PhaseTimes::default();
 
         let t0 = Instant::now();
@@ -329,12 +325,20 @@ mod tests {
         let r = Relation::new(
             "R",
             Column::from_i32(&dev, pk.clone(), "rk"),
-            vec![Column::from_i64(&dev, pk.iter().map(|&k| k as i64 * 2).collect(), "r1")],
+            vec![Column::from_i64(
+                &dev,
+                pk.iter().map(|&k| k as i64 * 2).collect(),
+                "r1",
+            )],
         );
         let s = Relation::new(
             "S",
             Column::from_i32(&dev, fk.clone(), "sk"),
-            vec![Column::from_i32(&dev, fk.iter().map(|&k| k + 9).collect(), "s1")],
+            vec![Column::from_i32(
+                &dev,
+                fk.iter().map(|&k| k + 9).collect(),
+                "s1",
+            )],
         );
         let out = cpu_radix_join(&dev, &r, &s, &JoinConfig::default());
         assert_eq!(out.rows_sorted(), hash_join_oracle(&r, &s));

@@ -107,7 +107,11 @@ mod tests {
         let r = Relation::new(
             "R",
             Column::from_i32(&dev, pk.clone(), "rk"),
-            vec![Column::from_i64(&dev, pk.iter().map(|&k| k as i64).collect(), "r1")],
+            vec![Column::from_i64(
+                &dev,
+                pk.iter().map(|&k| k as i64).collect(),
+                "r1",
+            )],
         );
         let s = Relation::new(
             "S",
@@ -146,7 +150,9 @@ mod tests {
         cfg.l2_bytes = 1 << 20;
         let dev = Device::new(cfg);
         let make = |n: usize| {
-            let keys: Vec<i32> = (0..n as i32).map(|i| (i.wrapping_mul(2654435761u32 as i32)) % n as i32).collect();
+            let keys: Vec<i32> = (0..n as i32)
+                .map(|i| (i.wrapping_mul(2654435761u32 as i32)) % n as i32)
+                .collect();
             let keys: Vec<i32> = keys.iter().map(|k| k.rem_euclid(n as i32)).collect();
             (
                 Relation::new(

@@ -33,11 +33,7 @@ pub fn hash_join_oracle(r: &Relation, s: &Relation) -> Vec<Vec<i64>> {
 /// see [`crate::kinds::JoinKind`]): semi/anti rows are `[key, s
 /// payloads...]`; outer rows are `[key, r payloads (type-MIN when
 /// unmatched)..., s payloads...]`. Rows come back sorted.
-pub fn join_oracle_kind(
-    r: &Relation,
-    s: &Relation,
-    kind: crate::kinds::JoinKind,
-) -> Vec<Vec<i64>> {
+pub fn join_oracle_kind(r: &Relation, s: &Relation, kind: crate::kinds::JoinKind) -> Vec<Vec<i64>> {
     use crate::kinds::JoinKind;
     let mut by_key: HashMap<i64, Vec<usize>> = HashMap::new();
     for i in 0..r.len() {
@@ -121,11 +117,7 @@ mod tests {
         let rows = hash_join_oracle(&r, &s);
         assert_eq!(
             rows,
-            vec![
-                vec![1, 10, 100],
-                vec![2, 20, 200],
-                vec![2, 21, 200],
-            ]
+            vec![vec![1, 10, 100], vec![2, 20, 200], vec![2, 21, 200],]
         );
         assert_eq!(join_cardinality(&r, &s), 3);
     }

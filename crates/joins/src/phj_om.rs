@@ -13,7 +13,9 @@ use crate::kinds::{apply_kind_timed, JoinKind};
 use crate::smj::{dispatch_keys, iota};
 use crate::{choose_radix_bits, timed, Algorithm, JoinConfig, JoinOutput, JoinStats};
 use columnar::{Column, ColumnElement, Relation};
-use primitives::{gather, gather_column, gather_column_or_null, join_copartitions, radix_partition, MatchResult};
+use primitives::{
+    gather, gather_column, gather_column_or_null, join_copartitions, radix_partition, MatchResult,
+};
 use sim::{Device, DeviceBuffer, PhaseTimes};
 
 /// Partition a payload column together with the relation's keys. Stability
@@ -193,7 +195,11 @@ pub fn phj_om_gfur(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig
         let adj = apply_kind_timed(
             dev,
             config.kind,
-            MatchResult { keys, r_idx: r_ids, s_idx: s_ids },
+            MatchResult {
+                keys,
+                r_idx: r_ids,
+                s_idx: s_ids,
+            },
             s_keys,
             s.len(),
         );
@@ -266,7 +272,11 @@ mod tests {
         let s = Relation::new(
             "S",
             Column::from_i32(dev, fk.clone(), "sk"),
-            vec![Column::from_i32(dev, fk.iter().map(|&k| -k).collect(), "s1")],
+            vec![Column::from_i32(
+                dev,
+                fk.iter().map(|&k| -k).collect(),
+                "s1",
+            )],
         );
         (r, s)
     }

@@ -23,7 +23,10 @@ use crate::kinds::{apply_kind_timed, JoinKind};
 use crate::smj::{dispatch_keys, iota};
 use crate::{choose_radix_bits, timed, Algorithm, JoinConfig, JoinOutput, JoinStats};
 use columnar::{Column, ColumnElement, Relation};
-use primitives::{gather_column, gather_column_or_null, MatchResult, BUILD_WARP_INSTR, PROBE_WARP_INSTR, SCATTER_WARP_INSTR};
+use primitives::{
+    gather_column, gather_column_or_null, MatchResult, BUILD_WARP_INSTR, PROBE_WARP_INSTR,
+    SCATTER_WARP_INSTR,
+};
 use sim::{Device, DeviceBuffer, Element, PhaseTimes};
 
 /// A relation's keys and physical IDs, partitioned into bucket chains.
@@ -250,7 +253,11 @@ pub fn phj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         let adj = apply_kind_timed(
             dev,
             config.kind,
-            MatchResult { keys, r_idx: r_ids, s_idx: s_ids },
+            MatchResult {
+                keys,
+                r_idx: r_ids,
+                s_idx: s_ids,
+            },
             s_keys,
             s.len(),
         );
@@ -307,11 +314,7 @@ pub fn phj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
 /// chaining (Section 4.3): different seeds generally give different
 /// fingerprints while the join result stays identical.
 pub fn layout_fingerprint(dev: &Device, rel: &Relation, config: &JoinConfig) -> u64 {
-    fn typed<K: ColumnElement>(
-        keys: &DeviceBuffer<K>,
-        dev: &Device,
-        config: &JoinConfig,
-    ) -> u64 {
+    fn typed<K: ColumnElement>(keys: &DeviceBuffer<K>, dev: &Device, config: &JoinConfig) -> u64 {
         let bits = choose_radix_bits(dev, keys.len().max(1), K::SIZE, config);
         let chains = bucket_partition(dev, keys, bits, config);
         let mut h = 0xcbf29ce484222325u64;
@@ -356,7 +359,11 @@ mod tests {
         let s = Relation::new(
             "S",
             Column::from_i32(dev, fk.clone(), "sk"),
-            vec![Column::from_i64(dev, fk.iter().map(|&k| k as i64 - 5).collect(), "s1")],
+            vec![Column::from_i64(
+                dev,
+                fk.iter().map(|&k| k as i64 - 5).collect(),
+                "s1",
+            )],
         );
         (r, s)
     }

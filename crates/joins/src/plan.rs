@@ -134,9 +134,7 @@ pub fn join_sequence(
         // Surviving IDs ride along as a payload column of the probe side.
         let id_col = match &ids {
             None => Column::from_i32(dev, (0..fact.len() as i32).collect(), "seq.ids"),
-            Some(ids) => {
-                Column::from_i32(dev, ids.iter().map(|&v| v as i32).collect(), "seq.ids")
-            }
+            Some(ids) => Column::from_i32(dev, ids.iter().map(|&v| v as i32).collect(), "seq.ids"),
         };
 
         let mut s_payloads: Vec<Column> = Vec::with_capacity(carried.len() + 1);
@@ -163,10 +161,9 @@ pub fn join_sequence(
         });
     }
 
-    let rows = carried.first().map_or_else(
-        || ids.as_ref().map_or(0, |i| i.len()),
-        Column::len,
-    );
+    let rows = carried
+        .first()
+        .map_or_else(|| ids.as_ref().map_or(0, |i| i.len()), Column::len);
     SequenceOutput {
         payloads: carried,
         steps,
@@ -200,7 +197,9 @@ mod tests {
                     Column::from_i32(dev, keys.clone(), "k"),
                     vec![Column::from_i64(
                         dev,
-                        keys.iter().map(|&k| (i as i64 + 1) * 1000 + k as i64).collect(),
+                        keys.iter()
+                            .map(|&k| (i as i64 + 1) * 1000 + k as i64)
+                            .collect(),
                         "p",
                     )],
                 )

@@ -18,7 +18,9 @@
 use crate::kinds::{apply_kind_timed, JoinKind};
 use crate::{timed, Algorithm, JoinConfig, JoinOutput, JoinStats};
 use columnar::{Column, ColumnElement, Relation};
-use primitives::{gather, gather_column, gather_column_or_null, merge_join, sort_pairs, MatchResult};
+use primitives::{
+    gather, gather_column, gather_column_or_null, merge_join, sort_pairs, MatchResult,
+};
 use sim::{Device, DeviceBuffer, PhaseTimes};
 
 /// Generate physical tuple identifiers `0..n` (one streaming write).
@@ -122,7 +124,11 @@ pub fn smj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         let adj = apply_kind_timed(
             dev,
             config.kind,
-            MatchResult { keys, r_idx: r_ids, s_idx: s_ids },
+            MatchResult {
+                keys,
+                r_idx: r_ids,
+                s_idx: s_ids,
+            },
             s_keys,
             s.len(),
         );
@@ -303,7 +309,9 @@ mod tests {
         // Deterministic shuffle (LCG swap).
         let mut state = 0x2545F491u64;
         for i in (1..pk.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             pk.swap(i, (state % (i as u64 + 1)) as usize);
         }
         let fk: Vec<i32> = (0..ns).map(|i| ((i * 7) % nr) as i32).collect();
@@ -318,7 +326,11 @@ mod tests {
         let s = Relation::new(
             "S",
             Column::from_i32(dev, fk.clone(), "sk"),
-            vec![Column::from_i32(dev, fk.iter().map(|&k| k + 1).collect(), "s1")],
+            vec![Column::from_i32(
+                dev,
+                fk.iter().map(|&k| k + 1).collect(),
+                "s1",
+            )],
         );
         (r, s)
     }

@@ -24,6 +24,10 @@ pub fn gather<T: Element>(
 ) -> DeviceBuffer<T> {
     let n = map.len();
     let mut out = Vec::with_capacity(n);
+    // Precompute the data-read address stream alongside the host copy, so
+    // the simulator's (possibly multi-threaded) traffic accounting consumes
+    // a flat slice instead of re-chasing the map per address.
+    let mut data_addrs = Vec::with_capacity(n);
     for (i, &m) in map.iter().enumerate() {
         assert!(
             (m as usize) < src.len(),
@@ -31,13 +35,14 @@ pub fn gather<T: Element>(
             src.len()
         );
         out.push(src[m as usize]);
+        data_addrs.push(src.addr_of(m as usize));
     }
     dev.kernel("gather")
         .items(n as u64, GATHER_WARP_INSTR)
         // The map itself is streamed with coalesced warp loads.
         .warp_loads(4, (0..n).map(|i| map.addr_of(i)))
         // The data reads coalesce only as well as the map is clustered.
-        .warp_loads(T::SIZE, map.iter().map(|&m| src.addr_of(m as usize)))
+        .warp_loads(T::SIZE, data_addrs)
         .seq_write_bytes(n as u64 * T::SIZE)
         .launch();
     dev.upload(out, "gather.out")
@@ -54,19 +59,21 @@ pub fn scatter<T: Element>(
     assert_eq!(src.len(), map.len(), "scatter source/map length mismatch");
     let mut out = vec![T::default(); out_len];
     let out_buf = dev.alloc::<T>(out_len, "scatter.out");
+    let mut store_addrs = Vec::with_capacity(map.len());
     for (i, &m) in map.iter().enumerate() {
         assert!(
             (m as usize) < out_len,
             "scatter map[{i}] = {m} out of bounds for output of {out_len} rows"
         );
         out[m as usize] = src[i];
+        store_addrs.push(out_buf.addr_of(m as usize));
     }
     let mut out_buf = out_buf;
     out_buf.as_mut_slice().copy_from_slice(&out);
     dev.kernel("scatter")
         .items(src.len() as u64, GATHER_WARP_INSTR)
         .seq_read_bytes(src.len() as u64 * (T::SIZE + 4))
-        .warp_stores(T::SIZE, map.iter().map(|&m| out_buf.addr_of(m as usize)))
+        .warp_stores(T::SIZE, store_addrs)
         .launch();
     out_buf
 }
@@ -85,6 +92,8 @@ pub fn gather_or<T: Element>(
 ) -> DeviceBuffer<T> {
     let n = map.len();
     let mut out = Vec::with_capacity(n);
+    // Null lanes issue no memory traffic, so they contribute no address.
+    let mut data_addrs = Vec::with_capacity(n);
     for (i, &m) in map.iter().enumerate() {
         if m == NULL_ID {
             out.push(fallback);
@@ -95,17 +104,13 @@ pub fn gather_or<T: Element>(
                 src.len()
             );
             out.push(src[m as usize]);
+            data_addrs.push(src.addr_of(m as usize));
         }
     }
     dev.kernel("gather_or")
         .items(n as u64, GATHER_WARP_INSTR)
         .warp_loads(4, (0..n).map(|i| map.addr_of(i)))
-        .warp_loads(
-            T::SIZE,
-            map.iter()
-                .filter(|&&m| m != NULL_ID)
-                .map(|&m| src.addr_of(m as usize)),
-        )
+        .warp_loads(T::SIZE, data_addrs)
         .seq_write_bytes(n as u64 * T::SIZE)
         .launch();
     dev.upload(out, "gather_or.out")
@@ -189,7 +194,10 @@ mod tests {
         let c4 = Column::from_i32(&dev, vec![7, 8], "c4");
         assert_eq!(gather_column(&dev, &c4, &map).to_vec_i64(), vec![8, 8, 7]);
         let c8 = Column::from_i64(&dev, vec![70, 80], "c8");
-        assert_eq!(gather_column(&dev, &c8, &map).to_vec_i64(), vec![80, 80, 70]);
+        assert_eq!(
+            gather_column(&dev, &c8, &map).to_vec_i64(),
+            vec![80, 80, 70]
+        );
     }
 
     #[test]

@@ -332,13 +332,19 @@ mod tests {
         // Large table (footprint >> L2) with shuffled keys: probes must
         // touch many sectors.
         let n = 1 << 21;
-        let keys: Vec<i32> = (0..n).map(|i| (i * 2654435761u64 as i64 % n) as i32).collect();
+        let keys: Vec<i32> = (0..n)
+            .map(|i| (i * 2654435761u64 as i64 % n) as i32)
+            .collect();
         let build = dev.upload(keys, "b");
         let mut ht = GlobalHashTable::new(&dev, build.len());
         dev.reset_stats();
         ht.build(&dev, &build);
         let c = dev.counters();
-        assert!(c.sectors_per_request() > 8.0, "spr={}", c.sectors_per_request());
+        assert!(
+            c.sectors_per_request() > 8.0,
+            "spr={}",
+            c.sectors_per_request()
+        );
     }
 
     #[test]

@@ -32,8 +32,8 @@ mod sort;
 
 pub use costs::*;
 pub use gather::{gather, gather_column, gather_column_or_null, gather_or, scatter, NULL_ID};
-pub use hash::{GlobalHashTable, MatchResult};
 pub use hash::{join_copartitions, CoPartitionCost};
+pub use hash::{GlobalHashTable, MatchResult};
 pub use merge::{merge_join, merge_path_partitions};
 pub use partition::{partition_of, radix_partition, radix_partition_pass, PartitionedPairs};
 pub use scan::{exclusive_scan, run_boundaries};

@@ -129,7 +129,10 @@ mod tests {
         for w in splits.windows(2) {
             let work = (w[1].0 - w[0].0) + (w[1].1 - w[0].1);
             let ideal = (r.len() + s.len()) / parts;
-            assert!(work.abs_diff(ideal) <= 1, "unbalanced split: {work} vs {ideal}");
+            assert!(
+                work.abs_diff(ideal) <= 1,
+                "unbalanced split: {work} vs {ideal}"
+            );
             // Split points must be monotone.
             assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
         }
@@ -165,7 +168,7 @@ mod tests {
         let s = dev.upload(vec![2i32, 2, 2], "s");
         let m = merge_join(&dev, &r, &s, false);
         assert_eq!(m.len(), 6); // 2 × 3
-        // s-major order, r ascending within each s.
+                                // s-major order, r ascending within each s.
         assert_eq!(m.s_idx.as_slice(), &[0, 0, 1, 1, 2, 2]);
         assert_eq!(m.r_idx.as_slice(), &[0, 1, 0, 1, 0, 1]);
     }

@@ -180,10 +180,7 @@ mod tests {
         assert_eq!(*p.offsets.last().unwrap() as usize, orig.len());
         for part in 0..p.num_partitions() {
             let range = p.partition_range(part);
-            let got: Vec<(i32, u32)> = range
-                .clone()
-                .map(|i| (p.keys[i], p.vals[i]))
-                .collect();
+            let got: Vec<(i32, u32)> = range.clone().map(|i| (p.keys[i], p.vals[i])).collect();
             let expected: Vec<(i32, u32)> = orig
                 .iter()
                 .copied()

@@ -79,7 +79,11 @@ mod tests {
         let keys: Vec<i32> = vec![1, 1, 1, 4, 4, 9];
         assert_eq!(run_boundaries(&dev, &keys), vec![0, 3, 5, 6]);
         let empty: Vec<i32> = vec![];
-        assert_eq!(run_boundaries(&dev, &empty), vec![0], "empty input: zero groups");
+        assert_eq!(
+            run_boundaries(&dev, &empty),
+            vec![0],
+            "empty input: zero groups"
+        );
         assert_eq!(run_boundaries(&dev, &[7i32]), vec![0, 1]);
     }
 

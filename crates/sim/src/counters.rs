@@ -18,7 +18,9 @@ pub struct Counters {
     pub warp_instructions: u64,
     /// Bytes read from DRAM (sequential + gather misses).
     pub dram_read_bytes: u64,
-    /// Bytes written to DRAM.
+    /// Bytes written to DRAM: sequential stores plus the write-back half of
+    /// read-modify-write scatter stores (each DRAM-missing store sector is
+    /// fetched and written back).
     pub dram_write_bytes: u64,
     /// Warp-level load requests issued by gather-style accesses.
     pub load_requests: u64,

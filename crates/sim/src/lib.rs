@@ -28,6 +28,16 @@
 //! * **Memory ledger** — every intermediate allocation flows through
 //!   [`DeviceBuffer`], giving the peak-usage numbers of Table 5.
 //!
+//! ## Parallel host execution
+//!
+//! Warp-traffic accounting — the hot loop of every experiment — runs on
+//! [`DeviceConfig::host_threads`] host cores (default: all of them). The
+//! parallel path shards the direct-mapped L2 by disjoint set ranges and
+//! replays each set's accesses in their original warp order, so counters,
+//! hit/miss outcomes and simulated times are **bit-identical** to the
+//! `host_threads = 1` sequential reference. See `DESIGN.md` for the full
+//! determinism argument.
+//!
 //! ## Quick example
 //!
 //! ```

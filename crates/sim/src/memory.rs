@@ -44,15 +44,25 @@ impl MemLedger {
                 self.current + rounded
             );
         }
-        self.current += rounded;
-        self.live += 1;
-        self.peak = self.peak.max(self.current);
+        // Mirror of free(): zero-byte allocations charge nothing and are
+        // not counted live (their drop is a no-op), but still receive a
+        // distinct address range.
+        if rounded > 0 {
+            self.current += rounded;
+            self.live += 1;
+            self.peak = self.peak.max(self.current);
+        }
         let addr = self.next_addr;
         self.next_addr += rounded.max(ALLOC_ALIGN);
         addr
     }
 
     pub(crate) fn free(&mut self, bytes: u64) {
+        // Zero-charged drops (aliasing views, empty buffers) never entered
+        // the ledger, so freeing them must not disturb the live count.
+        if bytes == 0 {
+            return;
+        }
         let rounded = bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
         self.current = self.current.saturating_sub(rounded);
         self.live = self.live.saturating_sub(1);
@@ -246,6 +256,38 @@ mod tests {
         assert_eq!(b.addr_of(1) - b.addr_of(0), 8);
         // Buffers never overlap.
         assert!(a.addr_of(15) < b.addr_of(0) || b.addr_of(15) < a.addr_of(0));
+    }
+
+    #[test]
+    fn alias_drop_leaves_ledger_untouched() {
+        let dev = Device::a100();
+        let a = dev.alloc::<i32>(1024, "a");
+        let before = dev.mem_report();
+        assert_eq!(before.live_allocations, 1);
+        {
+            let view = a.alias();
+            // The alias shares the address range and charges nothing.
+            assert_eq!(view.addr_of(0), a.addr_of(0));
+            assert_eq!(dev.mem_report(), before);
+        }
+        // Regression: dropping the alias used to decrement live_allocations.
+        assert_eq!(dev.mem_report(), before);
+        drop(a);
+        assert_eq!(dev.mem_report().live_allocations, 0);
+        assert_eq!(dev.mem_report().current_bytes, 0);
+    }
+
+    #[test]
+    fn zero_length_buffers_balance() {
+        let dev = Device::a100();
+        {
+            let empty = dev.alloc::<i32>(0, "empty");
+            assert!(empty.is_empty());
+            // Nothing charged, nothing counted live.
+            assert_eq!(dev.mem_report().live_allocations, 0);
+            assert_eq!(dev.mem_report().current_bytes, 0);
+        }
+        assert_eq!(dev.mem_report().live_allocations, 0);
     }
 
     #[test]

@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn throughput_of_zero_span_is_infinite() {
         assert!(SimTime::ZERO.throughput(100).is_infinite());
-        assert_eq!(SimTime::from_secs(2.0).throughput(4 << 30), (2u64 << 30) as f64);
+        assert_eq!(
+            SimTime::from_secs(2.0).throughput(4 << 30),
+            (2u64 << 30) as f64
+        );
     }
 
     #[test]

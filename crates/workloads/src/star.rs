@@ -38,7 +38,13 @@ pub fn star_schema(
             Relation::new(
                 format!("D{d}"),
                 Column::from_i32(dev, pk.iter().map(|&k| k as i32).collect(), "star.dk"),
-                vec![payload_column(dev, DType::I32, &pk, d as i64 + 1, "star.dp")],
+                vec![payload_column(
+                    dev,
+                    DType::I32,
+                    &pk,
+                    d as i64 + 1,
+                    "star.dp",
+                )],
             )
         })
         .collect();

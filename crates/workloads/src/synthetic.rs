@@ -71,8 +71,7 @@ impl JoinWorkload {
         let row = |payloads: &[DType]| {
             self.key_type.size() + payloads.iter().map(|d| d.size()).sum::<u64>()
         };
-        self.r_tuples as u64 * row(&self.r_payloads)
-            + self.s_tuples as u64 * row(&self.s_payloads)
+        self.r_tuples as u64 * row(&self.r_payloads) + self.s_tuples as u64 * row(&self.s_payloads)
     }
 
     /// Total input tuples `|R| + |S|` (the throughput denominator).

@@ -202,7 +202,13 @@ pub fn generate(dev: &Device, id: TpcJoinId, scale: f64, key_type: DType) -> Tpc
 
     let mut r_payloads = Vec::new();
     for i in 0..spec.r_key_payloads {
-        r_payloads.push(payload_column(dev, key_type, &r_keys, i as i64 + 1, "tpc.rk"));
+        r_payloads.push(payload_column(
+            dev,
+            key_type,
+            &r_keys,
+            i as i64 + 1,
+            "tpc.rk",
+        ));
     }
     for i in 0..spec.r_nonkey_payloads {
         r_payloads.push(payload_column(
@@ -227,7 +233,13 @@ pub fn generate(dev: &Device, id: TpcJoinId, scale: f64, key_type: DType) -> Tpc
 
     let mut s_payloads = Vec::new();
     for i in 0..spec.s_key_payloads {
-        s_payloads.push(payload_column(dev, key_type, &s_keys, i as i64 + 1, "tpc.sk"));
+        s_payloads.push(payload_column(
+            dev,
+            key_type,
+            &s_keys,
+            i as i64 + 1,
+            "tpc.sk",
+        ));
     }
     for i in 0..spec.s_nonkey_payloads {
         s_payloads.push(payload_column(
@@ -240,7 +252,9 @@ pub fn generate(dev: &Device, id: TpcJoinId, scale: f64, key_type: DType) -> Tpc
     }
     if id == TpcJoinId::J3 {
         let mut dict = DictionaryEncoder::new();
-        let containers = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX"];
+        let containers = [
+            "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX",
+        ];
         let vals: Vec<i64> = s_keys
             .iter()
             .map(|&k| dict.encode(containers[(k % 6) as usize]) as i64)
@@ -325,7 +339,10 @@ mod tests {
         let inst = generate(&dev, TpcJoinId::J3, 0.001, DType::I32);
         // Brand codes are dense, small integers (45 distinct brands).
         let max_code = inst.r.payload(0).iter_i64().max().unwrap();
-        assert!(max_code < 45, "dictionary codes must be dense, got {max_code}");
+        assert!(
+            max_code < 45,
+            "dictionary codes must be dense, got {max_code}"
+        );
         let max_cont = inst.s.payload(0).iter_i64().max().unwrap();
         assert!(max_cont < 6);
     }

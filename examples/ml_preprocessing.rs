@@ -58,7 +58,10 @@ fn main() {
         )],
     );
 
-    println!("feature augmentation: samples ({} rows) ⋈ features ({} rows, 4 feature cols)\n", n_samples, n_entities);
+    println!(
+        "feature augmentation: samples ({} rows) ⋈ features ({} rows, 4 feature cols)\n",
+        n_samples, n_entities
+    );
     for alg in [Algorithm::PhjUm, Algorithm::PhjOm] {
         let out = exec.join(alg, &features, &samples, &JoinConfig::default());
         println!(

@@ -59,5 +59,8 @@ fn main() {
     // What would the paper's decision tree have picked?
     let profile = profile_of(&r, &s, 1.0, 0.0, dev.config().l2_bytes);
     let rec = choose_join(&profile);
-    println!("\ndecision tree picks {} — {}", rec.algorithm, rec.rationale);
+    println!(
+        "\ndecision tree picks {} — {}",
+        rec.algorithm, rec.rationale
+    );
 }

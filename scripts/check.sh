@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide checks: formatting, lints (warnings are errors), full test suite.
+# Run from anywhere; CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

@@ -1,0 +1,97 @@
+//! Cross-cutting determinism: the parallel warp-traffic simulation
+//! (`DeviceConfig::host_threads > 1`) must be *bit-identical* to the
+//! sequential reference path — same `Counters` (including the f64 cycle
+//! total), same `SimTime`, same results — for any input.
+
+use columnar::{Column, Relation};
+use joins::{Algorithm, JoinConfig};
+use primitives::gather;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sim::{Counters, Device, DeviceConfig, SimTime};
+
+fn device(host_threads: usize) -> Device {
+    Device::new(DeviceConfig::a100().with_host_threads(host_threads))
+}
+
+/// Run an unclustered gather of `n` elements (map = seeded shuffle of a
+/// permutation) and return everything observable about the simulation.
+fn gather_run(host_threads: usize, n: usize, seed: u64) -> (Vec<i32>, Counters, SimTime) {
+    let dev = device(host_threads);
+    let src = dev.upload((0..n as i32).collect::<Vec<_>>(), "d.src");
+    let mut map: Vec<u32> = (0..n as u32).collect();
+    map.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    let map = dev.upload(map, "d.map");
+    let out = gather(&dev, &src, &map).into_vec();
+    (out, dev.counters(), dev.elapsed())
+}
+
+/// Run a PHJ-OM join over the given key vectors and return the sorted
+/// output rows plus the device's counters and clock.
+fn join_run(
+    host_threads: usize,
+    r_keys: &[i32],
+    s_keys: &[i32],
+) -> (Vec<Vec<i64>>, Counters, SimTime) {
+    let dev = device(host_threads);
+    let build_rel = |keys: &[i32], name: &'static str| {
+        let payload: Vec<i64> = keys.iter().map(|&k| k as i64 * 10 + 1).collect();
+        Relation::new(
+            name,
+            Column::from_i32(&dev, keys.to_vec(), "k"),
+            vec![Column::from_i64(&dev, payload, "p")],
+        )
+    };
+    let rr = build_rel(r_keys, "R");
+    let ss = build_rel(s_keys, "S");
+    let config = JoinConfig {
+        unique_build: false,
+        ..JoinConfig::default()
+    };
+    let out = joins::run_join(&dev, Algorithm::PhjOm, &rr, &ss, &config);
+    (out.rows_sorted(), dev.counters(), dev.elapsed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn gather_is_bit_identical_across_host_threads(
+        n in 1usize..20_000,
+        seed in any::<u64>(),
+    ) {
+        let reference = gather_run(1, n, seed);
+        for threads in [2usize, 4] {
+            let parallel = gather_run(threads, n, seed);
+            prop_assert_eq!(&parallel.0, &reference.0, "output, threads={}", threads);
+            prop_assert_eq!(&parallel.1, &reference.1, "counters, threads={}", threads);
+            prop_assert_eq!(parallel.2, reference.2, "elapsed, threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn phj_om_is_bit_identical_across_host_threads(
+        r in proptest::collection::vec(-50i32..50, 0..300),
+        s in proptest::collection::vec(-50i32..50, 0..300),
+    ) {
+        let reference = join_run(1, &r, &s);
+        let parallel = join_run(4, &r, &s);
+        prop_assert_eq!(&parallel.0, &reference.0, "join output");
+        prop_assert_eq!(&parallel.1, &reference.1, "counters");
+        prop_assert_eq!(parallel.2, reference.2, "elapsed");
+    }
+}
+
+/// A fixed large case that is guaranteed to engage the block-parallel path
+/// (2^16 addresses = 2048 warps) on every thread count tested.
+#[test]
+fn large_gather_engages_parallel_path_and_matches() {
+    let reference = gather_run(1, 1 << 16, 7);
+    for threads in [2usize, 3, 4, 8] {
+        let parallel = gather_run(threads, 1 << 16, 7);
+        assert_eq!(parallel.1, reference.1, "counters, threads={threads}");
+        assert_eq!(parallel.2, reference.2, "elapsed, threads={threads}");
+        assert_eq!(parallel.0, reference.0, "output, threads={threads}");
+    }
+}

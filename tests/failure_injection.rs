@@ -3,8 +3,8 @@
 //! maps, mismatched schemas.
 
 use gpu_join::prelude::*;
-use std::panic::AssertUnwindSafe;
 use gpu_join::workloads::JoinWorkload;
+use std::panic::AssertUnwindSafe;
 
 /// A device too small for the intermediate state of a wide join.
 fn tiny_device() -> Executor {

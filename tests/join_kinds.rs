@@ -32,7 +32,10 @@ fn check_kind(kind: JoinKind, match_ratio: f64) {
         let out = exec.join(alg, &r, &s, &config);
         assert_eq!(out.rows_sorted(), expected, "{alg} {}", kind.name());
         if matches!(kind, JoinKind::Semi | JoinKind::Anti) {
-            assert!(out.r_payloads.is_empty(), "{alg}: semi/anti drop R payloads");
+            assert!(
+                out.r_payloads.is_empty(),
+                "{alg}: semi/anti drop R payloads"
+            );
         }
     }
 }
@@ -149,9 +152,6 @@ fn outer_join_nulls_are_type_sentinels() {
     let out = exec.join(Algorithm::SmjOm, &r, &s, &config);
     assert_eq!(
         out.rows_sorted(),
-        vec![
-            vec![1, 10, 100, 11],
-            vec![2, i32::MIN as i64, i64::MIN, 22],
-        ]
+        vec![vec![1, 10, 100, 11], vec![2, i32::MIN as i64, i64::MIN, 22],]
     );
 }

@@ -48,10 +48,18 @@ fn eight_byte_payloads_scale_memory_like_table5() {
         s_payloads: vec![dtype; 2],
         ..JoinWorkload::narrow(1 << 15)
     };
-    for alg in [Algorithm::SmjUm, Algorithm::SmjOm, Algorithm::PhjUm, Algorithm::PhjOm] {
+    for alg in [
+        Algorithm::SmjUm,
+        Algorithm::SmjOm,
+        Algorithm::PhjUm,
+        Algorithm::PhjOm,
+    ] {
         let small = measure(alg, &mk(DType::I32));
         let big = measure(alg, &mk(DType::I64));
-        assert!(big > small, "{alg}: 8B payloads must cost more ({big} vs {small})");
+        assert!(
+            big > small,
+            "{alg}: 8B payloads must cost more ({big} vs {small})"
+        );
     }
     let um = measure(Algorithm::PhjUm, &mk(DType::I64));
     let om = measure(Algorithm::PhjOm, &mk(DType::I64));

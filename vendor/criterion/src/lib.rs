@@ -1,0 +1,241 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Supports the subset of the API this workspace's benches use: benchmark
+//! groups, throughput annotation, `bench_function` / `bench_with_input`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark
+//! takes `sample_size` wall-clock samples and reports median / min / max
+//! plus derived throughput. Like real criterion, the full sampling runs
+//! only under `cargo bench` (which passes `--bench`); under `cargo test`
+//! each benchmark body executes once as a smoke test.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units the per-iteration throughput is derived from.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Top-level driver configured by `criterion_group!`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the harness with `--bench`; anything else
+        // (notably `cargo test`) gets a one-iteration smoke run.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 100,
+            bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = if self.criterion.bench_mode {
+            self.criterion.sample_size
+        } else {
+            1
+        };
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(samples),
+            target_samples: samples,
+            warmup: self.criterion.bench_mode,
+        };
+        f(&mut bencher);
+        report(&self.name, id, &bencher.samples, self.throughput);
+    }
+}
+
+/// Passed to each benchmark body; `iter` runs and times the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    warmup: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup iteration, then the timed samples. Smoke runs
+        // (under `cargo test`) skip the warmup — they only prove the
+        // benchmark body executes.
+        if self.warmup {
+            hint::black_box(f());
+        }
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!(" ({:.2} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!(
+                " ({:.2} MiB/s)",
+                n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{group}/{id}: median {median:?} (min {min:?}, max {max:?}, n={}){rate}",
+        sorted.len()
+    );
+}
+
+/// Mirror of criterion's macro: the `name/config/targets` form and the
+/// simple `group_name, target...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(32), &32u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_runs_all_targets() {
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(3);
+            targets = a_bench
+        }
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("phj_om").to_string(), "phj_om");
+    }
+}

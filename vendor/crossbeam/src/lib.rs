@@ -1,0 +1,87 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` / `crossbeam::thread::scope` with the
+//! crossbeam 0.8 call shape — `scope(|s| { s.spawn(|_| ...) })` returning a
+//! `Result` — implemented on top of `std::thread::scope` (which has been
+//! stable since Rust 1.63 and auto-joins exactly like crossbeam's scope).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the `scope` closure and to every spawned
+    /// closure (crossbeam passes it so children can spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joining yields the closure's result.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope itself,
+        /// mirroring crossbeam's `|scope| ...` signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All threads are joined
+    /// before this returns. A child panic propagates as a panic (std
+    /// semantics), so the `Err` arm is never produced — callers that
+    /// `.expect()` the result behave identically either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let mut sums = vec![0u32; 2];
+        crate::scope(|s| {
+            for (i, out) in sums.iter_mut().enumerate() {
+                let chunk = &data[i * 2..i * 2 + 2];
+                s.spawn(move |_| {
+                    *out = chunk.iter().sum();
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn spawn_returns_joinable_handle() {
+        let r = crate::scope(|s| s.spawn(|_| 41 + 1).join().expect("join")).expect("scope");
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let r = crate::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(r, 7);
+    }
+}

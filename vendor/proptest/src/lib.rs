@@ -1,0 +1,167 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Property tests run a fixed number of deterministically seeded cases per
+//! test function. The strategy combinators this workspace uses are provided
+//! (`any`, integer ranges, `collection::vec`, tuples, `Just`, `prop_map`,
+//! `prop_flat_map`, `prop::sample::Index`); failing cases panic via the
+//! `prop_assert*` macros without shrinking — the deterministic seeding means
+//! a failure reproduces exactly on re-run.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+/// Per-test configuration (`cases` is the only knob this stand-in honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the `prop` module alias exposed by proptest's prelude
+    /// (`prop::sample::Index` et al.).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skip the current case when an assumption does not hold. Without
+/// shrinking there is nothing to abort; the case simply returns early.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(binding in strategy, ...) { body }`
+/// expands to a `#[test]` (the attribute is written at the use site, as with
+/// real proptest) running `cases` deterministically seeded iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for __case in 0..config.cases {
+                    // Each case runs in a closure so `prop_assume!` can
+                    // return early without ending the whole test.
+                    let __run = |__rng: &mut $crate::test_runner::TestRng| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);
+                        )+
+                        $body
+                    };
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case as u64,
+                    );
+                    __run(&mut __rng);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn composite() -> impl Strategy<Value = (usize, Vec<i32>)> {
+        (0usize..=20).prop_flat_map(|n| (Just(n), collection::vec(-10i32..10, n)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i32..5, y in 0usize..=9) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(y <= 9);
+        }
+
+        #[test]
+        fn vec_respects_size(v in collection::vec(any::<u64>(), 3..6)) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+        }
+
+        #[test]
+        fn flat_map_links_length(t in composite()) {
+            prop_assert_eq!(t.0, t.1.len());
+        }
+
+        #[test]
+        fn index_is_in_range(ix in any::<crate::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0i32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::deterministic("t", 3);
+        let mut b = crate::test_runner::TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

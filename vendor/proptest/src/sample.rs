@@ -1,0 +1,23 @@
+//! `proptest::sample` — the [`Index`] helper for picking positions in
+//! collections whose length isn't known until the test body runs.
+
+use crate::strategy::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An index into a collection of as-yet-unknown size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Project onto `0..len`. Panics on `len == 0`, as real proptest does.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,9 @@
+//! The `Distribution` trait (`rand::distributions`), consumed by the
+//! vendored `rand_distr`.
+
+use crate::Rng;
+
+/// A distribution over values of `T`, sampled with any [`Rng`].
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}

@@ -1,0 +1,33 @@
+//! Generator implementations. Only `StdRng` is provided; it is SplitMix64
+//! rather than upstream's ChaCha12, which is more than adequate for
+//! deterministic workload synthesis.
+
+use crate::{Rng, SeedableRng};
+
+/// The workspace's standard deterministic generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // One warm-up step decorrelates small consecutive seeds.
+        let mut rng = StdRng {
+            state: state ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        rng.next_u64();
+        rng
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea & Flood): additive counter + finalizer.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}

@@ -1,0 +1,170 @@
+//! Minimal offline stand-in for `rand_distr`: the [`Zipf`] distribution,
+//! which is all this workspace samples. Implemented with the
+//! rejection-inversion method of Hörmann & Derflinger ("Rejection-inversion
+//! to generate variates from monotone discrete distributions", 1996) — O(1)
+//! setup and memory for any domain size, exact Zipf probabilities.
+
+pub use rand::Distribution;
+use rand::Rng;
+
+/// Error from invalid [`Zipf`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// The domain must contain at least one element.
+    EmptyDomain,
+    /// The exponent must be finite and non-negative.
+    BadExponent,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::EmptyDomain => write!(f, "Zipf domain must be non-empty"),
+            ZipfError::BadExponent => write!(f, "Zipf exponent must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over `{1, ..., n}` with `P(k) ∝ k^(-s)`.
+///
+/// `sample` returns the rank as `f64`, matching `rand_distr::Zipf<f64>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    exponent: f64,
+    h_x1: f64,
+    h_n: f64,
+    shift: f64,
+}
+
+impl Zipf {
+    pub fn new(n: u64, exponent: f64) -> Result<Self, ZipfError> {
+        if n < 1 {
+            return Err(ZipfError::EmptyDomain);
+        }
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(ZipfError::BadExponent);
+        }
+        let n_f = n as f64;
+        let h_x1 = h_integral(1.5, exponent) - 1.0;
+        let h_n = h_integral(n_f + 0.5, exponent);
+        let shift =
+            2.0 - h_integral_inverse(h_integral(2.5, exponent) - h(2.0, exponent), exponent);
+        Ok(Zipf {
+            n: n_f,
+            exponent,
+            h_x1,
+            h_n,
+            shift,
+        })
+    }
+}
+
+/// Antiderivative of `h(x) = x^(-s)`, normalized so it is continuous in `s`
+/// at `s = 1`: `H(x) = (x^(1-s) - 1) / (1-s)`, or `ln x` for `s = 1`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    if (s - 1.0).abs() < 1e-12 {
+        log_x
+    } else {
+        (((1.0 - s) * log_x).exp() - 1.0) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(y: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        y.exp()
+    } else {
+        let t = 1.0 + (1.0 - s) * y;
+        // Guard tiny negative round-off for strongly skewed exponents.
+        (t.max(0.0).ln() / (1.0 - s)).exp()
+    }
+}
+
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.exponent);
+            let k = x.round().clamp(1.0, self.n);
+            // Accept k if x landed within the "hat" of k, either because the
+            // rounding distance is within the shift that always accepts, or
+            // by the exact rejection test.
+            if k - x <= self.shift || u >= h_integral(k + 0.5, self.exponent) - h(k, self.exponent)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, s: f64, samples: usize) -> Vec<u64> {
+        let dist = Zipf::new(n, s).expect("valid");
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            let k = dist.sample(&mut rng);
+            assert!(k >= 1.0 && k <= n as f64, "sample {k} out of [1, {n}]");
+            counts[k as usize - 1] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let counts = histogram(16, 0.0, 64_000);
+        let expect = 64_000.0 / 16.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expect).abs() < 0.15 * expect,
+                "uniform bucket off: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_exponent_matches_zipf_ratios() {
+        let counts = histogram(64, 1.0, 200_000);
+        // P(1)/P(2) = 2 and P(1)/P(4) = 4 under s = 1.
+        let r12 = counts[0] as f64 / counts[1] as f64;
+        let r14 = counts[0] as f64 / counts[3] as f64;
+        assert!((r12 - 2.0).abs() < 0.25, "P1/P2 = {r12}");
+        assert!((r14 - 4.0).abs() < 0.5, "P1/P4 = {r14}");
+    }
+
+    #[test]
+    fn strong_skew_concentrates_mass() {
+        let counts = histogram(4096, 1.5, 50_000);
+        let hottest = counts[0] as f64 / 50_000.0;
+        assert!(hottest > 0.3, "hottest key share {hottest} under Zipf(1.5)");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(Zipf::new(0, 1.0), Err(ZipfError::EmptyDomain));
+        assert_eq!(Zipf::new(10, -0.5), Err(ZipfError::BadExponent));
+        assert_eq!(Zipf::new(10, f64::NAN), Err(ZipfError::BadExponent));
+    }
+
+    #[test]
+    fn domain_of_one_always_returns_one() {
+        let dist = Zipf::new(1, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 1.0);
+        }
+    }
+}

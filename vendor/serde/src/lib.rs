@@ -1,0 +1,168 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace builds in environments without crates.io access, so serde is
+//! replaced by a tiny value-tree framework with the same ergonomics at the
+//! use sites this workspace has: `#[derive(Serialize, Deserialize)]` on plain
+//! structs and enums, plus `serde_json`-style rendering of the tree.
+//!
+//! [`Serialize`] converts a value into a [`Value`] tree; the companion
+//! vendored `serde_json` crate renders/parses that tree as JSON text.
+//! [`Deserialize`] is only exercised through `serde_json::from_str::<Value>`
+//! in this workspace, so derived impls fall back to the default
+//! "unsupported" method rather than generating full field-wise decoding.
+
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// A type that can be converted into a JSON-like [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+///
+/// Derived impls use the default method (decoding is not implemented for
+/// arbitrary types in this stand-in); only [`Value`] itself round-trips.
+pub trait Deserialize: Sized {
+    fn from_value(_v: &Value) -> Option<Self> {
+        None
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty => $variant:ident as $as:ty),* $(,)?) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::$variant(*self as $as))
+            }
+        })*
+    };
+}
+
+impl_serialize_int!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::String(self.display().to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(5i32.to_value(), Value::Number(Number::I64(5)));
+        assert_eq!(5u64.to_value(), Value::Number(Number::U64(5)));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(Option::<i32>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_serialize() {
+        let v = vec![1i32, 2].to_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![
+                Value::Number(Number::I64(1)),
+                Value::Number(Number::I64(2))
+            ])
+        );
+    }
+
+    #[test]
+    fn value_roundtrips_through_deserialize() {
+        let v = Value::Bool(true);
+        assert_eq!(Value::from_value(&v), Some(v));
+    }
+}

@@ -1,0 +1,189 @@
+//! The JSON-like value tree shared by the vendored `serde` and `serde_json`.
+
+/// A JSON number: integer or float, mirroring `serde_json::Number`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::I64(v) => v as f64,
+            Number::U64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(v) => Some(v),
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::U64(v) => Some(v),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+/// A JSON value tree with `serde_json::Value`-compatible variant names and
+/// accessors. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Mutable object field access, inserting `Null` for missing keys —
+    /// the `row["col"] = json!(...)` idiom. Panics on non-objects, like
+    /// `serde_json` does.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let Value::Object(fields) = self else {
+            panic!("cannot index non-object JSON value with a string key");
+        };
+        if let Some(pos) = fields.iter().position(|(k, _)| k == key) {
+            return &mut fields[pos].1;
+        }
+        fields.push((key.to_string(), Value::Null));
+        &mut fields.last_mut().expect("just pushed").1
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty),*) => {
+        $(impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => n.as_f64() == *other as f64,
+                    _ => false,
+                }
+            }
+        })*
+    };
+}
+
+impl_value_eq_num!(i32, i64, u32, u64, usize, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_missing_key_is_null() {
+        let v = Value::Object(vec![("a".to_string(), Value::Bool(true))]);
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"], Value::Bool(true));
+    }
+
+    #[test]
+    fn index_mut_inserts() {
+        let mut v = Value::Object(vec![]);
+        v["x"] = Value::Number(Number::I64(3));
+        assert_eq!(v["x"].as_i64(), Some(3));
+        v["x"] = Value::Bool(false);
+        assert_eq!(v["x"], Value::Bool(false));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(Value::String("hi".into()), "hi");
+        assert_eq!(Value::Number(Number::U64(4)), 4u64);
+        assert_eq!(Value::Number(Number::F64(0.5)), 0.5);
+    }
+}

@@ -1,0 +1,229 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are equally unavailable offline). Supports what this workspace
+//! declares: non-generic named structs, tuple structs, and enums.
+//!
+//! * Named structs serialize field-wise to a JSON object.
+//! * Tuple structs serialize newtype-style (single field) or to an array.
+//! * Enums serialize to their `Debug` rendering — identical to serde for
+//!   unit variants, a readable approximation for data variants (nothing in
+//!   this workspace round-trips data-carrying enums through JSON).
+//! * `Deserialize` derives the marker impl whose default method reports
+//!   "unsupported"; only `serde_json::Value` itself is ever decoded.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            // Skip outer attributes (`#[...]`) and doc comments.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(if s == "struct" { "struct" } else { "enum" });
+                    break;
+                }
+                // `pub`, `pub(crate)`, etc. — visibility group skipped by
+                // the generic match arms below.
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after `{kind}`, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde derive stand-in does not support generic types ({name})")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Item::UnitStruct { name };
+            }
+            Some(TokenTree::Group(g)) => break g,
+            Some(_) => continue,
+            None => return Item::UnitStruct { name },
+        }
+    };
+    if kind == "enum" {
+        return Item::Enum { name };
+    }
+    match body.delimiter() {
+        Delimiter::Parenthesis => Item::TupleStruct {
+            name,
+            arity: count_top_level_fields(body.stream()),
+        },
+        Delimiter::Brace => Item::NamedStruct {
+            name,
+            fields: named_fields(body.stream()),
+        },
+        _ => panic!("unexpected struct body delimiter"),
+    }
+}
+
+/// Count comma-separated entries at angle-bracket depth zero.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut prev = ' ';
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            match c {
+                '<' => depth += 1,
+                '>' if prev != '-' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    prev = c;
+                    continue;
+                }
+                _ => {}
+            }
+            prev = c;
+        } else {
+            prev = ' ';
+            saw_any = true;
+        }
+    }
+    if saw_any {
+        fields + 1
+    } else {
+        fields
+    }
+}
+
+/// Extract field names from a named-struct body.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    'outer: loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => break 'outer,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other:?}"),
+            }
+        };
+        fields.push(name);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        let mut prev = ' ';
+        loop {
+            match tokens.next() {
+                None => break 'outer,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    match c {
+                        '<' => depth += 1,
+                        '>' if prev != '-' => depth -= 1,
+                        ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                    prev = c;
+                }
+                Some(_) => prev = ' ',
+            }
+        }
+    }
+    fields
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input.clone()) {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     serde::Value::String(format!(\"{{:?}}\", self))\n\
+                 }}\n\
+             }}"
+        ),
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name } => name,
+    };
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,403 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Renders and parses the vendored `serde` crate's [`Value`] tree as JSON.
+//! Covers the workspace's usage: `json!` object/scalar literals, `Value`
+//! indexing and accessors, `to_string` / `to_string_pretty`, and `from_str`
+//! for `Value`.
+
+pub use serde::{Number, Value};
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Errors from [`from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &v.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &v.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type (in practice:
+/// [`Value`], the only type this workspace decodes).
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::from_value(&value).ok_or(Error {
+        msg: "type does not support deserialization in the vendored serde".to_string(),
+        offset: 0,
+    })
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, level, ('[', ']'), |o, v, l| {
+                write_value(o, v, indent, l)
+            })
+        }
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            indent,
+            level,
+            ('{', '}'),
+            |o, (k, v), l| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, v, indent, l);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    level: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, usize),
+{
+    out.push(brackets.0);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        write_item(out, item, level + 1);
+    }
+    if let Some(width) = indent {
+        if !empty {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) if v.is_finite() => {
+            // Keep floats recognizably floating-point (serde_json prints
+            // `1.0`, not `1`), while Rust's shortest-roundtrip `Display`
+            // handles precision.
+            if v == v.trunc() && v.abs() < 1e15 {
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&v.to_string());
+            }
+        }
+        // serde_json has no representation for non-finite floats.
+        Number::F64(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: msg.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n = if is_float {
+            Number::F64(text.parse().map_err(|_| self.err("invalid float"))?)
+        } else if let Ok(v) = text.parse::<i64>() {
+            Number::I64(v)
+        } else if let Ok(v) = text.parse::<u64>() {
+            Number::U64(v)
+        } else {
+            Number::F64(text.parse().map_err(|_| self.err("invalid number"))?)
+        };
+        Ok(Value::Number(n))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Supports `null`, object
+/// literals with string-literal keys and expression values, array literals
+/// of expressions, and bare serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let name = "abc";
+        let v = json!({"a": 1, "b": name, "c": 1.5});
+        assert_eq!(v["a"].as_i64(), Some(1));
+        assert_eq!(v["b"], "abc");
+        assert_eq!(v["c"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn render_and_parse_roundtrip() {
+        let v = json!({"s": "he\"llo", "n": -3, "f": 0.25, "arr": [1, 2], "t": true});
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).expect("parses");
+            assert_eq!(back["s"], "he\"llo");
+            assert_eq!(back["n"].as_i64(), Some(-3));
+            assert_eq!(back["f"].as_f64(), Some(0.25));
+            assert_eq!(back["arr"].as_array().map(|a| a.len()), Some(2));
+            assert_eq!(back["t"], Value::Bool(true));
+        }
+    }
+
+    #[test]
+    fn floats_render_as_floats() {
+        assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(2)).unwrap(), "2");
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        let v: Value = from_str(r#"{"k": "aA\n\t\\"}"#).unwrap();
+        assert_eq!(v["k"], "aA\n\t\\");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2] trailing").is_err());
+    }
+}
