@@ -3,9 +3,9 @@
 //! join-algorithm × aggregation-algorithm combinations end to end.
 
 use crate::{mtps, Args, Report};
-use gpu_join::pipeline::{join_then_group_by, GroupKey};
-use groupby::{AggFn, GroupByAlgorithm, GroupByConfig};
-use joins::{Algorithm, JoinConfig};
+use gpu_join::pipeline::{join_then_group_by, GroupKey, PipelineSpec};
+use groupby::{AggFn, GroupByAlgorithm};
+use joins::Algorithm;
 use workloads::JoinWorkload;
 
 /// Run the experiment.
@@ -39,12 +39,12 @@ pub fn run(args: &Args) -> Report {
                 &dev,
                 &r,
                 &s,
-                join_alg,
-                &JoinConfig::default(),
-                GroupKey::JoinKey,
-                group_alg,
-                &[AggFn::Sum, AggFn::Sum, AggFn::Sum, AggFn::Sum],
-                &GroupByConfig::default(),
+                &PipelineSpec::new(
+                    join_alg,
+                    GroupKey::JoinKey,
+                    group_alg,
+                    &[AggFn::Sum, AggFn::Sum, AggFn::Sum, AggFn::Sum],
+                ),
             );
             let total = out.total_time();
             let tput = mtps(w.total_tuples(), total);

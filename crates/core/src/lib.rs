@@ -57,14 +57,14 @@ pub use executor::Executor;
 pub mod prelude {
     pub use crate::executor::Executor;
     pub use crate::memory_model;
-    pub use crate::pipeline::{join_then_group_by, PipelineOutput};
+    pub use crate::pipeline::{join_then_group_by, GroupKey, PipelineOutput, PipelineSpec};
     pub use columnar::{Column, DType, DictionaryEncoder, Relation};
     pub use groupby::{AggFn, GroupByAlgorithm, GroupByConfig, GroupByOutput};
     pub use heuristics::{choose_join, choose_smj, profile_of, WorkloadProfile};
     pub use joins::chunked::{chunked_join, plan_chunks};
     pub use joins::plan::{join_sequence, FactTable};
     pub use joins::{Algorithm, JoinConfig, JoinKind, JoinOutput, JoinStats};
-    pub use sim::{Counters, Device, DeviceConfig, PhaseTimes, SimTime};
+    pub use sim::{Counters, Device, DeviceConfig, OpStats, PhaseTimes, SimTime};
 }
 
 // Re-export the member crates for direct access.

@@ -1,9 +1,18 @@
 //! Query-shaped pipelines: join then grouped aggregation — the shape of the
 //! TPC-H aggregation queries whose joins the paper extracts (e.g. Q18 groups
 //! the join result it studies as J2).
+//!
+//! This is a thin wrapper over the engine's physical-operator layer
+//! ([`engine::op`]): the relations enter as [`engine::op::ValuesOp`] leaves,
+//! flow through a [`engine::op::JoinOp`] and an
+//! [`engine::op::AggregateOp`], and come back with the shared per-operator
+//! stats tree — the same execution path, memory budgeting and reporting as
+//! full `engine` query plans.
 
 use columnar::{Column, Relation};
-use groupby::{AggFn, GroupByAlgorithm, GroupByConfig, GroupByOutput};
+use engine::op::{run_operator, AggregateOp, ExecContext, JoinOp, ValuesOp};
+use engine::{AggSpec, NodeStats, Table};
+use groupby::{AggFn, GroupByAlgorithm, GroupByConfig, GroupByOutput, GroupByStats};
 use joins::{Algorithm, JoinConfig, JoinStats};
 use sim::Device;
 
@@ -18,6 +27,44 @@ pub enum GroupKey {
     SPayload(usize),
 }
 
+/// Everything a join → group-by pipeline needs beyond its input relations.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    /// Join implementation.
+    pub join_algorithm: Algorithm,
+    /// Join tuning knobs (semantics, radix bits, ...).
+    pub join_config: JoinConfig,
+    /// Which join-output column becomes the group key.
+    pub group_key: GroupKey,
+    /// Grouped-aggregation implementation.
+    pub group_algorithm: GroupByAlgorithm,
+    /// One aggregate per join-output payload column, in
+    /// `[join key (when not the group key), r payloads..., s payloads...]`
+    /// order, *excluding* the group key column.
+    pub aggs: Vec<AggFn>,
+    /// Aggregation tuning knobs.
+    pub group_config: GroupByConfig,
+}
+
+impl PipelineSpec {
+    /// A spec with default join/aggregation configs.
+    pub fn new(
+        join_algorithm: Algorithm,
+        group_key: GroupKey,
+        group_algorithm: GroupByAlgorithm,
+        aggs: &[AggFn],
+    ) -> Self {
+        PipelineSpec {
+            join_algorithm,
+            join_config: JoinConfig::default(),
+            group_key,
+            group_algorithm,
+            aggs: aggs.to_vec(),
+            group_config: GroupByConfig::default(),
+        }
+    }
+}
+
 /// Result of a join → group-by pipeline.
 pub struct PipelineOutput {
     /// The grouped aggregation result.
@@ -26,78 +73,115 @@ pub struct PipelineOutput {
     pub join_stats: JoinStats,
     /// Output cardinality of the join stage.
     pub join_rows: usize,
+    /// The full per-operator stats tree (aggregate → join → inputs), as the
+    /// engine reports it.
+    pub stats: NodeStats,
 }
 
 impl PipelineOutput {
     /// Total simulated time across both stages.
     pub fn total_time(&self) -> sim::SimTime {
-        self.join_stats.phases.total() + self.groups.stats.phases.total()
+        self.stats.total_time()
     }
 }
 
-/// Join `r ⋈ s`, then group the result by `group_key` and aggregate the
-/// remaining payload columns with `aggs` (one per join-output payload
-/// column, in `[r payloads..., s payloads...]` order, *excluding* the group
-/// key column when it is a payload).
-#[allow(clippy::too_many_arguments)] // mirrors the two operators' knobs 1:1
+/// Join `r ⋈ s`, then group the result by `spec.group_key` and aggregate
+/// the remaining payload columns with `spec.aggs`, all through the engine's
+/// operator layer. Panics if `spec.aggs` does not have exactly one entry
+/// per non-key join-output payload column.
 pub fn join_then_group_by(
     dev: &Device,
     r: &Relation,
     s: &Relation,
-    join_algorithm: Algorithm,
-    join_config: &JoinConfig,
-    group_key: GroupKey,
-    group_algorithm: GroupByAlgorithm,
-    aggs: &[AggFn],
-    group_config: &GroupByConfig,
+    spec: &PipelineSpec,
 ) -> PipelineOutput {
-    let joined = joins::run_join(dev, join_algorithm, r, s, join_config);
-    let join_rows = joined.len();
-    let join_stats = joined.stats.clone();
-
-    // Re-shape the join output into a relation keyed by the chosen column.
-    let mut payloads: Vec<Column> = Vec::new();
-    let mut key: Option<Column> = None;
-    let keep = |col: Column, key: &mut Option<Column>, payloads: &mut Vec<Column>, is_key: bool| {
-        if is_key {
-            *key = Some(col);
-        } else {
-            payloads.push(col);
-        }
+    let gk_name = match spec.group_key {
+        GroupKey::JoinKey => "__k".to_string(),
+        GroupKey::RPayload(i) => format!("__r{i}"),
+        GroupKey::SPayload(i) => format!("__s{i}"),
     };
-    keep(
-        joined.keys,
-        &mut key,
-        &mut payloads,
-        group_key == GroupKey::JoinKey,
-    );
-    for (i, col) in joined.r_payloads.into_iter().enumerate() {
-        keep(
-            col,
-            &mut key,
-            &mut payloads,
-            group_key == GroupKey::RPayload(i),
-        );
+    // Aggregation targets in the join output, in the order the old
+    // two-stage pipeline fed them: join key first, then R payloads, then S
+    // payloads, with the group-key column carved out.
+    let mut targets: Vec<String> = Vec::new();
+    if spec.group_key != GroupKey::JoinKey {
+        targets.push("__k".to_string());
     }
-    for (i, col) in joined.s_payloads.into_iter().enumerate() {
-        keep(
-            col,
-            &mut key,
-            &mut payloads,
-            group_key == GroupKey::SPayload(i),
-        );
+    for i in 0..r.num_payloads() {
+        if spec.group_key != GroupKey::RPayload(i) {
+            targets.push(format!("__r{i}"));
+        }
     }
-    let input = Relation::new(
-        "joined",
-        key.expect("group key column exists in the join output"),
-        payloads,
+    for i in 0..s.num_payloads() {
+        if spec.group_key != GroupKey::SPayload(i) {
+            targets.push(format!("__s{i}"));
+        }
+    }
+    assert_eq!(
+        spec.aggs.len(),
+        targets.len(),
+        "need exactly one aggregate per non-key join-output payload column"
     );
-    let groups = groupby::run_group_by(dev, group_algorithm, &input, aggs, group_config);
+    let agg_specs: Vec<AggSpec> = spec
+        .aggs
+        .iter()
+        .zip(&targets)
+        .enumerate()
+        .map(|(j, (&agg, col))| AggSpec::new(agg, col.clone(), format!("a{j}")))
+        .collect();
+
+    let join = JoinOp::new(
+        Box::new(ValuesOp::new(table_of(r, "__r"))),
+        Box::new(ValuesOp::new(table_of(s, "__s"))),
+        "__k",
+        "__k",
+        spec.join_config.clone(),
+        Some(spec.join_algorithm),
+    );
+    let root = AggregateOp::new(
+        Box::new(join),
+        &gk_name,
+        agg_specs,
+        spec.group_config.clone(),
+        Some(spec.group_algorithm),
+    );
+    let ctx = ExecContext { dev, catalog: None };
+    let (table, stats) =
+        run_operator(&ctx, &root).expect("pipeline operators bind by construction");
+
+    // Unpack: first column is the group key, the rest are the aggregates.
+    let mut cols = table.into_columns();
+    let keys = cols.remove(0).1;
+    let aggregates: Vec<Column> = cols.into_iter().map(|(_, c)| c).collect();
+    let join_node = &stats.children[0];
+    let join_stats = JoinStats {
+        algorithm: spec.join_algorithm,
+        op: join_node.op.clone(),
+    };
+    let groups = GroupByOutput {
+        keys,
+        aggregates,
+        stats: GroupByStats {
+            algorithm: spec.group_algorithm,
+            op: stats.op.clone(),
+        },
+    };
     PipelineOutput {
         groups,
         join_stats,
-        join_rows,
+        join_rows: join_node.op.rows,
+        stats,
     }
+}
+
+/// Name a relation's columns for the operator layer: key `__k`, payloads
+/// `{prefix}{i}`.
+fn table_of(rel: &Relation, prefix: &str) -> Table {
+    let mut cols = vec![("__k".to_string(), rel.key().alias())];
+    for (i, c) in rel.payloads().iter().enumerate() {
+        cols.push((format!("{prefix}{i}"), c.alias()));
+    }
+    Table::from_columns(rel.name(), cols)
 }
 
 #[cfg(test)]
@@ -130,12 +214,13 @@ mod tests {
             &dev,
             &orders,
             &lineitem,
-            Algorithm::PhjOm,
-            &JoinConfig::default(),
-            GroupKey::JoinKey,
-            GroupByAlgorithm::SortGftr,
-            &[AggFn::Max, AggFn::Sum], // o_custkey is functionally dependent; take MAX
-            &GroupByConfig::default(),
+            // o_custkey is functionally dependent; take MAX.
+            &PipelineSpec::new(
+                Algorithm::PhjOm,
+                GroupKey::JoinKey,
+                GroupByAlgorithm::SortGftr,
+                &[AggFn::Max, AggFn::Sum],
+            ),
         );
         assert_eq!(out.join_rows, 6);
         assert_eq!(
@@ -143,6 +228,10 @@ mod tests {
             vec![vec![0, 100, 12], vec![1, 101, 11], vec![2, 102, 6]],
         );
         assert!(out.total_time().secs() > 0.0);
+        // The stats tree reflects both stages with the shared record.
+        assert!(out.stats.label.starts_with("Aggregate"));
+        assert!(out.stats.children[0].label.starts_with("Join"));
+        assert!(out.join_stats.op.counters.dram_bytes() > 0);
     }
 
     #[test]
@@ -162,12 +251,13 @@ mod tests {
             &dev,
             &r,
             &s,
-            Algorithm::SmjOm,
-            &JoinConfig::default(),
-            GroupKey::RPayload(0),
-            GroupByAlgorithm::HashGlobal,
-            &[AggFn::Min, AggFn::Sum], // join key, then v
-            &GroupByConfig::default(),
+            // Aggregates apply to the join key, then v.
+            &PipelineSpec::new(
+                Algorithm::SmjOm,
+                GroupKey::RPayload(0),
+                GroupByAlgorithm::HashGlobal,
+                &[AggFn::Min, AggFn::Sum],
+            ),
         );
         // One group (category 7): min join key 0, sum v = 7.
         assert_eq!(out.groups.rows_sorted(), vec![vec![7, 0, 7]]);

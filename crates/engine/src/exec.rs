@@ -1,17 +1,18 @@
 //! Plan execution against a catalog.
 //!
-//! Columns move between operators as zero-cost aliases (pointer passing);
-//! every operator's device work — predicate kernels, compaction gathers,
-//! joins, aggregations — is charged to the shared simulated device, and the
-//! per-node simulated times come back as a [`NodeStats`] tree.
+//! `execute` lowers the logical [`Plan`] to a physical operator tree
+//! ([`crate::op::compile`]) and runs it through the uniform driver
+//! ([`crate::op::run_operator`]): columns move between operators as
+//! zero-cost aliases (pointer passing); every operator's device work —
+//! predicate kernels, compaction gathers, joins, aggregations — is charged
+//! to the shared simulated device, and each node comes back with the shared
+//! [`sim::OpStats`] record (times, rows, peak memory, hardware counters) as
+//! a [`NodeStats`] tree.
 
+use crate::op::{compile, run_operator, ExecContext};
 use crate::{EngineError, Plan, Table};
-use columnar::{Column, Relation};
-use groupby::{GroupByAlgorithm, GroupByConfig};
-use heuristics::{choose_join, estimate_profile};
-use joins::JoinConfig;
-use primitives::gather_column;
-use sim::{Device, SimTime};
+use columnar::Relation;
+use sim::{Device, OpStats, SimTime};
 use std::collections::HashMap;
 
 /// The tables a query can scan.
@@ -26,9 +27,11 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register a table under its own name.
-    pub fn insert(&mut self, table: Table) {
-        self.tables.insert(table.name().to_string(), table);
+    /// Register a table under its own name. Returns the previously
+    /// registered table of that name, if any — check it when silent
+    /// replacement would be a bug.
+    pub fn insert(&mut self, table: Table) -> Option<Table> {
+        self.tables.insert(table.name().to_string(), table)
     }
 
     /// Look a table up.
@@ -39,26 +42,40 @@ impl Catalog {
     }
 }
 
-/// Per-node execution statistics.
+/// Per-node execution statistics: a display label, the shared per-operator
+/// report, and the children's subtrees.
 #[derive(Debug, Clone)]
 pub struct NodeStats {
-    /// Node description (operator + parameters).
+    /// Node description (operator + parameters, plus the algorithm adaptive
+    /// operators picked).
     pub label: String,
-    /// Output rows.
-    pub rows: usize,
-    /// Simulated time spent in this node, children excluded.
-    pub time: SimTime,
+    /// The shared per-operator report: simulated time (phases + other),
+    /// output rows, peak device memory and hardware-counter deltas — all
+    /// for this node only, children excluded.
+    pub op: OpStats,
     /// Child node statistics (inputs first).
     pub children: Vec<NodeStats>,
 }
 
 impl NodeStats {
-    /// Total simulated time of the subtree.
-    pub fn total_time(&self) -> SimTime {
-        self.time + self.children.iter().map(NodeStats::total_time).sum()
+    /// Output rows of this node.
+    pub fn rows(&self) -> usize {
+        self.op.rows
     }
 
-    /// Render an indented plan-with-times tree.
+    /// Simulated time spent in this node, children excluded.
+    pub fn time(&self) -> SimTime {
+        self.op.total_time()
+    }
+
+    /// Total simulated time of the subtree.
+    pub fn total_time(&self) -> SimTime {
+        self.time() + self.children.iter().map(NodeStats::total_time).sum()
+    }
+
+    /// Render an indented plan-with-times tree. Nodes that touched DRAM
+    /// also show their traffic, coalescing quality and L2 hit rate — the
+    /// Nsight Compute metrics of Table 4, per plan node.
     pub fn render(&self) -> String {
         let mut out = String::new();
         self.render_into(&mut out, 0);
@@ -67,18 +84,42 @@ impl NodeStats {
 
     fn render_into(&self, out: &mut String, depth: usize) {
         use std::fmt::Write;
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{:indent$}{} [{} rows, {}]",
+            "{:indent$}{} [{} rows, {}",
             "",
             self.label,
-            self.rows,
-            self.time,
+            self.op.rows,
+            self.time(),
             indent = depth * 2
         );
-        for c in &self.children {
-            c.render_into(out, depth + 1);
+        let c = &self.op.counters;
+        if c.dram_bytes() > 0 {
+            let _ = write!(out, ", {} DRAM", fmt_bytes(c.dram_bytes()));
+            if c.load_requests > 0 {
+                let _ = write!(out, ", {:.1} sect/req", c.sectors_per_request());
+            }
+            if c.l2_hits + c.l2_misses > 0 {
+                let _ = write!(out, ", L2 {:.0}%", c.l2_hit_rate() * 100.0);
+            }
         }
+        let _ = writeln!(out, "]");
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// Human-scale byte count for plan reports.
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
     }
 }
 
@@ -86,258 +127,27 @@ impl NodeStats {
 pub struct QueryOutput {
     /// Result rows.
     pub table: Table,
-    /// Per-node simulated times.
+    /// Per-node execution reports.
     pub stats: NodeStats,
 }
 
 /// Execute `plan` against `catalog` on `dev`.
 pub fn execute(dev: &Device, catalog: &Catalog, plan: &Plan) -> Result<QueryOutput, EngineError> {
-    let (table, stats) = run(dev, catalog, plan)?;
+    let op = compile(plan);
+    let ctx = ExecContext {
+        dev,
+        catalog: Some(catalog),
+    };
+    let (table, stats) = run_operator(&ctx, op.as_ref())?;
     Ok(QueryOutput { table, stats })
-}
-
-fn run(dev: &Device, catalog: &Catalog, plan: &Plan) -> Result<(Table, NodeStats), EngineError> {
-    match plan {
-        Plan::Scan { table } => {
-            let src = catalog.get(table)?;
-            // Scanning passes pointers; no device work.
-            let cols = src
-                .columns()
-                .iter()
-                .map(|(n, c)| (n.clone(), c.alias()))
-                .collect();
-            let out = Table::from_columns(src.name(), cols);
-            let rows = out.num_rows();
-            Ok((
-                out,
-                NodeStats {
-                    label: plan.label(),
-                    rows,
-                    time: SimTime::ZERO,
-                    children: Vec::new(),
-                },
-            ))
-        }
-        Plan::Filter { input, predicate } => {
-            let (child, child_stats) = run(dev, catalog, input)?;
-            let t0 = dev.elapsed();
-            let mask = predicate.eval_mask(dev, &child)?;
-            let sel: Vec<u32> = mask
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &keep)| keep.then_some(i as u32))
-                .collect();
-            let sel = dev.upload(sel, "filter.sel");
-            // Compaction: one clustered gather per column (the selection
-            // indices ascend).
-            let cols = child
-                .columns()
-                .iter()
-                .map(|(n, c)| (n.clone(), gather_column(dev, c, &sel)))
-                .collect();
-            let out = Table::from_columns("filtered", cols);
-            let rows = out.num_rows();
-            Ok((
-                out,
-                NodeStats {
-                    label: plan.label(),
-                    rows,
-                    time: dev.elapsed() - t0,
-                    children: vec![child_stats],
-                },
-            ))
-        }
-        Plan::Project { input, exprs } => {
-            let (child, child_stats) = run(dev, catalog, input)?;
-            let t0 = dev.elapsed();
-            let mut cols = Vec::with_capacity(exprs.len());
-            for (name, e) in exprs {
-                cols.push((name.clone(), e.eval(dev, &child)?));
-            }
-            let out = Table::from_columns("projected", cols);
-            let rows = out.num_rows();
-            Ok((
-                out,
-                NodeStats {
-                    label: plan.label(),
-                    rows,
-                    time: dev.elapsed() - t0,
-                    children: vec![child_stats],
-                },
-            ))
-        }
-        Plan::Join {
-            left,
-            right,
-            left_key,
-            right_key,
-            kind,
-            algorithm,
-        } => {
-            let (lt, lstats) = run(dev, catalog, left)?;
-            let (rt, rstats) = run(dev, catalog, right)?;
-            let t0 = dev.elapsed();
-            let (l_rel, l_names) = to_relation(&lt, left_key)?;
-            let (r_rel, r_names) = to_relation(&rt, right_key)?;
-            if l_rel.key().dtype() != r_rel.key().dtype() {
-                return Err(EngineError::KeyTypeMismatch {
-                    left: l_rel.key().dtype().label(),
-                    right: r_rel.key().dtype().label(),
-                });
-            }
-            let alg = algorithm.unwrap_or_else(|| {
-                // No optimizer statistics here: sample them (match ratio,
-                // skew) and let the Figure 18 tree decide. The sampling cost
-                // is charged and shows up in this node's time.
-                let profile = estimate_profile(dev, &l_rel, &r_rel, 512);
-                choose_join(&profile).algorithm
-            });
-            let config = JoinConfig {
-                unique_build: false,
-                kind: *kind,
-                ..JoinConfig::default()
-            };
-            let joined = joins::run_join(dev, alg, &l_rel, &r_rel, &config);
-
-            // Reassemble with names: key, build payloads, probe payloads.
-            let mut used: HashMap<String, usize> = HashMap::new();
-            let mut unique = |base: &str| -> String {
-                let n = used.entry(base.to_string()).or_insert(0);
-                *n += 1;
-                if *n == 1 {
-                    base.to_string()
-                } else {
-                    format!("{base}_{n}")
-                }
-            };
-            let mut cols = Vec::new();
-            cols.push((unique(left_key), joined.keys));
-            for (name, col) in l_names.iter().zip(joined.r_payloads) {
-                cols.push((unique(name), col));
-            }
-            for (name, col) in r_names.iter().zip(joined.s_payloads) {
-                cols.push((unique(name), col));
-            }
-            let out = Table::from_columns("joined", cols);
-            let rows = out.num_rows();
-            Ok((
-                out,
-                NodeStats {
-                    label: format!("{} via {}", plan.label(), alg.name()),
-                    rows,
-                    time: dev.elapsed() - t0,
-                    children: vec![lstats, rstats],
-                },
-            ))
-        }
-        Plan::Sort {
-            input,
-            by,
-            desc,
-            limit,
-        } => {
-            let (child, child_stats) = run(dev, catalog, input)?;
-            let t0 = dev.elapsed();
-            // SORT-PAIRS on (key, row id), then truncate the id list to the
-            // limit *before* gathering the other columns — only the
-            // surviving rows pay materialization.
-            let key = child.column(by)?;
-            let ids = dev.upload(
-                (0..child.num_rows() as u32).collect::<Vec<u32>>(),
-                "sort.ids",
-            );
-            let sorted_ids: Vec<u32> = match key {
-                Column::I32(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
-                Column::I64(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
-            };
-            let take = limit.unwrap_or(sorted_ids.len()).min(sorted_ids.len());
-            let map: Vec<u32> = if *desc {
-                sorted_ids.iter().rev().take(take).copied().collect()
-            } else {
-                sorted_ids[..take].to_vec()
-            };
-            let map = dev.upload(map, "sort.map");
-            let cols = child
-                .columns()
-                .iter()
-                .map(|(n, c)| (n.clone(), gather_column(dev, c, &map)))
-                .collect();
-            let out = Table::from_columns("sorted", cols);
-            let rows = out.num_rows();
-            Ok((
-                out,
-                NodeStats {
-                    label: plan.label(),
-                    rows,
-                    time: dev.elapsed() - t0,
-                    children: vec![child_stats],
-                },
-            ))
-        }
-        Plan::Distinct { input, column } => {
-            let (child, child_stats) = run(dev, catalog, input)?;
-            let t0 = dev.elapsed();
-            let key = child.column(column)?.alias();
-            let rel = Relation::new("distinct_input", key, Vec::new());
-            let grouped = groupby::run_group_by(
-                dev,
-                GroupByAlgorithm::SortGftr,
-                &rel,
-                &[],
-                &GroupByConfig::default(),
-            );
-            let out = Table::from_columns("distinct", vec![(column.clone(), grouped.keys)]);
-            let rows = out.num_rows();
-            Ok((
-                out,
-                NodeStats {
-                    label: plan.label(),
-                    rows,
-                    time: dev.elapsed() - t0,
-                    children: vec![child_stats],
-                },
-            ))
-        }
-        Plan::Aggregate {
-            input,
-            group_by,
-            aggs,
-            algorithm,
-        } => {
-            let (child, child_stats) = run(dev, catalog, input)?;
-            let t0 = dev.elapsed();
-            let key = child.column(group_by)?.alias();
-            let mut payloads = Vec::with_capacity(aggs.len());
-            let mut fns = Vec::with_capacity(aggs.len());
-            for a in aggs {
-                payloads.push(child.column(&a.column)?.alias());
-                fns.push(a.agg);
-            }
-            let rel = Relation::new("agg_input", key, payloads);
-            let alg = algorithm.unwrap_or(GroupByAlgorithm::PartitionedGftr);
-            let grouped = groupby::run_group_by(dev, alg, &rel, &fns, &GroupByConfig::default());
-            let mut cols = vec![(group_by.clone(), grouped.keys)];
-            for (spec, col) in aggs.iter().zip(grouped.aggregates) {
-                cols.push((spec.output.clone(), col));
-            }
-            let out = Table::from_columns("aggregated", cols);
-            let rows = out.num_rows();
-            Ok((
-                out,
-                NodeStats {
-                    label: format!("{} via {}", plan.label(), alg.name()),
-                    rows,
-                    time: dev.elapsed() - t0,
-                    children: vec![child_stats],
-                },
-            ))
-        }
-    }
 }
 
 /// Split a table into a join relation (key + payload columns) and the
 /// payload column names, preserving order.
-fn to_relation(table: &Table, key: &str) -> Result<(Relation, Vec<String>), EngineError> {
+pub(crate) fn to_relation(
+    table: &Table,
+    key: &str,
+) -> Result<(Relation, Vec<String>), EngineError> {
     let key_idx = table.column_index(key)?;
     let key_col = table.columns()[key_idx].1.alias();
     let mut names = Vec::new();
@@ -355,6 +165,7 @@ fn to_relation(table: &Table, key: &str) -> Result<(Relation, Vec<String>), Engi
 mod tests {
     use super::*;
     use crate::{AggSpec, Expr};
+    use columnar::Column;
     use groupby::AggFn;
     use joins::{Algorithm, JoinKind};
 
@@ -384,6 +195,25 @@ mod tests {
             ],
         ));
         c
+    }
+
+    #[test]
+    fn catalog_insert_reports_replacement() {
+        let dev = Device::a100();
+        let mut c = Catalog::new();
+        assert!(c
+            .insert(Table::new(
+                "t",
+                vec![("a", Column::from_i32(&dev, vec![1, 2], "a"))],
+            ))
+            .is_none());
+        // Same name: the old table comes back instead of vanishing.
+        let old = c.insert(Table::new(
+            "t",
+            vec![("b", Column::from_i32(&dev, vec![3], "b"))],
+        ));
+        assert_eq!(old.expect("replaced table returned").num_rows(), 2);
+        assert_eq!(c.get("t").unwrap().column_names(), vec!["b"]);
     }
 
     #[test]
@@ -432,6 +262,26 @@ mod tests {
         assert!(out.stats.label.starts_with("Aggregate"));
         assert_eq!(out.stats.children.len(), 1);
         assert!(out.stats.render().contains("Join"));
+    }
+
+    #[test]
+    fn node_stats_carry_counters_and_render_them() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        let plan = Plan::scan("orders").join(Plan::scan("lineitem"), "o_id", "l_oid");
+        let out = execute(&dev, &cat, &plan).unwrap();
+        // The join node saw device traffic; its scans are pure aliasing.
+        assert!(out.stats.op.counters.dram_bytes() > 0);
+        assert!(out.stats.op.counters.kernel_launches > 0);
+        for scan in &out.stats.children {
+            assert_eq!(scan.op.counters.kernel_launches, 0);
+        }
+        let rendered = out.stats.render();
+        assert!(rendered.contains("DRAM"), "traffic rendered: {rendered}");
+        assert!(
+            rendered.contains("sect/req"),
+            "coalescing rendered: {rendered}"
+        );
     }
 
     #[test]

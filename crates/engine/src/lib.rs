@@ -8,9 +8,14 @@
 //! * [`Table`] — named columns (thin sugar over [`columnar`]);
 //! * [`Expr`] — column-at-a-time scalar expressions and predicates;
 //! * [`Plan`] — Scan / Filter / Project / Join / Aggregate nodes;
-//! * [`execute`] — evaluates a plan against a [`Catalog`], picking the join
-//!   implementation with the paper's Figure 18 decision tree unless the
-//!   plan pins one, and reporting per-node simulated times.
+//! * [`op`] — the physical-operator layer: every operator (and any caller
+//!   that assembles [`op::PhysicalOperator`] trees directly, like
+//!   `core::pipeline`) executes through one driver that reports the shared
+//!   [`sim::OpStats`] record per node and applies the Section 4.4 memory
+//!   budget, going out-of-core transparently when a join won't fit;
+//! * [`execute`] — lowers a plan against a [`Catalog`] into that layer,
+//!   picking join and aggregation implementations with the paper's
+//!   decision trees unless the plan pins them.
 //!
 //! ```
 //! use engine::{execute, Catalog, Expr, Plan, Table};
@@ -35,6 +40,7 @@ pub mod demo;
 mod error;
 mod exec;
 mod expr;
+pub mod op;
 mod plan;
 mod table;
 

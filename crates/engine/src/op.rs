@@ -1,0 +1,619 @@
+//! The physical-operator layer: one execution contract for every operator.
+//!
+//! The paper's framework says joins and grouped aggregations are the *same*
+//! three-phase computation; this module is that claim as an interface. A
+//! [`PhysicalOperator`] binds its inputs, executes on a [`sim::Device`] and
+//! returns output columns — and the driver ([`run_operator`]) wraps every
+//! node in the same measurement harness: simulated time, peak device memory
+//! and the hardware-counter delta all land in one shared [`sim::OpStats`]
+//! per node, so a plan report reads like an Nsight profile of the tree.
+//!
+//! The layer is also where plan-level memory budgeting lives: before a join
+//! executes, [`JoinOp`] runs the Section 4.4 memory model
+//! ([`joins::chunked::plan_chunks`]) against the device's free memory and
+//! transparently switches to the probe-side chunked join when the predicted
+//! peak does not fit. Callers — `engine::execute`, `core::pipeline`, the
+//! examples — get out-of-core execution without asking for it.
+//!
+//! [`compile`] lowers a logical [`Plan`] tree into operators; other crates
+//! can also assemble operator trees directly ([`ValuesOp`] feeds
+//! already-materialized tables, which is how `core::pipeline` routes the
+//! paper's join→group-by pipeline through this layer).
+
+use crate::exec::{to_relation, Catalog, NodeStats};
+use crate::{AggSpec, EngineError, Expr, Plan, Table};
+use columnar::Relation;
+use groupby::{AggFn, GroupByAlgorithm, GroupByConfig};
+use heuristics::{choose_group_by, choose_join, estimate_profile, sample_group_stats, AggProfile};
+use joins::{chunked, Algorithm, JoinConfig};
+use primitives::gather_column;
+use sim::{Device, OpStats, PhaseTimes};
+use std::collections::HashMap;
+
+/// What an operator needs to execute: the device, and (for scans) the
+/// catalog. Operator trees built from materialized tables ([`ValuesOp`])
+/// run without a catalog.
+pub struct ExecContext<'a> {
+    /// The simulated device all kernels charge to.
+    pub dev: &'a Device,
+    /// Table source for scans; `None` outside `engine::execute`.
+    pub catalog: Option<&'a Catalog>,
+}
+
+/// A boxed operator — the node type of physical plans.
+pub type BoxOp = Box<dyn PhysicalOperator>;
+
+/// What one operator's execution produced, before the driver wraps it in
+/// the shared measurement record.
+pub struct Evaluated {
+    /// The output table.
+    pub table: Table,
+    /// The paper's three-phase breakdown, for operators that have one
+    /// (joins, aggregations). `None` means all device time is "other".
+    pub phases: Option<PhaseTimes>,
+    /// Suffix for the stats label (e.g. the algorithm an adaptive operator
+    /// picked), rendered as `"{label} via {detail}"`.
+    pub detail: Option<String>,
+}
+
+impl Evaluated {
+    /// An output with no phase breakdown and no label detail.
+    pub fn plain(table: Table) -> Self {
+        Evaluated {
+            table,
+            phases: None,
+            detail: None,
+        }
+    }
+}
+
+/// The uniform operator contract: children to recurse into, a display
+/// label, and an `evaluate` that consumes the children's output tables.
+///
+/// Implementations do *not* measure themselves — [`run_operator`] brackets
+/// every `evaluate` call with the device's clock, memory watermark and
+/// hardware counters so all nodes report identically.
+pub trait PhysicalOperator {
+    /// One-line description of the node (operator + parameters).
+    fn label(&self) -> String;
+    /// Input operators, in the order their tables arrive at `evaluate`.
+    fn children(&self) -> &[BoxOp];
+    /// Execute on the device, consuming one input table per child.
+    fn evaluate(&self, ctx: &ExecContext<'_>, inputs: Vec<Table>)
+        -> Result<Evaluated, EngineError>;
+}
+
+/// Execute an operator tree: children first, then the node itself, each
+/// bracketed by the same measurement harness. Returns the root's output
+/// table and the per-node stats tree.
+pub fn run_operator(
+    ctx: &ExecContext<'_>,
+    op: &dyn PhysicalOperator,
+) -> Result<(Table, NodeStats), EngineError> {
+    let mut inputs = Vec::with_capacity(op.children().len());
+    let mut children = Vec::with_capacity(op.children().len());
+    for child in op.children() {
+        let (table, stats) = run_operator(ctx, child.as_ref())?;
+        inputs.push(table);
+        children.push(stats);
+    }
+    let before = ctx.dev.counters();
+    let t0 = ctx.dev.elapsed();
+    ctx.dev.reset_peak_mem();
+    let ev = op.evaluate(ctx, inputs)?;
+    let elapsed = ctx.dev.elapsed() - t0;
+    let phases = ev.phases.unwrap_or_default();
+    let mut op_stats = OpStats::new(phases, ev.table.num_rows(), ctx.dev.mem_report().peak_bytes);
+    // Device time outside the operator's phase breakdown: sampling,
+    // chunk staging, plan glue. (SimTime subtraction saturates at zero.)
+    op_stats.other = elapsed - op_stats.phases.total();
+    op_stats.counters = ctx.dev.counters().delta_since(&before).0;
+    let label = match &ev.detail {
+        Some(d) => format!("{} via {}", op.label(), d),
+        None => op.label(),
+    };
+    Ok((
+        ev.table,
+        NodeStats {
+            label,
+            op: op_stats,
+            children,
+        },
+    ))
+}
+
+/// Lower a logical [`Plan`] tree to a physical operator tree.
+pub fn compile(plan: &Plan) -> BoxOp {
+    match plan {
+        Plan::Scan { table } => Box::new(ScanOp {
+            table: table.clone(),
+        }),
+        Plan::Filter { input, predicate } => Box::new(FilterOp {
+            children: vec![compile(input)],
+            predicate: predicate.clone(),
+        }),
+        Plan::Project { input, exprs } => Box::new(ProjectOp {
+            children: vec![compile(input)],
+            exprs: exprs.clone(),
+        }),
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+            algorithm,
+        } => Box::new(JoinOp::new(
+            compile(left),
+            compile(right),
+            left_key,
+            right_key,
+            JoinConfig {
+                // Engine tables carry no uniqueness metadata; assume the
+                // general (duplicate-tolerant) build.
+                unique_build: false,
+                kind: *kind,
+                ..JoinConfig::default()
+            },
+            *algorithm,
+        )),
+        Plan::Sort {
+            input,
+            by,
+            desc,
+            limit,
+        } => Box::new(SortOp {
+            children: vec![compile(input)],
+            by: by.clone(),
+            desc: *desc,
+            limit: *limit,
+        }),
+        Plan::Distinct { input, column } => Box::new(DistinctOp {
+            children: vec![compile(input)],
+            column: column.clone(),
+        }),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            algorithm,
+        } => Box::new(AggregateOp::new(
+            compile(input),
+            group_by,
+            aggs.clone(),
+            GroupByConfig::default(),
+            *algorithm,
+        )),
+    }
+}
+
+/// Read a catalog table; columns pass as zero-cost aliases.
+struct ScanOp {
+    table: String,
+}
+
+impl PhysicalOperator for ScanOp {
+    fn label(&self) -> String {
+        format!("Scan({})", self.table)
+    }
+
+    fn children(&self) -> &[BoxOp] {
+        &[]
+    }
+
+    fn evaluate(
+        &self,
+        ctx: &ExecContext<'_>,
+        _inputs: Vec<Table>,
+    ) -> Result<Evaluated, EngineError> {
+        let catalog = ctx
+            .catalog
+            .ok_or_else(|| EngineError::UnknownTable(self.table.clone()))?;
+        let src = catalog.get(&self.table)?;
+        let cols = src
+            .columns()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.alias()))
+            .collect();
+        Ok(Evaluated::plain(Table::from_columns(src.name(), cols)))
+    }
+}
+
+/// A leaf that feeds an already-materialized table into an operator tree —
+/// how callers with in-memory relations (e.g. `core::pipeline`) enter the
+/// layer without a catalog.
+pub struct ValuesOp {
+    table: Table,
+}
+
+impl ValuesOp {
+    /// Wrap a materialized table as a leaf operator.
+    pub fn new(table: Table) -> Self {
+        ValuesOp { table }
+    }
+}
+
+impl PhysicalOperator for ValuesOp {
+    fn label(&self) -> String {
+        format!("Values({})", self.table.name())
+    }
+
+    fn children(&self) -> &[BoxOp] {
+        &[]
+    }
+
+    fn evaluate(
+        &self,
+        _ctx: &ExecContext<'_>,
+        _inputs: Vec<Table>,
+    ) -> Result<Evaluated, EngineError> {
+        let cols = self
+            .table
+            .columns()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.alias()))
+            .collect();
+        Ok(Evaluated::plain(Table::from_columns(
+            self.table.name(),
+            cols,
+        )))
+    }
+}
+
+/// Keep rows where the predicate holds: predicate kernels, then one
+/// compaction gather per column.
+struct FilterOp {
+    children: Vec<BoxOp>,
+    predicate: Expr,
+}
+
+impl PhysicalOperator for FilterOp {
+    fn label(&self) -> String {
+        "Filter".to_string()
+    }
+
+    fn children(&self) -> &[BoxOp] {
+        &self.children
+    }
+
+    fn evaluate(
+        &self,
+        ctx: &ExecContext<'_>,
+        mut inputs: Vec<Table>,
+    ) -> Result<Evaluated, EngineError> {
+        let child = inputs.pop().expect("Filter takes one input");
+        let mask = self.predicate.eval_mask(ctx.dev, &child)?;
+        let sel: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i as u32))
+            .collect();
+        let sel = ctx.dev.upload(sel, "filter.sel");
+        // Compaction: one clustered gather per column (the selection
+        // indices ascend).
+        let cols = child
+            .columns()
+            .iter()
+            .map(|(n, c)| (n.clone(), gather_column(ctx.dev, c, &sel)))
+            .collect();
+        Ok(Evaluated::plain(Table::from_columns("filtered", cols)))
+    }
+}
+
+/// Compute output columns from expressions.
+struct ProjectOp {
+    children: Vec<BoxOp>,
+    exprs: Vec<(String, Expr)>,
+}
+
+impl PhysicalOperator for ProjectOp {
+    fn label(&self) -> String {
+        "Project".to_string()
+    }
+
+    fn children(&self) -> &[BoxOp] {
+        &self.children
+    }
+
+    fn evaluate(
+        &self,
+        ctx: &ExecContext<'_>,
+        mut inputs: Vec<Table>,
+    ) -> Result<Evaluated, EngineError> {
+        let child = inputs.pop().expect("Project takes one input");
+        let mut cols = Vec::with_capacity(self.exprs.len());
+        for (name, e) in &self.exprs {
+            cols.push((name.clone(), e.eval(ctx.dev, &child)?));
+        }
+        Ok(Evaluated::plain(Table::from_columns("projected", cols)))
+    }
+}
+
+/// Equi-join: algorithm by the Figure 18 decision tree unless pinned, and
+/// execution chunked by the Section 4.4 memory model whenever the predicted
+/// peak exceeds the device's free memory.
+pub struct JoinOp {
+    children: Vec<BoxOp>,
+    left_key: String,
+    right_key: String,
+    config: JoinConfig,
+    algorithm: Option<Algorithm>,
+}
+
+impl JoinOp {
+    /// Join `left` (build side) with `right` (probe side) on the named key
+    /// columns. `algorithm: None` lets the decision tree choose from
+    /// sampled statistics.
+    pub fn new(
+        left: BoxOp,
+        right: BoxOp,
+        left_key: &str,
+        right_key: &str,
+        config: JoinConfig,
+        algorithm: Option<Algorithm>,
+    ) -> Self {
+        JoinOp {
+            children: vec![left, right],
+            left_key: left_key.to_string(),
+            right_key: right_key.to_string(),
+            config,
+            algorithm,
+        }
+    }
+}
+
+impl PhysicalOperator for JoinOp {
+    fn label(&self) -> String {
+        format!(
+            "Join({}={}, {})",
+            self.left_key,
+            self.right_key,
+            self.config.kind.name()
+        )
+    }
+
+    fn children(&self) -> &[BoxOp] {
+        &self.children
+    }
+
+    fn evaluate(
+        &self,
+        ctx: &ExecContext<'_>,
+        mut inputs: Vec<Table>,
+    ) -> Result<Evaluated, EngineError> {
+        let rt = inputs.pop().expect("Join takes two inputs");
+        let lt = inputs.pop().expect("Join takes two inputs");
+        let (l_rel, l_names) = to_relation(&lt, &self.left_key)?;
+        let (r_rel, r_names) = to_relation(&rt, &self.right_key)?;
+        if l_rel.key().dtype() != r_rel.key().dtype() {
+            return Err(EngineError::KeyTypeMismatch {
+                left: l_rel.key().dtype().label(),
+                right: r_rel.key().dtype().label(),
+            });
+        }
+        let alg = self.algorithm.unwrap_or_else(|| {
+            // No optimizer statistics here: sample them (match ratio, skew)
+            // and let the Figure 18 tree decide. The sampling cost is
+            // charged and shows up in this node's "other" time.
+            let profile = estimate_profile(ctx.dev, &l_rel, &r_rel, 512);
+            choose_join(&profile).algorithm
+        });
+        // Plan-level memory budget: run the Section 4.4 model against the
+        // device's free memory and go out-of-core when the direct join
+        // would not fit. `None` (build side alone too big) falls through to
+        // the direct path, which reports the OOM.
+        let (joined, detail) = match chunked::plan_chunks(ctx.dev, &l_rel, &r_rel) {
+            Some(plan) if plan.chunks > 1 => {
+                let (out, plan) = chunked::chunked_join(ctx.dev, alg, &l_rel, &r_rel, &self.config);
+                (out, format!("{}, chunked x{}", alg.name(), plan.chunks))
+            }
+            _ => (
+                joins::run_join(ctx.dev, alg, &l_rel, &r_rel, &self.config),
+                alg.name().to_string(),
+            ),
+        };
+        let phases = joined.stats.phases;
+
+        // Reassemble with names: key, build payloads, probe payloads;
+        // colliding names get a `_n` suffix.
+        let mut used: HashMap<String, usize> = HashMap::new();
+        let mut unique = |base: &str| -> String {
+            let n = used.entry(base.to_string()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                base.to_string()
+            } else {
+                format!("{base}_{n}")
+            }
+        };
+        let mut cols = Vec::new();
+        cols.push((unique(&self.left_key), joined.keys));
+        for (name, col) in l_names.iter().zip(joined.r_payloads) {
+            cols.push((unique(name), col));
+        }
+        for (name, col) in r_names.iter().zip(joined.s_payloads) {
+            cols.push((unique(name), col));
+        }
+        Ok(Evaluated {
+            table: Table::from_columns("joined", cols),
+            phases: Some(phases),
+            detail: Some(detail),
+        })
+    }
+}
+
+/// Order by one column, optionally keeping only the first rows.
+struct SortOp {
+    children: Vec<BoxOp>,
+    by: String,
+    desc: bool,
+    limit: Option<usize>,
+}
+
+impl PhysicalOperator for SortOp {
+    fn label(&self) -> String {
+        format!(
+            "Sort(by {}{}{})",
+            self.by,
+            if self.desc { " desc" } else { "" },
+            self.limit.map_or(String::new(), |l| format!(", limit {l}"))
+        )
+    }
+
+    fn children(&self) -> &[BoxOp] {
+        &self.children
+    }
+
+    fn evaluate(
+        &self,
+        ctx: &ExecContext<'_>,
+        mut inputs: Vec<Table>,
+    ) -> Result<Evaluated, EngineError> {
+        let child = inputs.pop().expect("Sort takes one input");
+        let dev = ctx.dev;
+        // SORT-PAIRS on (key, row id), then truncate the id list to the
+        // limit *before* gathering the other columns — only the surviving
+        // rows pay materialization.
+        let key = child.column(&self.by)?;
+        let ids = dev.upload(
+            (0..child.num_rows() as u32).collect::<Vec<u32>>(),
+            "sort.ids",
+        );
+        let sorted_ids: Vec<u32> = match key {
+            columnar::Column::I32(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
+            columnar::Column::I64(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
+        };
+        let take = self.limit.unwrap_or(sorted_ids.len()).min(sorted_ids.len());
+        let map: Vec<u32> = if self.desc {
+            sorted_ids.iter().rev().take(take).copied().collect()
+        } else {
+            sorted_ids[..take].to_vec()
+        };
+        let map = dev.upload(map, "sort.map");
+        let cols = child
+            .columns()
+            .iter()
+            .map(|(n, c)| (n.clone(), gather_column(dev, c, &map)))
+            .collect();
+        Ok(Evaluated::plain(Table::from_columns("sorted", cols)))
+    }
+}
+
+/// Distinct rows of a single column: grouping with no aggregates.
+struct DistinctOp {
+    children: Vec<BoxOp>,
+    column: String,
+}
+
+impl PhysicalOperator for DistinctOp {
+    fn label(&self) -> String {
+        format!("Distinct({})", self.column)
+    }
+
+    fn children(&self) -> &[BoxOp] {
+        &self.children
+    }
+
+    fn evaluate(
+        &self,
+        ctx: &ExecContext<'_>,
+        mut inputs: Vec<Table>,
+    ) -> Result<Evaluated, EngineError> {
+        let child = inputs.pop().expect("Distinct takes one input");
+        let key = child.column(&self.column)?.alias();
+        let rel = Relation::new("distinct_input", key, Vec::new());
+        let grouped = groupby::run_group_by(
+            ctx.dev,
+            GroupByAlgorithm::SortGftr,
+            &rel,
+            &[],
+            &GroupByConfig::default(),
+        );
+        let phases = grouped.stats.phases;
+        Ok(Evaluated {
+            table: Table::from_columns("distinct", vec![(self.column.clone(), grouped.keys)]),
+            phases: Some(phases),
+            detail: None,
+        })
+    }
+}
+
+/// Grouped aggregation: algorithm by the grouped-aggregation decision tree
+/// unless pinned (group count and skew sampled from the key column).
+pub struct AggregateOp {
+    children: Vec<BoxOp>,
+    group_by: String,
+    aggs: Vec<AggSpec>,
+    config: GroupByConfig,
+    algorithm: Option<GroupByAlgorithm>,
+}
+
+impl AggregateOp {
+    /// Group `input`'s rows by the named column. `algorithm: None` lets the
+    /// decision tree choose from sampled statistics.
+    pub fn new(
+        input: BoxOp,
+        group_by: &str,
+        aggs: Vec<AggSpec>,
+        config: GroupByConfig,
+        algorithm: Option<GroupByAlgorithm>,
+    ) -> Self {
+        AggregateOp {
+            children: vec![input],
+            group_by: group_by.to_string(),
+            aggs,
+            config,
+            algorithm,
+        }
+    }
+}
+
+impl PhysicalOperator for AggregateOp {
+    fn label(&self) -> String {
+        format!("Aggregate(by {})", self.group_by)
+    }
+
+    fn children(&self) -> &[BoxOp] {
+        &self.children
+    }
+
+    fn evaluate(
+        &self,
+        ctx: &ExecContext<'_>,
+        mut inputs: Vec<Table>,
+    ) -> Result<Evaluated, EngineError> {
+        let child = inputs.pop().expect("Aggregate takes one input");
+        let key = child.column(&self.group_by)?.alias();
+        let mut payloads = Vec::with_capacity(self.aggs.len());
+        let mut fns: Vec<AggFn> = Vec::with_capacity(self.aggs.len());
+        for a in &self.aggs {
+            payloads.push(child.column(&a.column)?.alias());
+            fns.push(a.agg);
+        }
+        let alg = self.algorithm.unwrap_or_else(|| {
+            // Sample the grouping key for a distinct-count and skew
+            // estimate, then let the aggregation decision tree pick.
+            let sampled = sample_group_stats(ctx.dev, &key, 512);
+            let profile = AggProfile {
+                rows: key.len(),
+                est_groups: sampled.est_groups,
+                skewed: sampled.skewed(),
+                wide: fns.len() > 1,
+                l2_bytes: ctx.dev.config().l2_bytes,
+            };
+            choose_group_by(&profile).algorithm
+        });
+        let rel = Relation::new("agg_input", key, payloads);
+        let grouped = groupby::run_group_by(ctx.dev, alg, &rel, &fns, &self.config);
+        let phases = grouped.stats.phases;
+        let mut cols = vec![(self.group_by.clone(), grouped.keys)];
+        for (spec, col) in self.aggs.iter().zip(grouped.aggregates) {
+            cols.push((spec.output.clone(), col));
+        }
+        Ok(Evaluated {
+            table: Table::from_columns("aggregated", cols),
+            phases: Some(phases),
+            detail: Some(alg.name().to_string()),
+        })
+    }
+}

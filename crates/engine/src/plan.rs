@@ -92,7 +92,8 @@ pub enum Plan {
         group_by: String,
         /// Aggregates to compute.
         aggs: Vec<AggSpec>,
-        /// Pin an implementation; `None` uses the partitioned GFTR variant.
+        /// Pin an implementation; `None` lets the grouped-aggregation
+        /// decision tree choose from sampled statistics.
         algorithm: Option<GroupByAlgorithm>,
     },
 }

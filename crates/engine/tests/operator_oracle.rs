@@ -1,0 +1,136 @@
+//! The operator layer against the host-side join oracle: every join kind ×
+//! every algorithm through engine plans, plus the plan-level memory budget
+//! routing over-budget joins through the out-of-core path transparently.
+
+use columnar::{Column, Relation};
+use engine::{execute, Catalog, Plan, Table};
+use joins::oracle::{hash_join_oracle, join_oracle_kind};
+use joins::{Algorithm, JoinKind};
+use sim::{Device, DeviceConfig};
+
+const ALL_ALGORITHMS: [Algorithm; 7] = [
+    Algorithm::SmjUm,
+    Algorithm::SmjOm,
+    Algorithm::PhjUm,
+    Algorithm::PhjOm,
+    Algorithm::PhjOmGfur,
+    Algorithm::Nphj,
+    Algorithm::CpuRadix,
+];
+
+/// R(rk, r1) with unique keys 0..nr, S(sk, s1) with foreign keys striding
+/// over `2 * nr` so about half the probe rows dangle — every join kind then
+/// produces a distinct, non-trivial result.
+fn inputs(dev: &Device, nr: usize, ns: usize) -> (Relation, Relation) {
+    let pk: Vec<i32> = (0..nr as i32).collect();
+    let fk: Vec<i32> = (0..ns).map(|i| ((i * 7) % (2 * nr)) as i32).collect();
+    (
+        Relation::new(
+            "R",
+            Column::from_i32(dev, pk.clone(), "rk"),
+            vec![Column::from_i32(
+                dev,
+                pk.iter().map(|&k| k * 2).collect(),
+                "r1",
+            )],
+        ),
+        Relation::new(
+            "S",
+            Column::from_i32(dev, fk.clone(), "sk"),
+            vec![Column::from_i64(
+                dev,
+                fk.iter().map(|&k| k as i64 + 5).collect(),
+                "s1",
+            )],
+        ),
+    )
+}
+
+fn catalog_of(r: &Relation, s: &Relation) -> Catalog {
+    let mut cat = Catalog::new();
+    cat.insert(Table::new(
+        "r",
+        vec![("rk", r.key().alias()), ("r1", r.payloads()[0].alias())],
+    ));
+    cat.insert(Table::new(
+        "s",
+        vec![("sk", s.key().alias()), ("s1", s.payloads()[0].alias())],
+    ));
+    cat
+}
+
+#[test]
+fn every_kind_and_algorithm_agree_with_the_oracle() {
+    let dev = Device::a100();
+    let (r, s) = inputs(&dev, 512, 4096);
+    let cat = catalog_of(&r, &s);
+    for kind in [
+        JoinKind::Inner,
+        JoinKind::Semi,
+        JoinKind::Anti,
+        JoinKind::Outer,
+    ] {
+        let expected = join_oracle_kind(&r, &s, kind);
+        assert!(
+            !expected.is_empty(),
+            "{} oracle is non-trivial",
+            kind.name()
+        );
+        for alg in ALL_ALGORITHMS {
+            let plan = Plan::scan("r")
+                .join_kind(Plan::scan("s"), "rk", "sk", kind)
+                .with_join_algorithm(alg);
+            let out = execute(&dev, &cat, &plan).unwrap();
+            assert_eq!(
+                out.table.rows_sorted(),
+                expected,
+                "{} via {}",
+                kind.name(),
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn over_budget_joins_chunk_transparently_and_match_the_oracle() {
+    // A device barely big enough for R plus a fraction of S: the planner's
+    // Section 4.4 memory model must route the join through the out-of-core
+    // path without the caller asking for it.
+    let mut cfg = DeviceConfig::a100();
+    cfg.global_mem_bytes = 1 << 20;
+    let dev = Device::new(cfg);
+    let (r, s) = inputs(&dev, 1000, 30_000);
+    let cat = catalog_of(&r, &s);
+    let plan = Plan::scan("r")
+        .join(Plan::scan("s"), "rk", "sk")
+        .with_join_algorithm(Algorithm::PhjOm);
+    let out = execute(&dev, &cat, &plan).unwrap();
+    assert!(
+        out.stats.label.contains("chunked"),
+        "expected the chunked path, got {:?}",
+        out.stats.label
+    );
+    assert_eq!(out.table.rows_sorted(), hash_join_oracle(&r, &s));
+    assert!(
+        dev.mem_report().current_bytes <= dev.config().global_mem_bytes,
+        "nothing beyond the device capacity stays resident"
+    );
+}
+
+#[test]
+fn in_budget_joins_stay_on_the_direct_path() {
+    let dev = Device::a100();
+    let (r, s) = inputs(&dev, 1000, 30_000);
+    let cat = catalog_of(&r, &s);
+    let plan = Plan::scan("r")
+        .join(Plan::scan("s"), "rk", "sk")
+        .with_join_algorithm(Algorithm::PhjOm);
+    let out = execute(&dev, &cat, &plan).unwrap();
+    assert!(
+        !out.stats.label.contains("chunked"),
+        "an A100-sized device must not chunk this join: {:?}",
+        out.stats.label
+    );
+    assert_eq!(out.table.rows_sorted(), hash_join_oracle(&r, &s));
+}

@@ -145,12 +145,12 @@ pub fn hash_groupby(
         GroupByOutput {
             keys: K::wrap(dev.upload(group_keys, "hash_gb.group_keys")),
             aggregates,
-            stats: GroupByStats {
-                algorithm: GroupByAlgorithm::HashGlobal,
+            stats: GroupByStats::new(
+                GroupByAlgorithm::HashGlobal,
                 phases,
                 groups,
-                peak_mem_bytes: dev.mem_report().peak_bytes,
-            },
+                dev.mem_report().peak_bytes,
+            ),
         }
     }
     dispatch_key_column(

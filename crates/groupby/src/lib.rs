@@ -26,7 +26,7 @@ pub mod sort;
 
 use columnar::{Column, Relation};
 use serde::{Deserialize, Serialize};
-use sim::{Device, PhaseTimes};
+use sim::{Device, OpStats, PhaseTimes};
 
 /// Aggregate function applied to one payload column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -128,17 +128,45 @@ pub struct GroupByConfig {
     pub expected_groups: Option<usize>,
 }
 
-/// Execution report for one grouped aggregation.
+/// Execution report for one grouped aggregation: the algorithm that ran
+/// plus the shared per-operator report ([`sim::OpStats`]). Dereferences to
+/// [`OpStats`], so `stats.phases` / `stats.peak_mem_bytes` reads keep
+/// working; the group count is `stats.groups()` (stored as
+/// [`OpStats::rows`] — groups *are* this operator's output cardinality).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GroupByStats {
     /// Which implementation produced this.
     pub algorithm: GroupByAlgorithm,
-    /// Phase breakdown: transform / group finding / aggregation.
-    pub phases: PhaseTimes,
+    /// The shared per-operator report.
+    pub op: OpStats,
+}
+
+impl GroupByStats {
+    /// Assemble from the measurements every implementation takes; the
+    /// hardware-counter delta is filled in centrally by [`run_group_by`].
+    pub fn new(
+        algorithm: GroupByAlgorithm,
+        phases: PhaseTimes,
+        groups: usize,
+        peak_mem_bytes: u64,
+    ) -> Self {
+        GroupByStats {
+            algorithm,
+            op: OpStats::new(phases, groups, peak_mem_bytes),
+        }
+    }
+
     /// Number of output groups.
-    pub groups: usize,
-    /// Peak device memory, bytes.
-    pub peak_mem_bytes: u64,
+    pub fn groups(&self) -> usize {
+        self.op.rows
+    }
+}
+
+impl std::ops::Deref for GroupByStats {
+    type Target = OpStats;
+    fn deref(&self) -> &OpStats {
+        &self.op
+    }
 }
 
 /// Result of a grouped aggregation: one row per group.
@@ -192,7 +220,8 @@ pub fn run_group_by(
         input.num_payloads(),
         "need exactly one aggregate function per payload column"
     );
-    match algorithm {
+    let before = dev.counters();
+    let mut out = match algorithm {
         GroupByAlgorithm::HashGlobal => hash::hash_groupby(dev, input, aggs, config),
         GroupByAlgorithm::SortGftr => sort::sort_groupby(dev, input, aggs, config, true),
         GroupByAlgorithm::SortGfur => sort::sort_groupby(dev, input, aggs, config, false),
@@ -202,7 +231,9 @@ pub fn run_group_by(
         GroupByAlgorithm::PartitionedGfur => {
             partitioned::partitioned_groupby(dev, input, aggs, config, false)
         }
-    }
+    };
+    out.stats.op.counters = dev.counters().delta_since(&before).0;
+    out
 }
 
 #[cfg(test)]

@@ -151,16 +151,16 @@ pub fn partitioned_groupby(
         GroupByOutput {
             keys: K::wrap(dev.upload(group_keys, "part_gb.group_keys")),
             aggregates,
-            stats: GroupByStats {
-                algorithm: if gftr {
+            stats: GroupByStats::new(
+                if gftr {
                     GroupByAlgorithm::PartitionedGftr
                 } else {
                     GroupByAlgorithm::PartitionedGfur
                 },
                 phases,
                 groups,
-                peak_mem_bytes: dev.mem_report().peak_bytes,
-            },
+                dev.mem_report().peak_bytes,
+            ),
         }
     }
     dispatch_key_column(

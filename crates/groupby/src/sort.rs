@@ -122,16 +122,16 @@ pub fn sort_groupby(
         GroupByOutput {
             keys: K::wrap(group_keys),
             aggregates,
-            stats: GroupByStats {
-                algorithm: if gftr {
+            stats: GroupByStats::new(
+                if gftr {
                     GroupByAlgorithm::SortGftr
                 } else {
                     GroupByAlgorithm::SortGfur
                 },
                 phases,
                 groups,
-                peak_mem_bytes: dev.mem_report().peak_bytes,
-            },
+                dev.mem_report().peak_bytes,
+            ),
         }
     }
     dispatch_key_column(

@@ -7,7 +7,7 @@
 //! membership filter, a few microseconds at any realistic size.
 
 use crate::WorkloadProfile;
-use columnar::{DType, Relation};
+use columnar::{Column, DType, Relation};
 use sim::Device;
 use std::collections::HashMap;
 
@@ -81,6 +81,81 @@ pub fn sample_stats(
         } else {
             matched as f64 / taken as f64
         },
+        top_key_share: if taken == 0 {
+            0.0
+        } else {
+            top as f64 / taken as f64
+        },
+        sample_size: taken,
+    }
+}
+
+/// Statistics estimated from a grouping-key sample.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatedGroupStats {
+    /// Estimated number of distinct groups in the full column (Chao1
+    /// extrapolation from the sample).
+    pub est_groups: usize,
+    /// Share of the sample held by the most frequent key — same skew signal
+    /// as [`EstimatedStats::top_key_share`].
+    pub top_key_share: f64,
+    /// Sample size actually used.
+    pub sample_size: usize,
+}
+
+impl EstimatedGroupStats {
+    /// Is the hottest group heavy enough to serialize atomic updates on the
+    /// global hash table? Same 5% threshold as the join-side estimator.
+    pub fn skewed(&self) -> bool {
+        self.top_key_share > 0.05
+    }
+}
+
+/// Estimate the distinct-group count and key skew of a grouping column by
+/// sampling `sample_size` evenly spaced keys.
+///
+/// The extrapolation is the Chao1 estimator `d + f1^2 / (2 f2)` (singletons
+/// `f1`, doubletons `f2` in the sample), clamped to `[d_sample, rows]` — the
+/// standard abundance-based richness estimate, good enough to tell "the
+/// table is L2-resident" from "it is not", which is all the decision tree
+/// needs. Device cost: one strided sample gather, same as [`sample_stats`].
+pub fn sample_group_stats(dev: &Device, key: &Column, sample_size: usize) -> EstimatedGroupStats {
+    let n = key.len();
+    let sample_size = sample_size.clamp(1, n.max(1));
+    // Pseudo-random positions (splitmix64, fixed seed): Chao1 assumes a
+    // random sample, and a deterministic stride both aliases with cyclic
+    // key layouts and never produces the duplicate draws the estimator
+    // counts. With-replacement draws are fine at these sampling fractions.
+    let mut freq: HashMap<i64, usize> = HashMap::new();
+    let mut taken = 0usize;
+    if n > 0 {
+        for j in 0..sample_size {
+            let mut z = (j as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            *freq.entry(key.value((z % n as u64) as usize)).or_insert(0) += 1;
+            taken += 1;
+        }
+    }
+    dev.kernel("estimate_group_sample")
+        .items(taken as u64, primitives::STREAM_WARP_INSTR)
+        .seq_read_bytes(taken as u64 * key.dtype().size())
+        .launch();
+
+    let d = freq.len();
+    let f1 = freq.values().filter(|&&c| c == 1).count();
+    let f2 = freq.values().filter(|&&c| c == 2).count();
+    // Chao1; the f2 == 0 form follows Chao (1984)'s bias-corrected variant.
+    let extra = if f2 > 0 {
+        (f1 * f1) as f64 / (2 * f2) as f64
+    } else {
+        (f1 * (f1.saturating_sub(1))) as f64 / 2.0
+    };
+    let est_groups = ((d as f64 + extra).round() as usize).clamp(d, n.max(d));
+    let top = freq.values().copied().max().unwrap_or(0);
+    EstimatedGroupStats {
+        est_groups,
         top_key_share: if taken == 0 {
             0.0
         } else {
@@ -198,6 +273,33 @@ mod tests {
         assert!(p.match_ratio > 0.9);
         assert!(!p.has_8byte);
         assert!(p.small_inputs);
+    }
+
+    #[test]
+    fn group_estimate_tracks_truth() {
+        let dev = Device::a100();
+        for d in [16usize, 256, 4096] {
+            let keys = Column::from_i32(&dev, (0..65_536).map(|i| (i % d) as i32).collect(), "g");
+            let est = sample_group_stats(&dev, &keys, 1024);
+            assert!(
+                est.est_groups >= d / 4 && est.est_groups <= d * 8,
+                "true {d} groups, estimated {}",
+                est.est_groups
+            );
+        }
+    }
+
+    #[test]
+    fn group_skew_detection() {
+        let dev = Device::a100();
+        let uniform = Column::from_i32(&dev, (0..8192).map(|i| i % 1024).collect(), "g");
+        assert!(!sample_group_stats(&dev, &uniform, 512).skewed());
+        let hot = Column::from_i32(
+            &dev,
+            (0..8192).map(|i| if i % 2 == 0 { 7 } else { i }).collect(),
+            "g",
+        );
+        assert!(sample_group_stats(&dev, &hot, 512).skewed());
     }
 
     #[test]

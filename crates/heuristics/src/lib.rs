@@ -16,9 +16,12 @@
 
 pub mod estimate;
 
-pub use estimate::{estimate_profile, sample_stats, EstimatedStats};
+pub use estimate::{
+    estimate_profile, sample_group_stats, sample_stats, EstimatedGroupStats, EstimatedStats,
+};
 
 use columnar::{DType, Relation};
+use groupby::GroupByAlgorithm;
 use joins::Algorithm;
 use serde::{Deserialize, Serialize};
 
@@ -149,6 +152,78 @@ pub fn choose_smj(p: &WorkloadProfile) -> Recommendation {
     }
 }
 
+/// The statistics the grouped-aggregation decision branches on — the
+/// aggregation-side counterpart of [`WorkloadProfile`], fed either from
+/// optimizer knowledge or from [`sample_group_stats`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AggProfile {
+    /// Input rows.
+    pub rows: usize,
+    /// Estimated number of distinct groups.
+    pub est_groups: usize,
+    /// Grouping keys heavily skewed (one group holds ≳5% of the rows).
+    pub skewed: bool,
+    /// More than one aggregated column ("wide" aggregation).
+    pub wide: bool,
+    /// L2 capacity of the target device, bytes.
+    pub l2_bytes: u64,
+}
+
+impl AggProfile {
+    /// Does the global hash table (key + accumulator slots per group) fit
+    /// comfortably in L2? This is the paper's "few groups" regime where the
+    /// untransformed atomic variant is hard to beat.
+    pub fn table_fits_l2(&self) -> bool {
+        // ~16 bytes per slot (widened key + i64 accumulator) at 50% target
+        // occupancy, against half the L2 to leave room for the input stream.
+        (self.est_groups as u64) * 16 * 2 <= self.l2_bytes / 2
+    }
+}
+
+/// A grouped-aggregation recommendation plus the branch that produced it —
+/// the counterpart of [`Recommendation`] for [`GroupByAlgorithm`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupByRecommendation {
+    /// The implementation to run.
+    pub algorithm: GroupByAlgorithm,
+    /// Human-readable rationale (the tree path taken).
+    pub rationale: &'static str,
+}
+
+/// The grouped-aggregation decision: global hash table while it is
+/// L2-resident and uniform, otherwise transform — with the GFTR/GFUR choice
+/// following the same width logic as the join tree (Section 5.4 applied to
+/// the aggregation half of the paper).
+pub fn choose_group_by(p: &AggProfile) -> GroupByRecommendation {
+    if p.table_fits_l2() && !p.skewed {
+        return GroupByRecommendation {
+            algorithm: GroupByAlgorithm::HashGlobal,
+            rationale: "few groups: the global hash table is L2-resident, random atomic \
+                        updates are cheap and skip the transformation entirely",
+        };
+    }
+    if p.skewed && p.table_fits_l2() {
+        return GroupByRecommendation {
+            algorithm: GroupByAlgorithm::PartitionedGfur,
+            rationale: "skewed keys serialize global atomics on the hot group; the stable \
+                        radix partitioner spreads each group over shared-memory tables",
+        };
+    }
+    if p.wide {
+        return GroupByRecommendation {
+            algorithm: GroupByAlgorithm::PartitionedGftr,
+            rationale: "many groups and several aggregate columns: transforming every \
+                        column (GFTR) converts the random accesses of aggregation into \
+                        sequential ones",
+        };
+    }
+    GroupByRecommendation {
+        algorithm: GroupByAlgorithm::PartitionedGfur,
+        rationale: "many groups but few columns: partition the (key, ID) pairs once and \
+                    gather — the transformation cost of GFTR would not pay off",
+    }
+}
+
 /// Derive a profile from concrete relations plus distribution estimates the
 /// caller knows (match ratio and skew are generator/optimizer knowledge, not
 /// derivable from a cheap scan).
@@ -238,6 +313,53 @@ mod tests {
         };
         assert_eq!(choose_join(&p).algorithm, Algorithm::PhjUm);
         assert_eq!(choose_smj(&p).algorithm, Algorithm::SmjUm);
+    }
+
+    #[test]
+    fn few_uniform_groups_stay_on_the_hash_table() {
+        let p = AggProfile {
+            rows: 1 << 24,
+            est_groups: 1024,
+            skewed: false,
+            wide: true,
+            l2_bytes: 40 << 20,
+        };
+        assert_eq!(choose_group_by(&p).algorithm, GroupByAlgorithm::HashGlobal);
+    }
+
+    #[test]
+    fn skew_leaves_the_global_hash_table() {
+        let p = AggProfile {
+            rows: 1 << 24,
+            est_groups: 1024,
+            skewed: true,
+            wide: true,
+            l2_bytes: 40 << 20,
+        };
+        assert_ne!(choose_group_by(&p).algorithm, GroupByAlgorithm::HashGlobal);
+    }
+
+    #[test]
+    fn many_groups_pick_a_transform_by_width() {
+        let many = AggProfile {
+            rows: 1 << 26,
+            est_groups: 1 << 24,
+            skewed: false,
+            wide: true,
+            l2_bytes: 40 << 20,
+        };
+        assert_eq!(
+            choose_group_by(&many).algorithm,
+            GroupByAlgorithm::PartitionedGftr
+        );
+        let narrow = AggProfile {
+            wide: false,
+            ..many
+        };
+        assert_eq!(
+            choose_group_by(&narrow).algorithm,
+            GroupByAlgorithm::PartitionedGfur
+        );
     }
 
     #[test]

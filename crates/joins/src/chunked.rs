@@ -105,6 +105,7 @@ pub fn chunked_join(
         return (run_join(dev, algorithm, r, s, config), plan);
     }
 
+    let counters_before = dev.counters();
     let mut phases = PhaseTimes::default();
     let mut peak = 0u64;
     let mut out_keys: Vec<i64> = Vec::new();
@@ -157,17 +158,15 @@ pub fn chunked_join(
         .map(|(vals, proto)| rebuild(dev, proto, vals))
         .collect();
     let keys_len = keys.len();
+    let mut stats = JoinStats::new(algorithm, phases, keys_len, peak);
+    // Counter delta over all chunks, including the staging gathers.
+    stats.op.counters = dev.counters().delta_since(&counters_before).0;
     (
         JoinOutput {
             keys,
             r_payloads,
             s_payloads,
-            stats: JoinStats {
-                algorithm,
-                phases,
-                rows: keys_len,
-                peak_mem_bytes: peak,
-            },
+            stats,
         },
         plan,
     )

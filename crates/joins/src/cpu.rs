@@ -299,12 +299,8 @@ pub fn cpu_radix_join(dev: &Device, r: &Relation, s: &Relation, config: &JoinCon
             keys: K::wrap(dev.upload(keys, "cpu.out_keys")),
             r_payloads,
             s_payloads,
-            stats: JoinStats {
-                algorithm: Algorithm::CpuRadix,
-                phases,
-                rows,
-                peak_mem_bytes: 0, // host memory, not device-ledger tracked
-            },
+            // peak 0: host memory, not device-ledger tracked
+            stats: JoinStats::new(Algorithm::CpuRadix, phases, rows, 0),
         }
     }
     dispatch_keys!(r, s, typed(dev, r, s, config))

@@ -36,7 +36,7 @@ pub use kinds::JoinKind;
 
 use columnar::{Column, Relation};
 use serde::{Deserialize, Serialize};
-use sim::{Device, PhaseTimes, SimTime};
+use sim::{Device, OpStats, PhaseTimes, SimTime};
 
 /// Which join implementation to run — the paper's four variants plus the
 /// two baselines. The short labels (SU/PU/SO/PO) follow Section 5.1.
@@ -175,25 +175,35 @@ impl Default for JoinConfig {
     }
 }
 
-/// Execution report for one join.
+/// Execution report for one join: the algorithm that ran plus the shared
+/// per-operator report ([`sim::OpStats`]: phases, rows, peak memory,
+/// hardware counters). Dereferences to [`OpStats`], so `stats.phases`,
+/// `stats.rows`, `stats.peak_mem_bytes` and the former
+/// `JoinStats::throughput_tuples` helper (now [`OpStats::throughput_tuples`])
+/// all keep working unchanged.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JoinStats {
     /// Which implementation produced this.
     pub algorithm: Algorithm,
-    /// Per-phase simulated times.
-    pub phases: PhaseTimes,
-    /// Output cardinality.
-    pub rows: usize,
-    /// Peak device memory over the join, bytes (inputs included), the
-    /// measurement reported in Table 5.
-    pub peak_mem_bytes: u64,
+    /// The shared per-operator report.
+    pub op: OpStats,
 }
 
 impl JoinStats {
-    /// End-to-end throughput in input tuples per second — the paper's
-    /// `(|R| + |S|) / total time` metric (Section 5.1).
-    pub fn throughput_tuples(&self, input_tuples: usize) -> f64 {
-        input_tuples as f64 / self.phases.total().secs()
+    /// Assemble from the measurements every join implementation takes; the
+    /// hardware-counter delta is filled in centrally by [`run_join`].
+    pub fn new(algorithm: Algorithm, phases: PhaseTimes, rows: usize, peak_mem_bytes: u64) -> Self {
+        JoinStats {
+            algorithm,
+            op: OpStats::new(phases, rows, peak_mem_bytes),
+        }
+    }
+}
+
+impl std::ops::Deref for JoinStats {
+    type Target = OpStats;
+    fn deref(&self) -> &OpStats {
+        &self.op
     }
 }
 
@@ -238,7 +248,9 @@ impl JoinOutput {
 }
 
 /// Run `algorithm` on `(r, s)` — the uniform entry point used by the
-/// benchmark harness and the decision-tree validation.
+/// benchmark harness, the engine's operator layer and the decision-tree
+/// validation. Captures the per-join hardware-counter delta (Table 4
+/// metrics) into the shared [`OpStats`] report.
 pub fn run_join(
     dev: &Device,
     algorithm: Algorithm,
@@ -246,7 +258,8 @@ pub fn run_join(
     s: &Relation,
     config: &JoinConfig,
 ) -> JoinOutput {
-    match algorithm {
+    let before = dev.counters();
+    let mut out = match algorithm {
         Algorithm::SmjUm => smj::smj_um(dev, r, s, config),
         Algorithm::SmjOm => smj::smj_om(dev, r, s, config),
         Algorithm::PhjUm => phj_um::phj_um(dev, r, s, config),
@@ -254,7 +267,9 @@ pub fn run_join(
         Algorithm::PhjOmGfur => phj_om::phj_om_gfur(dev, r, s, config),
         Algorithm::Nphj => nphj::nphj(dev, r, s, config),
         Algorithm::CpuRadix => cpu::cpu_radix_join(dev, r, s, config),
-    }
+    };
+    out.stats.op.counters = dev.counters().delta_since(&before).0;
+    out
 }
 
 /// Time a closure in simulated device time.

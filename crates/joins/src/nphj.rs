@@ -81,12 +81,7 @@ pub fn nphj(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> Jo
             keys: K::wrap(adj.keys),
             r_payloads,
             s_payloads,
-            stats: JoinStats {
-                algorithm: Algorithm::Nphj,
-                phases,
-                rows,
-                peak_mem_bytes: dev.mem_report().peak_bytes,
-            },
+            stats: JoinStats::new(Algorithm::Nphj, phases, rows, dev.mem_report().peak_bytes),
         }
     }
     dispatch_keys!(r, s, typed(dev, r, s, config))

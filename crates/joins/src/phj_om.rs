@@ -142,12 +142,7 @@ pub fn phj_om(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
             keys: K::wrap(adj.keys),
             r_payloads,
             s_payloads,
-            stats: JoinStats {
-                algorithm: Algorithm::PhjOm,
-                phases,
-                rows,
-                peak_mem_bytes: dev.mem_report().peak_bytes,
-            },
+            stats: JoinStats::new(Algorithm::PhjOm, phases, rows, dev.mem_report().peak_bytes),
         }
     }
     dispatch_keys!(r, s, typed(dev, r, s, config))
@@ -240,12 +235,12 @@ pub fn phj_om_gfur(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig
             keys: K::wrap(adj.keys),
             r_payloads,
             s_payloads,
-            stats: JoinStats {
-                algorithm: Algorithm::PhjOmGfur,
+            stats: JoinStats::new(
+                Algorithm::PhjOmGfur,
                 phases,
                 rows,
-                peak_mem_bytes: dev.mem_report().peak_bytes,
-            },
+                dev.mem_report().peak_bytes,
+            ),
         }
     }
     dispatch_keys!(r, s, typed(dev, r, s, config))

@@ -298,12 +298,7 @@ pub fn phj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
             keys: K::wrap(adj.keys),
             r_payloads,
             s_payloads,
-            stats: JoinStats {
-                algorithm: Algorithm::PhjUm,
-                phases,
-                rows,
-                peak_mem_bytes: dev.mem_report().peak_bytes,
-            },
+            stats: JoinStats::new(Algorithm::PhjUm, phases, rows, dev.mem_report().peak_bytes),
         }
     }
     dispatch_keys!(r, s, typed(dev, r, s, config))

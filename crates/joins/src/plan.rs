@@ -12,7 +12,7 @@
 use crate::{run_join, timed, Algorithm, JoinConfig, JoinStats};
 use columnar::{Column, Relation};
 use primitives::gather_column;
-use sim::{Device, PhaseTimes, SimTime};
+use sim::{Device, OpStats, PhaseTimes, SimTime};
 
 /// A fact table for star-schema pipelines: `N` foreign-key columns
 /// (`FK_1..FK_N`), one per dimension table.
@@ -90,6 +90,25 @@ impl SequenceOutput {
             p.materialize += s.fk_fetch;
         }
         p
+    }
+
+    /// The whole sequence as one shared [`OpStats`] record: summed phases
+    /// and counters, peak memory of the worst step, final cardinality.
+    pub fn op_stats(&self) -> OpStats {
+        let mut stats = OpStats::new(
+            self.phases(),
+            self.rows,
+            self.steps
+                .iter()
+                .map(|s| s.join.peak_mem_bytes)
+                .max()
+                .unwrap_or(0),
+        );
+        for s in &self.steps {
+            stats.other += s.join.other;
+            stats.counters += &s.join.counters;
+        }
+        stats
     }
 }
 
@@ -258,6 +277,13 @@ mod tests {
             "join 4 materializes 3 extra columns and must cost more: {first} vs {last}"
         );
         assert!(out.total_time().secs() > 0.0);
+        // The shared record sums the whole sequence.
+        let agg = out.op_stats();
+        assert_eq!(agg.rows, out.rows);
+        assert_eq!(agg.phases.total(), out.phases().total());
+        let per_step: u64 = out.steps.iter().map(|s| s.join.counters.dram_bytes()).sum();
+        assert_eq!(agg.counters.dram_bytes(), per_step);
+        assert!(agg.peak_mem_bytes >= out.steps[0].join.peak_mem_bytes);
     }
 
     #[test]

@@ -170,12 +170,7 @@ pub fn smj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
             keys: K::wrap(adj.keys),
             r_payloads,
             s_payloads,
-            stats: JoinStats {
-                algorithm: Algorithm::SmjUm,
-                phases,
-                rows,
-                peak_mem_bytes: dev.mem_report().peak_bytes,
-            },
+            stats: JoinStats::new(Algorithm::SmjUm, phases, rows, dev.mem_report().peak_bytes),
         }
     }
     dispatch_keys!(r, s, typed(dev, r, s, config))
@@ -285,12 +280,7 @@ pub fn smj_om(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
             keys: K::wrap(adj.keys),
             r_payloads,
             s_payloads,
-            stats: JoinStats {
-                algorithm: Algorithm::SmjOm,
-                phases,
-                rows,
-                peak_mem_bytes: dev.mem_report().peak_bytes,
-            },
+            stats: JoinStats::new(Algorithm::SmjOm, phases, rows, dev.mem_report().peak_bytes),
         }
     }
     dispatch_keys!(r, s, typed(dev, r, s, config))

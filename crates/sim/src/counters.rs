@@ -88,6 +88,29 @@ impl Counters {
     }
 }
 
+impl std::ops::AddAssign<&Counters> for Counters {
+    fn add_assign(&mut self, rhs: &Counters) {
+        self.kernel_launches += rhs.kernel_launches;
+        self.cycles += rhs.cycles;
+        self.warp_instructions += rhs.warp_instructions;
+        self.dram_read_bytes += rhs.dram_read_bytes;
+        self.dram_write_bytes += rhs.dram_write_bytes;
+        self.load_requests += rhs.load_requests;
+        self.sectors_requested += rhs.sectors_requested;
+        self.l2_hits += rhs.l2_hits;
+        self.l2_misses += rhs.l2_misses;
+        self.atomics += rhs.atomics;
+    }
+}
+
+impl std::ops::Add<&Counters> for Counters {
+    type Output = Counters;
+    fn add(mut self, rhs: &Counters) -> Counters {
+        self += rhs;
+        self
+    }
+}
+
 /// A counter delta between two snapshots; dereferences to [`Counters`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CountersDelta(pub Counters);
@@ -109,6 +132,30 @@ mod tests {
         assert_eq!(c.sectors_per_request(), 0.0);
         assert_eq!(c.l2_hit_rate(), 0.0);
         assert_eq!(c.cycles_per_warp_instruction(), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates_fieldwise() {
+        let a = Counters {
+            kernel_launches: 1,
+            cycles: 10.0,
+            dram_read_bytes: 64,
+            ..Default::default()
+        };
+        let b = Counters {
+            kernel_launches: 2,
+            cycles: 5.0,
+            atomics: 7,
+            ..Default::default()
+        };
+        let sum = a.clone() + &b;
+        assert_eq!(sum.kernel_launches, 3);
+        assert_eq!(sum.cycles, 15.0);
+        assert_eq!(sum.dram_read_bytes, 64);
+        assert_eq!(sum.atomics, 7);
+        let mut acc = a;
+        acc += &b;
+        assert_eq!(acc, sum);
     }
 
     #[test]

@@ -59,6 +59,7 @@ mod element;
 mod kernel;
 mod l2;
 mod memory;
+mod stats;
 mod time;
 
 pub use config::DeviceConfig;
@@ -67,6 +68,7 @@ pub use element::Element;
 pub use kernel::KernelBuilder;
 pub use l2::L2Cache;
 pub use memory::{DeviceBuffer, MemReport};
+pub use stats::OpStats;
 pub use time::{PhaseTimes, SimTime};
 
 use parking_lot::Mutex;

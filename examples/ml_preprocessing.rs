@@ -84,18 +84,18 @@ fn main() {
         dev,
         &features,
         &samples,
-        rec.algorithm,
-        &JoinConfig::default(),
-        GroupKey::SPayload(0), // group by label
-        GroupByAlgorithm::PartitionedGftr,
-        &[
-            AggFn::Count, // join key column (entity id) -> row count per label
-            AggFn::Sum,   // f1
-            AggFn::Min,   // f2
-            AggFn::Max,   // f3
-            AggFn::Sum,   // f4
-        ],
-        &GroupByConfig::default(),
+        &PipelineSpec::new(
+            rec.algorithm,
+            GroupKey::SPayload(0), // group by label
+            GroupByAlgorithm::PartitionedGftr,
+            &[
+                AggFn::Count, // join key column (entity id) -> row count per label
+                AggFn::Sum,   // f1
+                AggFn::Min,   // f2
+                AggFn::Max,   // f3
+                AggFn::Sum,   // f4
+            ],
+        ),
     );
     println!(
         "per-label stats: {} labels from {} augmented rows in {}",

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Repo-wide checks: formatting, lints (warnings are errors), full test suite.
-# Run from anywhere; CI runs exactly this script.
+# Repo-wide checks: formatting, lints (warnings are errors), docs (warnings
+# are errors), full test suite, and a tiny-scale smoke-run of the whole
+# experiment suite. Run from anywhere; CI runs exactly this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+repo_dir="$PWD"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -10,7 +12,34 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> bench smoke-run (run_all --scale 14)"
+# run_all writes results/ into the cwd; run from a scratch dir so the
+# checked-in results/ stays untouched.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+if ! (cd "$smoke_dir" \
+    && cargo run --release --quiet --manifest-path "$repo_dir/Cargo.toml" \
+        -p bench --bin run_all -- --scale 14 --reps 1 >run_all.log 2>&1); then
+    echo "bench smoke-run failed; tail of log:"
+    tail -40 "$smoke_dir/run_all.log"
+    exit 1
+fi
+test -s "$smoke_dir/results/summary.md" || {
+    echo "bench smoke-run produced no summary.md"
+    exit 1
+}
+for json in "$smoke_dir"/results/*.json; do
+    grep -q '"rows"' "$json" || {
+        echo "bench smoke-run: $(basename "$json") has no rows"
+        exit 1
+    }
+done
+echo "    $(ls "$smoke_dir/results" | wc -l) result files, all with rows"
 
 echo "All checks passed."

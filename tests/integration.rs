@@ -103,12 +103,12 @@ fn join_groupby_pipeline_matches_two_stage_oracle() {
         dev,
         &r,
         &s,
-        Algorithm::PhjOm,
-        &JoinConfig::default(),
-        GroupKey::JoinKey,
-        GroupByAlgorithm::SortGftr,
-        &[AggFn::Count, AggFn::Sum],
-        &GroupByConfig::default(),
+        &PipelineSpec::new(
+            Algorithm::PhjOm,
+            GroupKey::JoinKey,
+            GroupByAlgorithm::SortGftr,
+            &[AggFn::Count, AggFn::Sum],
+        ),
     );
 
     // Oracle: group the oracle join rows by key.
