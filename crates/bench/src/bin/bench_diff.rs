@@ -1,0 +1,61 @@
+//! Compare fresh experiment reports against the checked-in baselines.
+//!
+//! ```text
+//! bench_diff [--baseline DIR] [--fresh DIR] [--tol FRACTION]
+//! ```
+//!
+//! Prints the per-figure drift table from [`bench::diff`] and exits
+//! nonzero if any figure breaches the relative tolerance (default 5%;
+//! simulated fields are deterministic and should match exactly, while
+//! CPU-baseline wall-clock fields get at least
+//! [`bench::diff::WALLCLOCK_TOL`]). Normally driven by
+//! `scripts/bench_diff.sh`, which produces the fresh run in a temp dir.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut baseline = PathBuf::from("results");
+    let mut fresh = PathBuf::from("results-fresh");
+    let mut tol = 0.05f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                std::process::exit(2)
+            })
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = PathBuf::from(val("--baseline")),
+            "--fresh" => fresh = PathBuf::from(val("--fresh")),
+            "--tol" => {
+                tol = val("--tol").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --tol needs a fraction (e.g. 0.05)");
+                    std::process::exit(2)
+                })
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                eprintln!("usage: bench_diff [--baseline DIR] [--fresh DIR] [--tol FRACTION]");
+                std::process::exit(2)
+            }
+        }
+    }
+
+    let diffs = bench::diff::diff_dirs(&baseline, &fresh, tol).unwrap_or_else(|e| {
+        eprintln!("error: cannot read report dirs: {e}");
+        std::process::exit(2)
+    });
+    if diffs.is_empty() {
+        eprintln!(
+            "error: no *.json reports under {} or {}",
+            baseline.display(),
+            fresh.display()
+        );
+        std::process::exit(2);
+    }
+    print!("{}", bench::diff::render_drift_table(&diffs, tol));
+    if diffs.iter().any(|d| !d.ok()) {
+        std::process::exit(1);
+    }
+}

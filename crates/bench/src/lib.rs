@@ -17,11 +17,13 @@
 //!
 //! Run everything at once with `cargo run --release -p bench --bin run_all`.
 
+pub mod diff;
 pub mod exp;
 
 use serde::Serialize;
 use sim::Device;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Shared command-line arguments for experiment binaries.
 #[derive(Debug, Clone)]
@@ -35,6 +37,14 @@ pub struct Args {
     pub json: Option<PathBuf>,
     /// Repetitions for wall-clock (CPU) measurements.
     pub reps: usize,
+    /// Optional Chrome-trace output path (`--trace`). When set, every
+    /// device [`Args::device`] creates records `sim::trace` events, and
+    /// [`Report::finish`] exports the cumulative timeline here (plus a
+    /// JSONL event log next to it).
+    pub trace: Option<PathBuf>,
+    /// Devices created while tracing, shared across clones of these args
+    /// so a multi-experiment driver (`run_all`) accumulates one trace.
+    trace_devices: Arc<Mutex<Vec<Device>>>,
 }
 
 impl Default for Args {
@@ -44,6 +54,8 @@ impl Default for Args {
             device: "a100".to_string(),
             json: None,
             reps: 3,
+            trace: None,
+            trace_devices: Arc::new(Mutex::new(Vec::new())),
         }
     }
 }
@@ -75,6 +87,11 @@ impl Args {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--reps needs a number"));
                 }
+                "--trace" => {
+                    out.trace = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--trace needs a path")),
+                    ));
+                }
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
@@ -93,7 +110,41 @@ impl Args {
             "rtx3090" => sim::DeviceConfig::rtx3090(),
             other => usage(&format!("unknown device '{other}' (a100|rtx3090)")),
         };
-        Device::new(cfg.scaled(self.regime_factor()))
+        let dev = Device::new(cfg.scaled(self.regime_factor()));
+        if self.trace.is_some() {
+            dev.enable_tracing();
+            self.trace_devices.lock().unwrap().push(dev.clone());
+        }
+        dev
+    }
+
+    /// Export the cumulative trace of every device created so far: Chrome
+    /// `trace_event` JSON at the `--trace` path and a JSONL event log next
+    /// to it (`<path>l`, i.e. `trace.json` → `trace.jsonl`). No-op without
+    /// `--trace`. Called by [`Report::finish`], so each experiment that
+    /// completes refreshes the files; re-exports overwrite.
+    pub fn write_trace(&self) {
+        let Some(path) = &self.trace else { return };
+        let traces = self.trace_snapshots();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, sim::trace::chrome_trace_json(&traces)).expect("write chrome trace");
+        let mut jsonl_path = path.clone().into_os_string();
+        jsonl_path.push("l");
+        std::fs::write(PathBuf::from(jsonl_path), sim::trace::jsonl(&traces))
+            .expect("write jsonl trace");
+        println!("(wrote trace: {})", path.display());
+    }
+
+    /// Snapshots of every traced device's event log, in creation order.
+    pub fn trace_snapshots(&self) -> Vec<sim::Trace> {
+        self.trace_devices
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|d| d.trace_snapshot())
+            .collect()
     }
 
     /// The paper-regime scaling factor `2^(27 - scale)` (1 at the paper's
@@ -110,7 +161,10 @@ impl Args {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--scale LOG2] [--device a100|rtx3090] [--json PATH] [--reps N]");
+    eprintln!(
+        "usage: <bin> [--scale LOG2] [--device a100|rtx3090] [--json PATH] [--reps N] \
+         [--trace PATH]"
+    );
     std::process::exit(2)
 }
 
@@ -155,7 +209,7 @@ impl Report {
         self.findings.push(text);
     }
 
-    /// Write to `--json` if requested.
+    /// Write to `--json` if requested, and refresh the `--trace` export.
     pub fn finish(&self, args: &Args) {
         if let Some(path) = &args.json {
             if let Some(parent) = path.parent() {
@@ -165,6 +219,7 @@ impl Report {
             std::fs::write(path, data).expect("write json report");
             println!("(wrote {})", path.display());
         }
+        args.write_trace();
     }
 }
 

@@ -6,11 +6,10 @@
 use bench::{exp, Args, Report};
 
 fn tiny() -> Args {
-    Args {
-        scale_log2: 14,
-        reps: 1,
-        ..Args::default()
-    }
+    let mut args = Args::default();
+    args.scale_log2 = 14;
+    args.reps = 1;
+    args
 }
 
 fn assert_ran(report: Report) {
@@ -62,10 +61,8 @@ fn json_reports_are_written_when_requested() {
     let dir = std::env::temp_dir().join("gpu_join_smoke");
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join("fig10.json");
-    let args = Args {
-        json: Some(path.clone()),
-        ..tiny()
-    };
+    let mut args = tiny();
+    args.json = Some(path.clone());
     let _ = exp::fig10::run(&args);
     let data = std::fs::read_to_string(&path).expect("report file written");
     let parsed: serde_json::Value = serde_json::from_str(&data).expect("valid json");

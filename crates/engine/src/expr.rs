@@ -192,7 +192,7 @@ impl Expr {
                 read += col.size_bytes();
             }
         }
-        dev.kernel("expr_eval")
+        dev.kernel("expr.eval")
             .items(n, STREAM_WARP_INSTR)
             .seq_read_bytes(read)
             .seq_write_bytes(n * 8)

@@ -101,7 +101,8 @@ pub fn run_operator(
     let t0 = ctx.dev.elapsed();
     ctx.dev.reset_peak_mem();
     let ev = op.evaluate(ctx, inputs)?;
-    let elapsed = ctx.dev.elapsed() - t0;
+    let t1 = ctx.dev.elapsed();
+    let elapsed = t1 - t0;
     let phases = ev.phases.unwrap_or_default();
     let mut op_stats = OpStats::new(phases, ev.table.num_rows(), ctx.dev.mem_report().peak_bytes);
     // Device time outside the operator's phase breakdown: sampling,
@@ -112,6 +113,17 @@ pub fn run_operator(
         Some(d) => format!("{} via {}", op.label(), d),
         None => op.label(),
     };
+    if ctx.dev.tracing_enabled() {
+        // Operator covering span: its duration is exactly this node's
+        // `OpStats::total_time()` (other = elapsed - phases, so
+        // phases + other = elapsed). Operators without a phase breakdown
+        // additionally get one `other` phase span so every instant of the
+        // timeline is phase-attributed.
+        if ev.phases.is_none() && elapsed.secs() > 0.0 {
+            ctx.dev.trace_span(sim::SpanCat::Phase, "other", t0, t1);
+        }
+        ctx.dev.trace_span(sim::SpanCat::Operator, &label, t0, t1);
+    }
     Ok((
         ev.table,
         NodeStats {

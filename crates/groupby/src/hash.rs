@@ -81,14 +81,14 @@ pub fn hash_groupby(
                 group_counts[g as usize] += 1;
                 row_group[i] = g;
             }
-            dev.kernel("hash_gb_build")
+            dev.kernel("hash_gb.build")
                 .items(n as u64, GLOBAL_HASH_WARP_INSTR)
                 .seq_read_bytes(n as u64 * K::SIZE)
                 .warp_loads(12, touched)
                 .seq_write_bytes(n as u64 * 4)
                 .launch();
         }
-        phases.match_find = dev.elapsed() - t0;
+        phases.match_find = crate::phase_mark(dev, "match_find", t0);
         let groups = group_keys.len();
         let hottest = group_counts.iter().copied().max().unwrap_or(0);
 
@@ -112,7 +112,7 @@ pub fn hash_groupby(
                 accs[g] = agg.fold(accs[g], col.value(i));
             }
             if privatized {
-                dev.kernel("hash_gb_aggregate_privatized")
+                dev.kernel("hash_gb.aggregate.privatized")
                     .items(n as u64, STREAM_WARP_INSTR)
                     .seq_read_bytes(n as u64 * (col.dtype().size() + 4))
                     // Cross-block merge: one partial table per block.
@@ -123,7 +123,7 @@ pub fn hash_groupby(
                 let accs_addrs: Vec<u64> = (0..n)
                     .map(|i| accs.addr_of(row_group[i] as usize))
                     .collect();
-                dev.kernel("hash_gb_aggregate")
+                dev.kernel("hash_gb.aggregate.global")
                     .items(n as u64, STREAM_WARP_INSTR)
                     .seq_read_bytes(n as u64 * (col.dtype().size() + 4))
                     .warp_stores(8, accs_addrs)
@@ -134,12 +134,12 @@ pub fn hash_groupby(
         }
         // Compact the table into the output key column (streaming scan of
         // the slots).
-        dev.kernel("hash_gb_compact")
+        dev.kernel("hash_gb.compact")
             .items(slots as u64, STREAM_WARP_INSTR)
             .seq_read_bytes(slots as u64 * 12)
             .seq_write_bytes(groups as u64 * K::SIZE)
             .launch();
-        phases.materialize = dev.elapsed() - t0;
+        phases.materialize = crate::phase_mark(dev, "materialize", t0);
         drop((table_keys, row_group));
 
         GroupByOutput {

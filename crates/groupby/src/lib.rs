@@ -26,7 +26,17 @@ pub mod sort;
 
 use columnar::{Column, Relation};
 use serde::{Deserialize, Serialize};
-use sim::{Device, OpStats, PhaseTimes};
+use sim::{Device, OpStats, PhaseTimes, SimTime};
+
+/// Close a paper-phase measurement started at `t0`: records the interval
+/// as a phase span on the device trace (no-op when tracing is off) and
+/// returns its duration — exactly the value the caller stores in
+/// [`PhaseTimes`], so phase-span sums reproduce the reported phases.
+pub(crate) fn phase_mark(dev: &Device, phase: &'static str, t0: SimTime) -> SimTime {
+    let t1 = dev.elapsed();
+    dev.trace_span(sim::SpanCat::Phase, phase, t0, t1);
+    t1 - t0
+}
 
 /// Aggregate function applied to one payload column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -221,6 +231,7 @@ pub fn run_group_by(
         "need exactly one aggregate function per payload column"
     );
     let before = dev.counters();
+    let t0 = dev.elapsed();
     let mut out = match algorithm {
         GroupByAlgorithm::HashGlobal => hash::hash_groupby(dev, input, aggs, config),
         GroupByAlgorithm::SortGftr => sort::sort_groupby(dev, input, aggs, config, true),
@@ -233,6 +244,7 @@ pub fn run_group_by(
         }
     };
     out.stats.op.counters = dev.counters().delta_since(&before).0;
+    dev.trace_span(sim::SpanCat::GroupBy, algorithm.name(), t0, dev.elapsed());
     out
 }
 

@@ -78,7 +78,7 @@ pub fn partitioned_groupby(
             let p = radix_partition(dev, keys, &ids, bits);
             (p.keys, None, Some(p.vals), p.offsets)
         };
-        phases.transform = dev.elapsed() - t0;
+        phases.transform = crate::phase_mark(dev, "transform", t0);
 
         // Group finding: per-partition shared-memory tables assign each row
         // a global group id (one streaming pass writing the group-id column
@@ -105,14 +105,14 @@ pub fn partitioned_groupby(
                 });
                 row_group.push(g);
             }
-            dev.kernel("part_gb_group_find")
+            dev.kernel("part_gb.group_find")
                 .items(n as u64, BUILD_WARP_INSTR)
                 .seq_read_bytes(n as u64 * K::SIZE)
                 .seq_write_bytes(n as u64 * 4 + group_keys.len() as u64 * K::SIZE)
                 .launch();
         }
         let row_group = dev.upload(row_group, "part_gb.row_group");
-        phases.match_find = dev.elapsed() - t0;
+        phases.match_find = crate::phase_mark(dev, "match_find", t0);
         let groups = group_keys.len();
 
         // Aggregation: per column. GFTR re-partitions the column (identical
@@ -139,14 +139,14 @@ pub fn partitioned_groupby(
                 let g = row_group[i] as usize;
                 accs[g] = agg.fold(accs[g], ordered.value(i));
             }
-            dev.kernel("part_gb_aggregate")
+            dev.kernel("part_gb.aggregate")
                 .items(n as u64, STREAM_WARP_INSTR)
                 .seq_read_bytes(n as u64 * (ordered.dtype().size() + 4))
                 .seq_write_bytes(groups as u64 * 8)
                 .launch();
             aggregates.push(Column::from_i64(dev, accs, "part_gb.out"));
         }
-        phases.materialize = dev.elapsed() - t0;
+        phases.materialize = crate::phase_mark(dev, "materialize", t0);
 
         GroupByOutput {
             keys: K::wrap(dev.upload(group_keys, "part_gb.group_keys")),

@@ -86,12 +86,12 @@ pub fn sort_groupby(
             let (k, v) = sort_pairs(dev, keys, &ids);
             (k, None, Some(v))
         };
-        phases.transform = dev.elapsed() - t0;
+        phases.transform = crate::phase_mark(dev, "transform", t0);
 
         // Group finding: boundary detection over the sorted keys.
         let t0 = dev.elapsed();
         let boundaries = run_boundaries(dev, sorted_keys.as_slice());
-        phases.match_find = dev.elapsed() - t0;
+        phases.match_find = crate::phase_mark(dev, "match_find", t0);
         let groups = boundaries.len() - 1;
 
         // Aggregation.
@@ -117,7 +117,7 @@ pub fn sort_groupby(
         // Group keys: one value per segment start (clustered gather).
         let starts = dev.upload(boundaries[..groups].to_vec(), "sort_gb.starts");
         let group_keys = primitives::gather(dev, &sorted_keys, &starts);
-        phases.materialize = dev.elapsed() - t0;
+        phases.materialize = crate::phase_mark(dev, "materialize", t0);
 
         GroupByOutput {
             keys: K::wrap(group_keys),

@@ -49,7 +49,7 @@ pub fn sample_stats(
     let sample_size = sample_size.clamp(1, n.max(1));
     // Membership filter from R's keys (streaming read, like a Bloom build).
     let build: std::collections::HashSet<i64> = r.key().iter_i64().collect();
-    dev.kernel("estimate_filter_build")
+    dev.kernel("estimate.filter_build")
         .items(r.len() as u64, primitives::STREAM_WARP_INSTR)
         .seq_read_bytes(r.key().size_bytes())
         .launch();
@@ -69,7 +69,7 @@ pub fn sample_stats(
         taken += 1;
         i += stride;
     }
-    dev.kernel("estimate_sample_probe")
+    dev.kernel("estimate.sample_probe")
         .items(taken as u64, primitives::STREAM_WARP_INSTR)
         .seq_read_bytes(taken as u64 * s.key().dtype().size())
         .launch();
@@ -138,7 +138,7 @@ pub fn sample_group_stats(dev: &Device, key: &Column, sample_size: usize) -> Est
             taken += 1;
         }
     }
-    dev.kernel("estimate_group_sample")
+    dev.kernel("estimate.group_sample")
         .items(taken as u64, primitives::STREAM_WARP_INSTR)
         .seq_read_bytes(taken as u64 * key.dtype().size())
         .launch();
@@ -257,7 +257,7 @@ mod tests {
         assert!(t > 0.0, "sampling is charged");
         // Far cheaper than a pass over S.
         dev.reset_stats();
-        dev.kernel("full_scan")
+        dev.kernel("estimate.full_scan")
             .seq_read_bytes(s.key().size_bytes())
             .launch();
         assert!(t < 10.0 * dev.elapsed().secs());

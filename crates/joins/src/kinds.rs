@@ -9,7 +9,7 @@
 //! gather R payloads as the type's null sentinel (`i32::MIN` / `i64::MIN`)
 //! through [`primitives::gather_or`].
 
-use crate::timed;
+use crate::timed_phase;
 use columnar::ColumnElement;
 use primitives::{gather, MatchResult, NULL_ID, STREAM_WARP_INSTR};
 use serde::{Deserialize, Serialize};
@@ -66,7 +66,7 @@ fn unmatched_positions(dev: &Device, s_idx: &DeviceBuffer<u32>, s_len: usize) ->
     let extra: Vec<u32> = (0..s_len as u32)
         .filter(|&i| !matched[i as usize])
         .collect();
-    dev.kernel("kind_unmatched_scan")
+    dev.kernel("kind.unmatched_scan")
         .items((s_idx.len() + s_len) as u64, STREAM_WARP_INSTR)
         .seq_read_bytes(s_idx.len() as u64 * 4)
         .seq_write_bytes((s_len / 8) as u64 + extra.len() as u64 * 4)
@@ -105,7 +105,7 @@ pub(crate) fn apply_kind<K: ColumnElement>(
             let keep: Vec<u32> = (0..m.s_idx.len() as u32)
                 .filter(|&i| i == 0 || m.s_idx[i as usize] != m.s_idx[i as usize - 1])
                 .collect();
-            dev.kernel("kind_semi_flags")
+            dev.kernel("kind.semi_flags")
                 .items(m.s_idx.len() as u64, STREAM_WARP_INSTR)
                 .seq_read_bytes(m.s_idx.len() as u64 * 4)
                 .seq_write_bytes(keep.len() as u64 * 4)
@@ -148,7 +148,7 @@ pub(crate) fn apply_kind<K: ColumnElement>(
             let mut s_map = Vec::with_capacity(total);
             s_map.extend_from_slice(&m.s_idx);
             s_map.extend(extra);
-            dev.kernel("kind_outer_concat")
+            dev.kernel("kind.outer_concat")
                 .items(total as u64, STREAM_WARP_INSTR)
                 .seq_read_bytes(total as u64 * (K::SIZE + 8))
                 .seq_write_bytes(total as u64 * (K::SIZE + 8))
@@ -173,7 +173,9 @@ pub(crate) fn apply_kind_timed<K: ColumnElement>(
     s_keys_src: &DeviceBuffer<K>,
     s_len: usize,
 ) -> KindAdjusted<K> {
-    let (out, t) = timed(dev, || apply_kind(dev, kind, m, s_keys_src, s_len));
+    let (out, t) = timed_phase(dev, "match_find", || {
+        apply_kind(dev, kind, m, s_keys_src, s_len)
+    });
     KindAdjusted { time: t, ..out }
 }
 

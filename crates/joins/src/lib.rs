@@ -259,6 +259,7 @@ pub fn run_join(
     config: &JoinConfig,
 ) -> JoinOutput {
     let before = dev.counters();
+    let t0 = dev.elapsed();
     let mut out = match algorithm {
         Algorithm::SmjUm => smj::smj_um(dev, r, s, config),
         Algorithm::SmjOm => smj::smj_om(dev, r, s, config),
@@ -269,6 +270,7 @@ pub fn run_join(
         Algorithm::CpuRadix => cpu::cpu_radix_join(dev, r, s, config),
     };
     out.stats.op.counters = dev.counters().delta_since(&before).0;
+    dev.trace_span(sim::SpanCat::Join, algorithm.name(), t0, dev.elapsed());
     out
 }
 
@@ -277,6 +279,22 @@ pub(crate) fn timed<T>(dev: &Device, f: impl FnOnce() -> T) -> (T, SimTime) {
     let t0 = dev.elapsed();
     let out = f();
     (out, dev.elapsed() - t0)
+}
+
+/// Time a closure in simulated device time *and* record it as a paper-phase
+/// span (`transform` / `match_find` / `materialize`) on the device trace.
+/// The returned duration is exactly the recorded span's, so phase-span sums
+/// in a trace reproduce [`sim::PhaseTimes`] bit for bit.
+pub(crate) fn timed_phase<T>(
+    dev: &Device,
+    phase: &'static str,
+    f: impl FnOnce() -> T,
+) -> (T, SimTime) {
+    let t0 = dev.elapsed();
+    let out = f();
+    let t1 = dev.elapsed();
+    dev.trace_span(sim::SpanCat::Phase, phase, t0, t1);
+    (out, t1 - t0)
 }
 
 /// Pick the radix fan-out: partitions sized to the shared-memory hash table,

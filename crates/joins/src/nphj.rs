@@ -10,7 +10,7 @@
 
 use crate::kinds::{apply_kind_timed, JoinKind};
 use crate::smj::dispatch_keys;
-use crate::{timed, Algorithm, JoinConfig, JoinOutput, JoinStats};
+use crate::{timed_phase, Algorithm, JoinConfig, JoinOutput, JoinStats};
 use columnar::{Column, ColumnElement, Relation};
 use primitives::{gather_column, gather_column_or_null, GlobalHashTable};
 use sim::{Device, DeviceBuffer, PhaseTimes};
@@ -33,7 +33,7 @@ pub fn nphj(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> Jo
 
         // Match finding: build + probe (no transformation phase at all —
         // the cuDF structure the paper describes for Figure 8).
-        let (m, t) = timed(dev, || {
+        let (m, t) = timed_phase(dev, "match_find", || {
             let mut ht = GlobalHashTable::new(dev, r_keys.len());
             ht.build(dev, r_keys);
             reservation.release_keys();
@@ -46,7 +46,7 @@ pub fn nphj(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> Jo
 
         // Materialization: r_map is a random permutation (hash order), s_map
         // is the probe order — clustered.
-        let ((r_payloads, s_payloads), t) = timed(dev, || {
+        let ((r_payloads, s_payloads), t) = timed_phase(dev, "materialize", || {
             let rp: Vec<Column> = if adj.materialize_r {
                 r.payloads()
                     .iter()

@@ -11,7 +11,7 @@
 
 use crate::kinds::{apply_kind_timed, JoinKind};
 use crate::smj::{dispatch_keys, iota};
-use crate::{choose_radix_bits, timed, Algorithm, JoinConfig, JoinOutput, JoinStats};
+use crate::{choose_radix_bits, timed_phase, Algorithm, JoinConfig, JoinOutput, JoinStats};
 use columnar::{Column, ColumnElement, Relation};
 use primitives::{
     gather, gather_column, gather_column_or_null, join_copartitions, radix_partition, MatchResult,
@@ -57,7 +57,7 @@ pub fn phj_om(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
 
         // Transformation: partition keys with the first payload column of
         // each relation (histogram + prefix sum for offsets included).
-        let ((rt, st), t) = timed(dev, || {
+        let ((rt, st), t) = timed_phase(dev, "transform", || {
             let rt = match r.payloads().first() {
                 Some(p) => {
                     let (k, p, off) = partition_payload_with_key(dev, r_keys, p, bits);
@@ -89,7 +89,7 @@ pub fn phj_om(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         // clustered on the probe side.
         let (rt_keys, mut rt_p0, rt_off) = rt;
         let (st_keys, mut st_p0, st_off) = st;
-        let (m, t) = timed(dev, || {
+        let (m, t) = timed_phase(dev, "match_find", || {
             reservation.release_keys();
             join_copartitions(dev, &rt_keys, &rt_off, &st_keys, &st_off).0
         });
@@ -110,7 +110,7 @@ pub fn phj_om(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
                 gather_column(dev, src, map)
             }
         };
-        let ((r_payloads, s_payloads), t) = timed(dev, || {
+        let ((r_payloads, s_payloads), t) = timed_phase(dev, "materialize", || {
             let mut rp = Vec::with_capacity(r.num_payloads());
             if adj.materialize_r {
                 if let Some(p0) = rt_p0.take() {
@@ -165,7 +165,7 @@ pub fn phj_om_gfur(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig
         let mut phases = PhaseTimes::default();
         let bits = choose_radix_bits(dev, r.len().max(1), K::SIZE, config);
 
-        let ((rp, sp), t) = timed(dev, || {
+        let ((rp, sp), t) = timed_phase(dev, "transform", || {
             let r_ids = iota(dev, r_keys.len(), "phj_gfur.r_ids");
             let s_ids = iota(dev, s_keys.len(), "phj_gfur.s_ids");
             (
@@ -175,7 +175,7 @@ pub fn phj_om_gfur(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig
         });
         phases.transform = t;
 
-        let ((keys, r_ids, s_ids), t) = timed(dev, || {
+        let ((keys, r_ids, s_ids), t) = timed_phase(dev, "match_find", || {
             reservation.release_keys();
             let (m, _) = join_copartitions(dev, &rp.keys, &rp.offsets, &sp.keys, &sp.offsets);
             // Positions -> physical IDs (clustered reads of the partitioned
@@ -200,7 +200,7 @@ pub fn phj_om_gfur(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig
         );
         phases.match_find += adj.time;
 
-        let ((r_payloads, s_payloads), t) = timed(dev, || {
+        let ((r_payloads, s_payloads), t) = timed_phase(dev, "materialize", || {
             let rp: Vec<Column> = if adj.materialize_r {
                 r.payloads()
                     .iter()

@@ -21,7 +21,7 @@
 
 use crate::kinds::{apply_kind_timed, JoinKind};
 use crate::smj::{dispatch_keys, iota};
-use crate::{choose_radix_bits, timed, Algorithm, JoinConfig, JoinOutput, JoinStats};
+use crate::{choose_radix_bits, timed_phase, Algorithm, JoinConfig, JoinOutput, JoinStats};
 use columnar::{Column, ColumnElement, Relation};
 use primitives::{
     gather_column, gather_column_or_null, MatchResult, BUILD_WARP_INSTR, PROBE_WARP_INSTR,
@@ -115,7 +115,7 @@ fn bucket_partition<K: ColumnElement>(
     // atomic bookkeeping op per tuple, serializing on the hottest partition.
     let hottest = hist.iter().copied().max().unwrap_or(0);
     let pair = n as u64 * (K::SIZE + 4);
-    for pass in ["phj_um_partition_p1", "phj_um_partition_p2"] {
+    for pass in ["phj_um.partition.pass1", "phj_um.partition.pass2"] {
         dev.kernel(pass)
             .items(n as u64, SCATTER_WARP_INSTR)
             .seq_read_bytes(pair)
@@ -188,11 +188,11 @@ fn bucket_join<K: ColumnElement>(
         }
     }
 
-    dev.kernel("phj_um_build")
+    dev.kernel("phj_um.build")
         .items(build_reads, BUILD_WARP_INSTR)
         .seq_read_bytes(build_reads * (K::SIZE + 4))
         .launch();
-    dev.kernel("phj_um_probe")
+    dev.kernel("phj_um.probe")
         .items(probe_reads, PROBE_WARP_INSTR)
         .seq_read_bytes(probe_reads * (K::SIZE + 4))
         .seq_write_bytes(out_keys.len() as u64 * (K::SIZE + 8))
@@ -230,7 +230,7 @@ pub fn phj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         let mut phases = PhaseTimes::default();
         let bits = choose_radix_bits(dev, r.len().max(1), K::SIZE, config);
 
-        let ((rc, sc), t) = timed(dev, || {
+        let ((rc, sc), t) = timed_phase(dev, "transform", || {
             (
                 bucket_partition(dev, r_keys, bits, config),
                 bucket_partition(dev, s_keys, bits, config),
@@ -238,7 +238,7 @@ pub fn phj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         });
         phases.transform = t;
 
-        let ((keys, r_ids, s_ids), t) = timed(dev, || {
+        let ((keys, r_ids, s_ids), t) = timed_phase(dev, "match_find", || {
             reservation.release_keys();
             let (k, ri, si) = bucket_join(dev, &rc, &sc);
             (
@@ -263,7 +263,7 @@ pub fn phj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         );
         phases.match_find += adj.time;
 
-        let ((r_payloads, s_payloads), t) = timed(dev, || {
+        let ((r_payloads, s_payloads), t) = timed_phase(dev, "materialize", || {
             let rp: Vec<Column> = if adj.materialize_r {
                 r.payloads()
                     .iter()

@@ -16,7 +16,7 @@
 //!   peak memory below GFUR's (Tables 1-2).
 
 use crate::kinds::{apply_kind_timed, JoinKind};
-use crate::{timed, Algorithm, JoinConfig, JoinOutput, JoinStats};
+use crate::{timed_phase, Algorithm, JoinConfig, JoinOutput, JoinStats};
 use columnar::{Column, ColumnElement, Relation};
 use primitives::{
     gather, gather_column, gather_column_or_null, merge_join, sort_pairs, MatchResult,
@@ -98,7 +98,7 @@ pub fn smj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         let mut phases = PhaseTimes::default();
 
         // Transformation: associate physical IDs, sort (key, ID) pairs.
-        let ((rs, ss), t) = timed(dev, || {
+        let ((rs, ss), t) = timed_phase(dev, "transform", || {
             let r_ids = iota(dev, r_keys.len(), "smj_um.r_ids");
             let s_ids = iota(dev, s_keys.len(), "smj_um.s_ids");
             (
@@ -111,7 +111,7 @@ pub fn smj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         // Match finding: merge the sorted keys, then translate the merge
         // positions into physical IDs (clustered lookups into the sorted ID
         // arrays — on hardware the IDs ride through the merge kernel).
-        let ((keys, r_ids, s_ids), t) = timed(dev, || {
+        let ((keys, r_ids, s_ids), t) = timed_phase(dev, "match_find", || {
             reservation.release_keys();
             let m = merge_join(dev, &rs.0, &ss.0, config.unique_build);
             let r_ids = gather(dev, &rs.1, &m.r_idx);
@@ -135,7 +135,7 @@ pub fn smj_um(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         phases.match_find += adj.time;
 
         // Materialization: unclustered gathers from the original columns.
-        let ((r_payloads, s_payloads), t) = timed(dev, || {
+        let ((r_payloads, s_payloads), t) = timed_phase(dev, "materialize", || {
             let rp: Vec<Column> = if adj.materialize_r {
                 r.payloads()
                     .iter()
@@ -195,7 +195,7 @@ pub fn smj_om(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         // Transformation (Algorithm 1, lines 1-2): sort keys together with
         // the *first* payload column of each side. Payload-less sides sort
         // keys alone (modeled as a key-only pair sort with 4-byte IDs).
-        let ((rt, st), t) = timed(dev, || {
+        let ((rt, st), t) = timed_phase(dev, "transform", || {
             let rt = match r.payloads().first() {
                 Some(p) => {
                     let (k, p) = sort_payload_with_key(dev, r_keys, p);
@@ -224,7 +224,7 @@ pub fn smj_om(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
         // merge — they are positions in the sorted relations.
         let (rt_keys, mut rt_p0) = rt;
         let (st_keys, mut st_p0) = st;
-        let (m, t) = timed(dev, || {
+        let (m, t) = timed_phase(dev, "match_find", || {
             reservation.release_keys();
             merge_join(dev, &rt_keys, &st_keys, config.unique_build)
         });
@@ -248,7 +248,7 @@ pub fn smj_om(dev: &Device, r: &Relation, s: &Relation, config: &JoinConfig) -> 
                 gather_column(dev, src, map)
             }
         };
-        let ((r_payloads, s_payloads), t) = timed(dev, || {
+        let ((r_payloads, s_payloads), t) = timed_phase(dev, "materialize", || {
             let mut rp = Vec::with_capacity(r.num_payloads());
             if adj.materialize_r {
                 if let Some(p0) = rt_p0.take() {

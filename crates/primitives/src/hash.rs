@@ -138,11 +138,11 @@ pub fn join_copartitions<K: Element + Eq>(
     }
 
     let out_rows = keys.len() as u64;
-    dev.kernel("copartition_build")
+    dev.kernel("copartition.build")
         .items(build_tuples_read, BUILD_WARP_INSTR)
         .seq_read_bytes(build_tuples_read * K::SIZE)
         .launch();
-    dev.kernel("copartition_probe")
+    dev.kernel("copartition.probe")
         .items(probe_tuples_read, PROBE_WARP_INSTR)
         .seq_read_bytes(probe_tuples_read * K::SIZE)
         .seq_write_bytes(out_rows * (K::SIZE + 4 + 4))
@@ -202,7 +202,7 @@ impl<K: Element + Eq> GlobalHashTable<K> {
                 s = (s + 1) & self.mask;
             }
         }
-        dev.kernel("global_ht_build")
+        dev.kernel("global_ht.build")
             .items(build_keys.len() as u64, GLOBAL_HASH_WARP_INSTR)
             .seq_read_bytes(build_keys.len() as u64 * K::SIZE)
             .warp_stores(12, touched)
@@ -234,7 +234,7 @@ impl<K: Element + Eq> GlobalHashTable<K> {
             }
         }
         let out_rows = keys.len() as u64;
-        dev.kernel("global_ht_probe")
+        dev.kernel("global_ht.probe")
             .items(probe_keys.len() as u64, GLOBAL_HASH_WARP_INSTR)
             .seq_read_bytes(probe_keys.len() as u64 * K::SIZE)
             .warp_loads(12, touched)

@@ -66,7 +66,7 @@ pub fn merge_join<K: Element + Ord>(
 
     let bound_passes = if unique_r { 1 } else { 2 };
     for _ in 0..bound_passes {
-        dev.kernel("merge_path_bounds")
+        dev.kernel("merge_join.path_bounds")
             .items((r_keys.len() + s_keys.len()) as u64, MERGE_WARP_INSTR)
             .seq_read_bytes((r_keys.len() + s_keys.len()) as u64 * K::SIZE)
             .launch();
@@ -99,7 +99,7 @@ pub fn merge_join<K: Element + Ord>(
     }
 
     let out_rows = keys.len() as u64;
-    dev.kernel("merge_join_expand")
+    dev.kernel("merge_join.expand")
         .items((r.len() + s.len()) as u64, MERGE_WARP_INSTR)
         .seq_read_bytes((r.len() + s.len()) as u64 * K::SIZE)
         .seq_write_bytes(out_rows * (K::SIZE + 4 + 4))

@@ -69,7 +69,7 @@ pub fn radix_partition_pass<K: Element, V: Element>(
     for k in keys.iter() {
         hist[((k.to_radix() >> shift) & mask) as usize] += 1;
     }
-    dev.kernel("radix_histogram")
+    dev.kernel("radix_partition.histogram")
         .items(n as u64, HISTOGRAM_WARP_INSTR)
         .seq_read_bytes(n as u64 * K::SIZE)
         .launch();
@@ -89,7 +89,7 @@ pub fn radix_partition_pass<K: Element, V: Element>(
         out_k[pos] = keys[i];
         out_v[pos] = vals[i];
     }
-    dev.kernel("radix_scatter")
+    dev.kernel("radix_partition.scatter")
         .items(n as u64, SCATTER_WARP_INSTR)
         .seq_read_bytes(n as u64 * (K::SIZE + V::SIZE))
         .seq_write_bytes(n as u64 * (K::SIZE + V::SIZE))
@@ -121,7 +121,7 @@ pub fn radix_partition<K: Element, V: Element>(
         // Single partition: logically a copy (used by degenerate configs).
         let out_k = dev.upload(keys.to_vec(), "radix_partition.keys");
         let out_v = dev.upload(vals.to_vec(), "radix_partition.vals");
-        dev.kernel("radix_copy")
+        dev.kernel("radix_partition.copy")
             .items(n as u64, SCATTER_WARP_INSTR)
             .seq_read_bytes(n as u64 * (K::SIZE + V::SIZE))
             .seq_write_bytes(n as u64 * (K::SIZE + V::SIZE))
@@ -155,7 +155,7 @@ pub fn radix_partition<K: Element, V: Element>(
     for k in cur_k.iter() {
         hist[(k.to_radix() & mask) as usize] += 1;
     }
-    dev.kernel("partition_offsets")
+    dev.kernel("radix_partition.offsets")
         .items(n as u64, HISTOGRAM_WARP_INSTR)
         .seq_read_bytes(n as u64 * K::SIZE)
         .launch();

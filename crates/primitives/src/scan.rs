@@ -19,7 +19,7 @@ pub fn exclusive_scan(dev: &Device, counts: &[u32]) -> Vec<u32> {
             .expect("prefix sum overflowed u32 — partition too large");
         out.push(acc);
     }
-    dev.kernel("exclusive_scan")
+    dev.kernel("scan.exclusive")
         .items(counts.len() as u64, STREAM_WARP_INSTR)
         .seq_read_bytes(counts.len() as u64 * 4)
         .seq_write_bytes(out.len() as u64 * 4)
@@ -46,7 +46,7 @@ pub fn run_boundaries<K: PartialEq + sim::Element>(dev: &Device, keys: &[K]) -> 
         }
     }
     b.push(keys.len() as u32);
-    dev.kernel("run_boundaries")
+    dev.kernel("scan.boundaries")
         .items(keys.len() as u64, STREAM_WARP_INSTR)
         .seq_read_bytes(keys.len() as u64 * K::SIZE)
         .seq_write_bytes(b.len() as u64 * 4)

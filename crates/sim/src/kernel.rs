@@ -31,7 +31,6 @@ const PAR_MIN_WARPS_PER_THREAD: usize = 32;
 #[must_use = "a kernel builder does nothing until launch() is called"]
 pub struct KernelBuilder<'d> {
     dev: &'d Device,
-    #[allow(dead_code)] // kept for debugging/tracing hooks
     name: &'static str,
     warp_instructions: u64,
     seq_read_bytes: u64,
@@ -404,7 +403,24 @@ impl<'d> KernelBuilder<'d> {
         c.l2_hits += self.l2_hit_sectors;
         c.l2_misses += self.dram_gather_sectors;
         c.atomics += self.atomics_total;
+        let start = st.clock;
         st.clock += t;
+        if let Some(tr) = st.trace.as_deref_mut() {
+            tr.push_kernel(crate::trace::KernelEvent {
+                name: self.name,
+                start,
+                dur: t,
+                warp_instructions: self.warp_instructions,
+                dram_read_bytes: self.seq_read_bytes + self.dram_gather_sectors * SECTOR_BYTES,
+                dram_write_bytes: self.seq_write_bytes
+                    + self.store_writeback_sectors * SECTOR_BYTES,
+                load_requests: self.load_requests,
+                sectors_requested: self.sectors_requested,
+                l2_hits: self.l2_hit_sectors,
+                l2_misses: self.dram_gather_sectors,
+                atomics: self.atomics_total,
+            });
+        }
         SimTime::from_secs(t)
     }
 }

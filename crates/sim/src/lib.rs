@@ -61,6 +61,7 @@ mod l2;
 mod memory;
 mod stats;
 mod time;
+pub mod trace;
 
 pub use config::DeviceConfig;
 pub use counters::{Counters, CountersDelta};
@@ -70,6 +71,7 @@ pub use l2::L2Cache;
 pub use memory::{DeviceBuffer, MemReport};
 pub use stats::OpStats;
 pub use time::{PhaseTimes, SimTime};
+pub use trace::{SpanCat, Trace, TraceEvent};
 
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -88,6 +90,8 @@ pub(crate) struct DeviceState {
     pub(crate) mem: memory::MemLedger,
     /// Simulated wall-clock, in seconds, advanced by every kernel launch.
     pub(crate) clock: f64,
+    /// Opt-in event recorder (see [`trace`]); `None` costs nothing.
+    pub(crate) trace: Option<Box<Trace>>,
 }
 
 pub(crate) struct DeviceInner {
@@ -117,6 +121,7 @@ impl Device {
                     l2,
                     mem: memory::MemLedger::default(),
                     clock: 0.0,
+                    trace: None,
                 }),
             }),
         }
@@ -169,11 +174,56 @@ impl Device {
     /// Reset counters, simulated clock, and the peak-memory watermark. Live
     /// allocations and L2 contents are kept — resetting *statistics* does
     /// not cool down the hardware cache; use [`Device::flush_l2`] for that.
+    ///
+    /// An active trace records a `reset_stats` marker at the old clock:
+    /// events after the reset restart at timestamp zero, so a multi-reset
+    /// trace is a sequence of overlapping timelines separated by markers.
     pub fn reset_stats(&self) {
         let mut st = self.inner.state.lock();
+        let clock = st.clock;
+        if let Some(tr) = st.trace.as_deref_mut() {
+            tr.push_instant("reset_stats", clock);
+        }
         st.counters = Counters::default();
         st.clock = 0.0;
         st.mem.reset_peak();
+    }
+
+    /// Start recording trace events (see the [`trace`] module). Idempotent:
+    /// enabling an already-tracing device keeps the existing event log.
+    pub fn enable_tracing(&self) {
+        let mut st = self.inner.state.lock();
+        if st.trace.is_none() {
+            st.trace = Some(Box::new(Trace::new(self.inner.config.name.clone())));
+        }
+    }
+
+    /// Whether this device is currently recording trace events. Check this
+    /// before doing work (string formatting, snapshotting `elapsed`) whose
+    /// only purpose is a [`Device::trace_span`] call.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.state.lock().trace.is_some()
+    }
+
+    /// Stop tracing and return the recorded event log, if tracing was on.
+    pub fn take_trace(&self) -> Option<Trace> {
+        self.inner.state.lock().trace.take().map(|b| *b)
+    }
+
+    /// Clone the event log recorded so far without stopping the recorder.
+    pub fn trace_snapshot(&self) -> Option<Trace> {
+        self.inner.state.lock().trace.as_deref().cloned()
+    }
+
+    /// Record a retroactive span `[start, end]` on the simulated clock.
+    /// No-op when tracing is disabled. Harnesses call this after measuring
+    /// an interval they already bracket with [`Device::elapsed`]; children
+    /// therefore appear in the log before their enclosing parent.
+    pub fn trace_span(&self, cat: SpanCat, name: &str, start: SimTime, end: SimTime) {
+        let mut st = self.inner.state.lock();
+        if let Some(tr) = st.trace.as_deref_mut() {
+            tr.push_span(cat, name.to_string(), start, end);
+        }
     }
 
     /// Invalidate the modeled L2 (e.g. to measure a cold run).

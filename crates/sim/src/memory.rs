@@ -101,9 +101,14 @@ impl<T: Element> DeviceBuffer<T> {
     pub(crate) fn from_vec(dev: Device, data: Vec<T>, label: &'static str) -> Self {
         let bytes = data.len() as u64 * T::SIZE;
         let base_addr = {
-            let mut st = dev.inner.state.lock();
+            let mut guard = dev.inner.state.lock();
+            let st = &mut *guard;
             let cap = dev.inner.config.global_mem_bytes;
-            st.mem.alloc(bytes, cap, label)
+            let addr = st.mem.alloc(bytes, cap, label);
+            if let Some(tr) = st.trace.as_deref_mut() {
+                tr.push_mem(st.clock, st.mem.report().current_bytes);
+            }
+            addr
         };
         DeviceBuffer {
             data,
@@ -197,7 +202,16 @@ impl<T: Element> std::ops::DerefMut for DeviceBuffer<T> {
 
 impl<T: Element> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
-        self.dev.inner.state.lock().mem.free(self.charged_bytes);
+        let mut guard = self.dev.inner.state.lock();
+        let st = &mut *guard;
+        st.mem.free(self.charged_bytes);
+        // Zero-charged drops (aliases, empty buffers) never moved the
+        // ledger, so they produce no timeline sample either.
+        if self.charged_bytes > 0 {
+            if let Some(tr) = st.trace.as_deref_mut() {
+                tr.push_mem(st.clock, st.mem.report().current_bytes);
+            }
+        }
     }
 }
 

@@ -58,9 +58,16 @@ impl OpStats {
     }
 
     /// End-to-end throughput in input tuples per second — the paper's
-    /// `(|R| + |S|) / total time` metric (Section 5.1).
+    /// `(|R| + |S|) / total time` metric (Section 5.1). Returns `0.0` for
+    /// a zero total time: `inf` is not representable in JSON and would
+    /// serialize as `null`, corrupting results files.
     pub fn throughput_tuples(&self, input_tuples: usize) -> f64 {
-        input_tuples as f64 / self.total_time().secs()
+        let t = self.total_time().secs();
+        if t <= 0.0 {
+            0.0
+        } else {
+            input_tuples as f64 / t
+        }
     }
 }
 
@@ -84,6 +91,15 @@ mod tests {
         assert!((s.total_time().millis() - 10.0).abs() < 1e-9);
         // Throughput uses the full operator time.
         assert!((s.throughput_tuples(100) - 100.0 / 10.0e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_of_zero_time_is_zero_not_inf() {
+        let s = OpStats::default();
+        assert_eq!(s.total_time(), SimTime::ZERO);
+        let tp = s.throughput_tuples(1_000_000);
+        assert_eq!(tp, 0.0, "zero-time throughput must stay JSON-safe");
+        assert!(tp.is_finite());
     }
 
     #[test]

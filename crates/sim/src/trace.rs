@@ -1,0 +1,795 @@
+//! Simulated-clock tracing: an "Nsight Systems for the simulator".
+//!
+//! Every claim in the paper is argued from profiler evidence — per-kernel
+//! counters (Table 4), phase breakdowns (Figures 1, 9, 10), memory
+//! timelines (Table 5). This module records the same evidence from the
+//! simulator: timestamped events on the **simulated clock**, captured while
+//! the device lock is held so recording is deterministic and bit-identical
+//! across [`crate::DeviceConfig::host_threads`] settings.
+//!
+//! Three event classes:
+//!
+//! * [`KernelEvent`] — one per kernel launch, carrying that launch's
+//!   counter delta (warp instructions, DRAM bytes, sectors/request, L2 hit
+//!   rate, atomics) plus its simulated start time and duration.
+//! * [`SpanEvent`] — nested intervals opened by the execution harnesses:
+//!   one per operator node (`engine::op::run_operator`), per join / grouped
+//!   aggregation (`joins::run_join`, `groupby::run_group_by`), per
+//!   out-of-core chunk, and per paper phase (transformation / match
+//!   finding / materialization / other).
+//! * [`MemEvent`] / [`InstantEvent`] — memory-ledger samples at every
+//!   allocation and free (peak memory becomes a timeline, not one number)
+//!   and point markers such as `reset_stats`.
+//!
+//! Tracing is opt-in per device ([`crate::Device::enable_tracing`]) and
+//! costs nothing when disabled: every record point checks an `Option` that
+//! is `None` by default. Because events are derived from state that is
+//! already bit-identical across host-thread counts, the exported bytes are
+//! too.
+//!
+//! Exporters:
+//!
+//! * [`chrome_trace_json`] — Chrome `trace_event` JSON (load in Perfetto or
+//!   `chrome://tracing`): one process per device, spans and kernels on
+//!   separate tracks, memory as a counter track.
+//! * [`jsonl`] — one JSON object per line, for `jq`-style analysis.
+//! * [`render_kernel_summary`] — an `nsys stats`-style per-kernel-name
+//!   aggregation table (launches, total time, % of kernel time, traffic).
+
+use crate::SimTime;
+
+/// Category of a [`SpanEvent`] — which harness opened it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanCat {
+    /// An `engine::op::run_operator` plan-node bracket.
+    Operator,
+    /// A `joins::run_join` execution (one per chunk when out-of-core).
+    Join,
+    /// A `groupby::run_group_by` execution.
+    GroupBy,
+    /// One out-of-core chunk of a chunked join (Section 4.4).
+    Chunk,
+    /// One paper phase: `transform`, `match_find`, `materialize`, `other`.
+    Phase,
+}
+
+impl SpanCat {
+    /// Stable lowercase label used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanCat::Operator => "operator",
+            SpanCat::Join => "join",
+            SpanCat::GroupBy => "group_by",
+            SpanCat::Chunk => "chunk",
+            SpanCat::Phase => "phase",
+        }
+    }
+}
+
+/// One kernel launch: simulated interval plus that launch's counter delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEvent {
+    /// The name passed to [`crate::Device::kernel`].
+    pub name: &'static str,
+    /// Simulated start time, seconds.
+    pub start: f64,
+    /// Simulated duration, seconds.
+    pub dur: f64,
+    /// Warp instructions issued by this launch.
+    pub warp_instructions: u64,
+    /// DRAM bytes read by this launch (sequential + gather misses).
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written by this launch (sequential + RMW write-back).
+    pub dram_write_bytes: u64,
+    /// Warp-level load requests issued by this launch.
+    pub load_requests: u64,
+    /// Sectors touched by those requests, before the L2 filter.
+    pub sectors_requested: u64,
+    /// Gather sectors served by the modeled L2.
+    pub l2_hits: u64,
+    /// Gather sectors that missed L2.
+    pub l2_misses: u64,
+    /// Global atomic updates performed.
+    pub atomics: u64,
+}
+
+impl KernelEvent {
+    /// Average sectors per warp load request (Table 4's coalescing metric).
+    pub fn sectors_per_request(&self) -> f64 {
+        if self.load_requests == 0 {
+            0.0
+        } else {
+            self.sectors_requested as f64 / self.load_requests as f64
+        }
+    }
+
+    /// L2 hit rate over this launch's gather traffic.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// Total DRAM traffic of this launch, bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+/// A nested interval opened by one of the execution harnesses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Which harness opened the span.
+    pub cat: SpanCat,
+    /// Human-readable label (operator label, algorithm name, phase name).
+    pub name: String,
+    /// Simulated start time, seconds.
+    pub start: f64,
+    /// Simulated end time, seconds.
+    pub end: f64,
+}
+
+impl SpanEvent {
+    /// Span duration in simulated seconds.
+    pub fn dur(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+}
+
+/// A memory-ledger sample: device memory in use at a simulated timestamp.
+///
+/// Samples taken at the same timestamp (the clock only advances at kernel
+/// launches, so a phase's allocations share one instant) are coalesced into
+/// a single event keeping both the last value and the within-instant
+/// high-water mark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemEvent {
+    /// Simulated timestamp, seconds.
+    pub ts: f64,
+    /// Bytes in use after the last allocation/free at this timestamp.
+    pub current_bytes: u64,
+    /// Highest bytes-in-use observed at this timestamp.
+    pub high_water_bytes: u64,
+}
+
+/// A point marker (e.g. `reset_stats`, chunk boundaries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantEvent {
+    /// Marker label.
+    pub name: &'static str,
+    /// Simulated timestamp, seconds.
+    pub ts: f64,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A kernel launch.
+    Kernel(KernelEvent),
+    /// A harness span.
+    Span(SpanEvent),
+    /// A memory-ledger sample.
+    Mem(MemEvent),
+    /// A point marker.
+    Instant(InstantEvent),
+}
+
+/// A device's recorded event log, in recording order.
+///
+/// Obtain via [`crate::Device::take_trace`] or
+/// [`crate::Device::trace_snapshot`]; export with [`chrome_trace_json`],
+/// [`jsonl`] or [`render_kernel_summary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The device name this trace was recorded on.
+    pub device: String,
+    /// All events, in recording order. Spans are recorded retroactively
+    /// (when they close), so a parent span appears *after* its children.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn new(device: String) -> Self {
+        Trace {
+            device,
+            events: Vec::new(),
+        }
+    }
+
+    /// Iterate over the kernel events.
+    pub fn kernels(&self) -> impl Iterator<Item = &KernelEvent> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Kernel(k) => Some(k),
+            _ => None,
+        })
+    }
+
+    /// Iterate over the span events.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Span(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Iterate over the memory samples.
+    pub fn mem_samples(&self) -> impl Iterator<Item = &MemEvent> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Mem(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    pub(crate) fn push_kernel(&mut self, k: KernelEvent) {
+        self.events.push(TraceEvent::Kernel(k));
+    }
+
+    pub(crate) fn push_span(&mut self, cat: SpanCat, name: String, start: SimTime, end: SimTime) {
+        self.events.push(TraceEvent::Span(SpanEvent {
+            cat,
+            name,
+            start: start.secs(),
+            end: end.secs(),
+        }));
+    }
+
+    pub(crate) fn push_mem(&mut self, ts: f64, current_bytes: u64) {
+        // The clock is frozen between kernel launches, so a burst of
+        // allocations lands on one instant; coalesce it into one sample.
+        if let Some(TraceEvent::Mem(last)) = self.events.last_mut() {
+            if last.ts == ts {
+                last.current_bytes = current_bytes;
+                last.high_water_bytes = last.high_water_bytes.max(current_bytes);
+                return;
+            }
+        }
+        self.events.push(TraceEvent::Mem(MemEvent {
+            ts,
+            current_bytes,
+            high_water_bytes: current_bytes,
+        }));
+    }
+
+    pub(crate) fn push_instant(&mut self, name: &'static str, ts: f64) {
+        self.events
+            .push(TraceEvent::Instant(InstantEvent { name, ts }));
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microseconds with nanosecond precision — the Chrome `trace_event`
+/// timestamp unit, formatted deterministically.
+fn us(secs: f64) -> String {
+    format!("{:.3}", secs * 1e6)
+}
+
+/// Render traces as Chrome `trace_event` JSON (the format Perfetto and
+/// `chrome://tracing` load).
+///
+/// Layout: one *process* per device (pid = index + 1) named after the
+/// device; *thread* 1 carries the harness spans, *thread* 2 the kernel
+/// launches (both as `"X"` complete events, nested by containment);
+/// memory samples become a `"C"` counter track; markers become `"i"`
+/// instant events. Timestamps are simulated microseconds with nanosecond
+/// precision.
+pub fn chrome_trace_json(traces: &[Trace]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    for (i, tr) in traces.iter().enumerate() {
+        let pid = i + 1;
+        let mut name = String::new();
+        escape_into(&mut name, &tr.device);
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+        );
+        for (tid, tname) in [(1, "operators & phases"), (2, "kernels")] {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{tname}\"}}}}"
+                ),
+            );
+        }
+        // Emit "X" events sorted by start time, longest-first on ties, so
+        // viewers that build stacks in array order nest parents before
+        // children (spans are recorded child-first).
+        let mut timed: Vec<(f64, f64, String)> = Vec::new();
+        for ev in &tr.events {
+            match ev {
+                TraceEvent::Kernel(k) => {
+                    let mut kname = String::new();
+                    escape_into(&mut kname, k.name);
+                    timed.push((
+                        k.start,
+                        k.dur,
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":2,\"cat\":\"kernel\",\
+                             \"name\":\"{kname}\",\"ts\":{ts},\"dur\":{dur},\"args\":{{\
+                             \"warp_instructions\":{wi},\"dram_read_bytes\":{dr},\
+                             \"dram_write_bytes\":{dw},\"load_requests\":{lr},\
+                             \"sectors_per_request\":{spr:.3},\"l2_hit_rate\":{l2:.4},\
+                             \"atomics\":{at}}}}}",
+                            ts = us(k.start),
+                            dur = us(k.dur),
+                            wi = k.warp_instructions,
+                            dr = k.dram_read_bytes,
+                            dw = k.dram_write_bytes,
+                            lr = k.load_requests,
+                            spr = k.sectors_per_request(),
+                            l2 = k.l2_hit_rate(),
+                            at = k.atomics,
+                        ),
+                    ));
+                }
+                TraceEvent::Span(s) => {
+                    let mut sname = String::new();
+                    escape_into(&mut sname, &s.name);
+                    timed.push((
+                        s.start,
+                        s.dur(),
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":1,\"cat\":\"{cat}\",\
+                             \"name\":\"{sname}\",\"ts\":{ts},\"dur\":{dur}}}",
+                            cat = s.cat.as_str(),
+                            ts = us(s.start),
+                            dur = us(s.dur()),
+                        ),
+                    ));
+                }
+                TraceEvent::Mem(m) => {
+                    timed.push((
+                        m.ts,
+                        0.0,
+                        format!(
+                            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"name\":\"device memory\",\
+                             \"ts\":{ts},\"args\":{{\"bytes\":{bytes}}}}}",
+                            ts = us(m.ts),
+                            bytes = m.high_water_bytes,
+                        ),
+                    ));
+                }
+                TraceEvent::Instant(ins) => {
+                    let mut iname = String::new();
+                    escape_into(&mut iname, ins.name);
+                    timed.push((
+                        ins.ts,
+                        0.0,
+                        format!(
+                            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":1,\"name\":\"{iname}\",\
+                             \"ts\":{ts},\"s\":\"p\"}}",
+                            ts = us(ins.ts),
+                        ),
+                    ));
+                }
+            }
+        }
+        timed.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then(b.1.partial_cmp(&a.1).unwrap())
+        });
+        for (_, _, line) in timed {
+            push(&mut out, line);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render traces as JSON Lines: one self-describing object per event, in
+/// recording order, with a `device` field on every line. Suited to `jq`.
+pub fn jsonl(traces: &[Trace]) -> String {
+    let mut out = String::new();
+    for tr in traces {
+        let mut dev = String::new();
+        escape_into(&mut dev, &tr.device);
+        for ev in &tr.events {
+            match ev {
+                TraceEvent::Kernel(k) => {
+                    let mut name = String::new();
+                    escape_into(&mut name, k.name);
+                    out.push_str(&format!(
+                        "{{\"type\":\"kernel\",\"device\":\"{dev}\",\"name\":\"{name}\",\
+                         \"start\":{},\"dur\":{},\"warp_instructions\":{},\
+                         \"dram_read_bytes\":{},\"dram_write_bytes\":{},\
+                         \"load_requests\":{},\"sectors_requested\":{},\
+                         \"l2_hits\":{},\"l2_misses\":{},\"atomics\":{}}}\n",
+                        k.start,
+                        k.dur,
+                        k.warp_instructions,
+                        k.dram_read_bytes,
+                        k.dram_write_bytes,
+                        k.load_requests,
+                        k.sectors_requested,
+                        k.l2_hits,
+                        k.l2_misses,
+                        k.atomics,
+                    ));
+                }
+                TraceEvent::Span(s) => {
+                    let mut name = String::new();
+                    escape_into(&mut name, &s.name);
+                    out.push_str(&format!(
+                        "{{\"type\":\"span\",\"device\":\"{dev}\",\"cat\":\"{}\",\
+                         \"name\":\"{name}\",\"start\":{},\"end\":{}}}\n",
+                        s.cat.as_str(),
+                        s.start,
+                        s.end,
+                    ));
+                }
+                TraceEvent::Mem(m) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"mem\",\"device\":\"{dev}\",\"ts\":{},\
+                         \"current_bytes\":{},\"high_water_bytes\":{}}}\n",
+                        m.ts, m.current_bytes, m.high_water_bytes,
+                    ));
+                }
+                TraceEvent::Instant(ins) => {
+                    let mut name = String::new();
+                    escape_into(&mut name, ins.name);
+                    out.push_str(&format!(
+                        "{{\"type\":\"instant\",\"device\":\"{dev}\",\
+                         \"name\":\"{name}\",\"ts\":{}}}\n",
+                        ins.ts,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-kernel-name aggregate over one or more traces — the rows of the
+/// `nsys stats`-style summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStat {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Number of launches.
+    pub launches: u64,
+    /// Summed simulated duration, seconds.
+    pub total_secs: f64,
+    /// Summed warp instructions.
+    pub warp_instructions: u64,
+    /// Summed DRAM traffic, bytes.
+    pub dram_bytes: u64,
+    /// Summed warp load requests.
+    pub load_requests: u64,
+    /// Summed sectors requested.
+    pub sectors_requested: u64,
+    /// Summed L2 hits.
+    pub l2_hits: u64,
+    /// Summed L2 misses.
+    pub l2_misses: u64,
+    /// Summed atomic updates.
+    pub atomics: u64,
+}
+
+impl KernelStat {
+    /// Average sectors per warp load request across all launches.
+    pub fn sectors_per_request(&self) -> f64 {
+        if self.load_requests == 0 {
+            0.0
+        } else {
+            self.sectors_requested as f64 / self.load_requests as f64
+        }
+    }
+
+    /// L2 hit rate across all launches.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregate kernel events by name, sorted by total simulated time
+/// descending (name ascending on ties).
+pub fn kernel_stats(traces: &[Trace]) -> Vec<KernelStat> {
+    let mut by_name: Vec<KernelStat> = Vec::new();
+    for tr in traces {
+        for k in tr.kernels() {
+            let stat = match by_name.iter_mut().find(|s| s.name == k.name) {
+                Some(s) => s,
+                None => {
+                    by_name.push(KernelStat {
+                        name: k.name,
+                        launches: 0,
+                        total_secs: 0.0,
+                        warp_instructions: 0,
+                        dram_bytes: 0,
+                        load_requests: 0,
+                        sectors_requested: 0,
+                        l2_hits: 0,
+                        l2_misses: 0,
+                        atomics: 0,
+                    });
+                    by_name.last_mut().unwrap()
+                }
+            };
+            stat.launches += 1;
+            stat.total_secs += k.dur;
+            stat.warp_instructions += k.warp_instructions;
+            stat.dram_bytes += k.dram_bytes();
+            stat.load_requests += k.load_requests;
+            stat.sectors_requested += k.sectors_requested;
+            stat.l2_hits += k.l2_hits;
+            stat.l2_misses += k.l2_misses;
+            stat.atomics += k.atomics;
+        }
+    }
+    by_name.sort_by(|a, b| {
+        b.total_secs
+            .partial_cmp(&a.total_secs)
+            .unwrap()
+            .then_with(|| a.name.cmp(b.name))
+    });
+    by_name
+}
+
+/// Render the per-kernel-name aggregation as an `nsys stats`-style text
+/// table: launches, total simulated time, share of total kernel time,
+/// coalescing quality, L2 hit rate, DRAM traffic.
+pub fn render_kernel_summary(traces: &[Trace]) -> String {
+    let stats = kernel_stats(traces);
+    let grand_total: f64 = stats.iter().map(|s| s.total_secs).sum();
+    let name_w = stats
+        .iter()
+        .map(|s| s.name.len())
+        .chain(["kernel".len()])
+        .max()
+        .unwrap_or(6);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>8}  {:>12}  {:>6}  {:>8}  {:>6}  {:>12}\n",
+        "kernel", "launches", "time", "%", "sect/req", "l2hit", "dram"
+    ));
+    for s in &stats {
+        let pct = if grand_total > 0.0 {
+            100.0 * s.total_secs / grand_total
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<name_w$}  {:>8}  {:>12}  {:>5.1}%  {:>8.1}  {:>5.1}%  {:>12}\n",
+            s.name,
+            s.launches,
+            format!("{}", SimTime::from_secs(s.total_secs)),
+            pct,
+            s.sectors_per_request(),
+            100.0 * s.l2_hit_rate(),
+            human_bytes(s.dram_bytes),
+        ));
+    }
+    out
+}
+
+fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, SpanCat};
+
+    fn traced_device() -> Device {
+        let dev = Device::a100();
+        dev.enable_tracing();
+        dev
+    }
+
+    #[test]
+    fn kernel_events_carry_per_launch_deltas() {
+        let dev = traced_device();
+        dev.kernel("a")
+            .items(1 << 10, 2.0)
+            .seq_read_bytes(4096)
+            .launch();
+        dev.kernel("b").items(1 << 10, 2.0).atomics(64, 8).launch();
+        let tr = dev.take_trace().unwrap();
+        let kernels: Vec<_> = tr.kernels().collect();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[0].name, "a");
+        assert_eq!(kernels[0].start, 0.0);
+        assert!(kernels[0].dur > 0.0);
+        assert_eq!(kernels[0].dram_read_bytes, 4096);
+        assert_eq!(kernels[0].atomics, 0);
+        assert_eq!(kernels[1].name, "b");
+        assert_eq!(kernels[1].start, kernels[0].dur);
+        assert_eq!(kernels[1].atomics, 64);
+        // The per-launch deltas sum back to the cumulative counters.
+        let c = dev.counters();
+        assert_eq!(
+            kernels.iter().map(|k| k.warp_instructions).sum::<u64>(),
+            c.warp_instructions
+        );
+        let t_sum: f64 = kernels.iter().map(|k| k.dur).sum();
+        assert!((t_sum - c.cycles / dev.config().clock_hz).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing_and_take_is_none() {
+        let dev = Device::a100();
+        dev.kernel("k").items(32, 1.0).launch();
+        assert!(!dev.tracing_enabled());
+        assert!(dev.take_trace().is_none());
+    }
+
+    #[test]
+    fn take_trace_disables_and_snapshot_does_not() {
+        let dev = traced_device();
+        dev.kernel("k").items(32, 1.0).launch();
+        let snap = dev.trace_snapshot().unwrap();
+        assert_eq!(snap.kernels().count(), 1);
+        assert!(dev.tracing_enabled());
+        let tr = dev.take_trace().unwrap();
+        assert_eq!(tr, snap);
+        assert!(!dev.tracing_enabled());
+    }
+
+    #[test]
+    fn mem_samples_coalesce_within_one_instant() {
+        let dev = traced_device();
+        {
+            let _a = dev.alloc::<i64>(1 << 10, "a");
+            let _b = dev.alloc::<i64>(1 << 10, "b");
+        } // both freed at the same instant too
+        dev.kernel("k").items(32, 1.0).launch();
+        let _c = dev.alloc::<i32>(64, "c");
+        let tr = dev.take_trace().unwrap();
+        let mem: Vec<_> = tr.mem_samples().collect();
+        // One coalesced sample at t=0 (alloc+alloc+free+free), one after
+        // the kernel advanced the clock.
+        assert_eq!(mem.len(), 2);
+        assert_eq!(mem[0].ts, 0.0);
+        assert_eq!(mem[0].current_bytes, 0);
+        assert_eq!(mem[0].high_water_bytes, 2 * 8 * 1024);
+        assert!(mem[1].ts > 0.0);
+        assert_eq!(mem[1].current_bytes, 256);
+    }
+
+    #[test]
+    fn spans_record_retroactively() {
+        let dev = traced_device();
+        let t0 = dev.elapsed();
+        dev.kernel("k").items(32, 1.0).launch();
+        let t1 = dev.elapsed();
+        dev.trace_span(SpanCat::Phase, "match_find", t0, t1);
+        let tr = dev.take_trace().unwrap();
+        let spans: Vec<_> = tr.spans().collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].cat, SpanCat::Phase);
+        assert_eq!(spans[0].name, "match_find");
+        assert_eq!(spans[0].start, 0.0);
+        assert_eq!(spans[0].end, t1.secs());
+    }
+
+    #[test]
+    fn reset_stats_leaves_a_marker() {
+        let dev = traced_device();
+        dev.kernel("k").items(32, 1.0).launch();
+        let before = dev.elapsed().secs();
+        dev.reset_stats();
+        let tr = dev.take_trace().unwrap();
+        let marker = tr
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Instant(i) => Some(i),
+                _ => None,
+            })
+            .expect("reset marker");
+        assert_eq!(marker.name, "reset_stats");
+        assert_eq!(marker.ts, before);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape() {
+        let dev = traced_device();
+        let buf = dev.alloc::<i32>(1 << 10, "x");
+        dev.kernel("gather")
+            .warp_loads(4, (0..buf.len()).map(|i| buf.addr_of(i)))
+            .launch();
+        let t1 = dev.elapsed();
+        dev.trace_span(SpanCat::Operator, "probe \"quoted\"", SimTime::ZERO, t1);
+        let tr = dev.take_trace().unwrap();
+        let json = chrome_trace_json(&[tr]);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"gather\""));
+        assert!(json.contains("probe \\\"quoted\\\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.trim_end().ends_with("]}"));
+        // Every X event carries ts and dur.
+        for line in json.lines().filter(|l| l.contains("\"ph\":\"X\"")) {
+            assert!(line.contains("\"ts\":"), "missing ts: {line}");
+            assert!(line.contains("\"dur\":"), "missing dur: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_event() {
+        let dev = traced_device();
+        dev.kernel("k").items(32, 1.0).launch();
+        dev.trace_span(SpanCat::Join, "phj_um", SimTime::ZERO, dev.elapsed());
+        let tr = dev.take_trace().unwrap();
+        let n_events = tr.events.len();
+        let text = jsonl(&[tr]);
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), n_events);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"device\":"));
+        }
+    }
+
+    #[test]
+    fn kernel_summary_aggregates_by_name() {
+        let dev = traced_device();
+        for _ in 0..3 {
+            dev.kernel("small").items(32, 1.0).launch();
+        }
+        dev.kernel("big")
+            .items(1 << 22, 4.0)
+            .seq_read_bytes(1 << 28)
+            .launch();
+        let tr = dev.take_trace().unwrap();
+        let stats = kernel_stats(std::slice::from_ref(&tr));
+        assert_eq!(stats.len(), 2);
+        // Sorted by total time descending: the big streaming kernel first.
+        assert_eq!(stats[0].name, "big");
+        assert_eq!(stats[0].launches, 1);
+        assert_eq!(stats[1].name, "small");
+        assert_eq!(stats[1].launches, 3);
+        let table = render_kernel_summary(&[tr]);
+        assert!(table.contains("kernel"));
+        assert!(table.contains("big"));
+        assert!(table.contains("small"));
+        assert!(table.contains("256.00 MiB"));
+    }
+}

@@ -25,7 +25,7 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 if ! (cd "$smoke_dir" \
     && cargo run --release --quiet --manifest-path "$repo_dir/Cargo.toml" \
-        -p bench --bin run_all -- --scale 14 --reps 1 >run_all.log 2>&1); then
+        -p bench --bin run_all -- --scale 14 --reps 1 --trace trace.json >run_all.log 2>&1); then
     echo "bench smoke-run failed; tail of log:"
     tail -40 "$smoke_dir/run_all.log"
     exit 1
@@ -41,5 +41,31 @@ for json in "$smoke_dir"/results/*.json; do
     }
 done
 echo "    $(ls "$smoke_dir/results" | wc -l) result files, all with rows"
+
+# The --trace export must be valid, non-empty Chrome trace JSON (and the
+# JSONL sibling non-empty too).
+test -s "$smoke_dir/trace.json" || {
+    echo "bench smoke-run produced no trace.json"
+    exit 1
+}
+test -s "$smoke_dir/trace.jsonl" || {
+    echo "bench smoke-run produced no trace.jsonl"
+    exit 1
+}
+if command -v jq >/dev/null 2>&1; then
+    events=$(jq '.traceEvents | length' "$smoke_dir/trace.json")
+else
+    events=$(python3 -c \
+        "import json,sys; print(len(json.load(open(sys.argv[1]))['traceEvents']))" \
+        "$smoke_dir/trace.json")
+fi
+[ "$events" -gt 0 ] || {
+    echo "trace.json parsed but has no traceEvents"
+    exit 1
+}
+echo "    trace.json valid with $events events"
+# Keep the smoke trace where CI can pick it up as an artifact.
+mkdir -p "$repo_dir/target/smoke"
+cp "$smoke_dir/trace.json" "$smoke_dir/trace.jsonl" "$repo_dir/target/smoke/"
 
 echo "All checks passed."

@@ -1,0 +1,211 @@
+//! Invariants of the `sim::trace` subsystem, checked end to end through
+//! the real execution stack:
+//!
+//! * kernel-event durations account for exactly the simulated time the
+//!   hardware counters report (`Counters::cycles / clock_hz`);
+//! * spans nest — any two spans on a device are either disjoint or one
+//!   contains the other;
+//! * phase spans reproduce the reported [`PhaseTimes`], and operator spans
+//!   reproduce [`OpStats::total_time`], within 1 ns of simulated time;
+//! * traces are byte-identical across host-thread counts (the trace is
+//!   derived under the device lock from state that is itself
+//!   deterministic).
+
+use gpu_join::prelude::*;
+use gpu_join::sim::trace::{chrome_trace_json, jsonl, SpanEvent, Trace};
+use gpu_join::sim::SpanCat;
+use gpu_join::workloads::JoinWorkload;
+
+/// 1 ns of simulated time — the acceptance tolerance for span sums.
+const NS: f64 = 1e-9;
+
+fn traced_device() -> Device {
+    let dev = Device::new(DeviceConfig::a100().scaled(8192.0));
+    dev.enable_tracing();
+    dev
+}
+
+fn spans_of(trace: &Trace, cat: SpanCat) -> Vec<SpanEvent> {
+    trace.spans().filter(|s| s.cat == cat).cloned().collect()
+}
+
+#[test]
+fn kernel_durations_sum_to_counter_cycles() {
+    for alg in [Algorithm::PhjUm, Algorithm::SmjOm, Algorithm::Nphj] {
+        let dev = traced_device();
+        let (r, s) = JoinWorkload::wide(1 << 14).generate(&dev);
+        let _ = gpu_join::joins::run_join(&dev, alg, &r, &s, &JoinConfig::default());
+        let counters = dev.counters();
+        let trace = dev.take_trace().expect("tracing was enabled");
+
+        let kernel_secs: f64 = trace.kernels().map(|k| k.dur).sum();
+        let counter_secs = counters.cycles / dev.config().clock_hz;
+        assert_eq!(trace.kernels().count() as u64, counters.kernel_launches);
+        assert!(
+            (kernel_secs - counter_secs).abs() <= counter_secs * 1e-9,
+            "{alg:?}: kernel events cover {kernel_secs}s but counters say {counter_secs}s"
+        );
+    }
+}
+
+#[test]
+fn spans_nest_without_overlap() {
+    let dev = traced_device();
+    let (r, s) = JoinWorkload::wide(1 << 14).generate(&dev);
+    let spec = PipelineSpec::new(
+        Algorithm::PhjUm,
+        GroupKey::JoinKey,
+        GroupByAlgorithm::SortGftr,
+        &[AggFn::Sum; 4],
+    );
+    let _ = join_then_group_by(&dev, &r, &s, &spec);
+    let trace = dev.take_trace().expect("tracing was enabled");
+    let spans: Vec<&SpanEvent> = trace.spans().collect();
+    assert!(spans.len() > 8, "pipeline should produce a rich span tree");
+
+    for (i, a) in spans.iter().enumerate() {
+        for b in spans.iter().skip(i + 1) {
+            let disjoint = a.end <= b.start + NS || b.end <= a.start + NS;
+            let a_in_b = b.start <= a.start + NS && a.end <= b.end + NS;
+            let b_in_a = a.start <= b.start + NS && b.end <= a.end + NS;
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "spans overlap without nesting: {:?} [{}, {}] vs {:?} [{}, {}]",
+                a.name,
+                a.start,
+                a.end,
+                b.name,
+                b.start,
+                b.end
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_spans_reproduce_reported_phase_times() {
+    for alg in [Algorithm::PhjUm, Algorithm::PhjOm, Algorithm::SmjUm] {
+        let dev = traced_device();
+        let (r, s) = JoinWorkload::wide(1 << 14).generate(&dev);
+        let out = gpu_join::joins::run_join(&dev, alg, &r, &s, &JoinConfig::default());
+        let trace = dev.take_trace().expect("tracing was enabled");
+
+        let join_spans = spans_of(&trace, SpanCat::Join);
+        assert_eq!(join_spans.len(), 1);
+        let join = &join_spans[0];
+        assert_eq!(join.name, alg.name());
+        // run_join attributes every simulated instant to a phase
+        // (`other` stays zero), so the covering span *is* the phase total.
+        assert!(
+            (join.dur() - out.stats.op.total_time().secs()).abs() <= NS,
+            "{alg:?}: join span {}s vs OpStats::total_time {}s",
+            join.dur(),
+            out.stats.op.total_time().secs()
+        );
+
+        let phase_secs: f64 = spans_of(&trace, SpanCat::Phase)
+            .iter()
+            .filter(|p| join.start <= p.start + NS && p.end <= join.end + NS)
+            .map(SpanEvent::dur)
+            .sum();
+        let reported = out.stats.phases.total().secs();
+        assert!(
+            (phase_secs - reported).abs() <= NS,
+            "{alg:?}: phase spans sum to {phase_secs}s but PhaseTimes::total is {reported}s"
+        );
+    }
+}
+
+#[test]
+fn operator_span_durations_match_op_stats() {
+    let dev = traced_device();
+    let (r, s) = JoinWorkload::wide(1 << 14).generate(&dev);
+    let spec = PipelineSpec::new(
+        Algorithm::PhjOm,
+        GroupKey::JoinKey,
+        GroupByAlgorithm::HashGlobal,
+        &[AggFn::Sum; 4],
+    );
+    let out = join_then_group_by(&dev, &r, &s, &spec);
+    let trace = dev.take_trace().expect("tracing was enabled");
+
+    // Flatten the engine's stats tree: label -> node-only total_time.
+    fn flatten(n: &gpu_join::engine::NodeStats, out: &mut Vec<(String, f64)>) {
+        out.push((n.label.clone(), n.op.total_time().secs()));
+        for c in &n.children {
+            flatten(c, out);
+        }
+    }
+    let mut nodes = Vec::new();
+    flatten(&out.stats, &mut nodes);
+
+    let op_spans = spans_of(&trace, SpanCat::Operator);
+    assert_eq!(
+        op_spans.len(),
+        nodes.len(),
+        "one operator span per plan node"
+    );
+    for (label, secs) in nodes {
+        let span = op_spans
+            .iter()
+            .find(|s| s.name == label)
+            .unwrap_or_else(|| panic!("no operator span labelled {label:?}"));
+        assert!(
+            (span.dur() - secs).abs() <= NS,
+            "{label}: span {}s vs OpStats::total_time {}s",
+            span.dur(),
+            secs
+        );
+    }
+}
+
+#[test]
+fn traces_are_byte_identical_across_host_threads() {
+    let run = |threads: usize| -> Trace {
+        let dev = Device::new(
+            DeviceConfig::a100()
+                .scaled(8192.0)
+                .with_host_threads(threads),
+        );
+        dev.enable_tracing();
+        let (r, s) = JoinWorkload::wide(1 << 14).generate(&dev);
+        let spec = PipelineSpec::new(
+            Algorithm::PhjUm,
+            GroupKey::JoinKey,
+            GroupByAlgorithm::SortGftr,
+            &[AggFn::Sum; 4],
+        );
+        let _ = join_then_group_by(&dev, &r, &s, &spec);
+        dev.take_trace().expect("tracing was enabled")
+    };
+    let (t1, t8) = (run(1), run(8));
+    let (a, b) = (std::slice::from_ref(&t1), std::slice::from_ref(&t8));
+    assert_eq!(
+        jsonl(a),
+        jsonl(b),
+        "JSONL export differs across host_threads"
+    );
+    assert_eq!(
+        chrome_trace_json(a),
+        chrome_trace_json(b),
+        "Chrome export differs across host_threads"
+    );
+}
+
+#[test]
+fn disabled_tracing_leaves_results_untouched() {
+    let run = |traced: bool| {
+        let dev = Device::new(DeviceConfig::a100().scaled(8192.0));
+        if traced {
+            dev.enable_tracing();
+        }
+        let (r, s) = JoinWorkload::wide(1 << 14).generate(&dev);
+        let out = gpu_join::joins::run_join(&dev, Algorithm::PhjUm, &r, &s, &JoinConfig::default());
+        (out.len(), out.stats.op.total_time(), dev.counters().cycles)
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "tracing must not perturb the simulation"
+    );
+}
