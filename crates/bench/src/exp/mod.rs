@@ -24,6 +24,7 @@ pub mod g03;
 pub mod g04;
 pub mod g05;
 pub mod g06;
+pub mod m01;
 pub mod table04;
 pub mod table05;
 pub mod table12;

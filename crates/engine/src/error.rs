@@ -21,6 +21,31 @@ pub enum EngineError {
         /// Right key type label.
         right: &'static str,
     },
+    /// A query in a multi-query scheduling session exceeded its reserved
+    /// memory budget (converted by `engine::scheduler` from the typed
+    /// `sim::BudgetError` the failing allocation raised). Co-tenants are
+    /// unaffected: the reservation bound means the overrun never touched
+    /// their memory.
+    BudgetExceeded {
+        /// The offending query's id within its session.
+        query: u32,
+        /// The query's reserved budget, bytes.
+        budget_bytes: u64,
+        /// Bytes the failing allocation requested (alignment-rounded).
+        requested_bytes: u64,
+        /// Bytes the query already had in use.
+        in_use_bytes: u64,
+        /// Label of the failing allocation.
+        label: String,
+    },
+    /// A query's requested budget exceeds what the device can ever grant
+    /// (free capacity at session start), so it was rejected at admission.
+    BudgetUnsatisfiable {
+        /// Bytes the query asked to reserve.
+        requested_bytes: u64,
+        /// Free device bytes when the session started.
+        available_bytes: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -33,6 +58,26 @@ impl std::fmt::Display for EngineError {
             EngineError::KeyTypeMismatch { left, right } => {
                 write!(f, "join key types differ: {left} vs {right}")
             }
+            EngineError::BudgetExceeded {
+                query,
+                budget_bytes,
+                requested_bytes,
+                in_use_bytes,
+                label,
+            } => write!(
+                f,
+                "query {query} exceeded its {budget_bytes} byte memory budget \
+                 allocating {requested_bytes} bytes for '{label}' \
+                 ({in_use_bytes} already in use)"
+            ),
+            EngineError::BudgetUnsatisfiable {
+                requested_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "requested budget of {requested_bytes} bytes exceeds the \
+                 device's {available_bytes} free bytes"
+            ),
         }
     }
 }

@@ -42,10 +42,12 @@ mod exec;
 mod expr;
 pub mod op;
 mod plan;
+pub mod scheduler;
 mod table;
 
 pub use error::EngineError;
 pub use exec::{execute, Catalog, NodeStats, QueryOutput};
 pub use expr::{CmpOp, Expr};
 pub use plan::{AggSpec, Plan};
+pub use scheduler::{run_queries, Policy, QueryReport, QuerySpec};
 pub use table::Table;

@@ -109,6 +109,7 @@ pub fn run_operator(
     // chunk staging, plan glue. (SimTime subtraction saturates at zero.)
     op_stats.other = elapsed - op_stats.phases.total();
     op_stats.counters = ctx.dev.counters().delta_since(&before).0;
+    op_stats.query = ctx.dev.query_id();
     let label = match &ev.detail {
         Some(d) => format!("{} via {}", op.label(), d),
         None => op.label(),

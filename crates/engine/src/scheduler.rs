@@ -1,0 +1,257 @@
+//! Multi-query execution: admit N logical plans onto one simulated device.
+//!
+//! The paper's operators assume they own the GPU; a production engine
+//! serves many tenants. This module is the engine-side driver over the
+//! device-side machinery in [`sim::sched`]:
+//!
+//! 1. **Admission** — each [`QuerySpec`] reserves a memory budget out of
+//!    the device's free capacity (an equal share by default). Budgets are
+//!    granted FIFO in registration order; a query whose budget cannot be
+//!    granted *yet* queues, and one whose budget can *never* be granted is
+//!    rejected with [`EngineError::BudgetUnsatisfiable`]. Because granted
+//!    reservations never sum past the free capacity, no tenant can OOM a
+//!    co-tenant.
+//! 2. **Budgeted execution** — each query runs on its own query handle:
+//!    private counters, clock, L2 image, trace, and a sub-ledger capped at
+//!    its budget. `joins::chunked::plan_chunks` sizes chunks against the
+//!    budget, so an over-budget join re-plans out-of-core; an allocation
+//!    that still exceeds the budget unwinds with a typed `sim::BudgetError`
+//!    which is caught here and converted to
+//!    [`EngineError::BudgetExceeded`] — co-tenants keep running.
+//! 3. **Deterministic interleaving** — kernel launches pass the session's
+//!    turn gate ([`Policy::RoundRobin`] or [`Policy::WeightedFair`]),
+//!    whose designation is a pure function of simulated state. Per-query
+//!    outputs, `OpStats` and traces are therefore *byte-identical* to
+//!    running the same specs under [`Policy::Serial`] — the property
+//!    `tests/scheduler_equivalence.rs` proves.
+//!
+//! ```
+//! use engine::{scheduler, Catalog, Plan, Table};
+//! use columnar::Column;
+//! use sim::Device;
+//!
+//! let dev = Device::a100();
+//! let mut catalog = Catalog::new();
+//! catalog.insert(Table::new(
+//!     "t",
+//!     vec![("k", Column::from_i32(&dev, vec![1, 2, 3], "k"))],
+//! ));
+//! let specs = vec![
+//!     scheduler::QuerySpec::new(Plan::scan("t")),
+//!     scheduler::QuerySpec::new(Plan::scan("t").distinct("k")),
+//! ];
+//! let reports = scheduler::run_queries(&dev, &catalog, specs, scheduler::Policy::RoundRobin);
+//! assert_eq!(reports.len(), 2);
+//! assert!(reports.iter().all(|r| r.result.is_ok()));
+//! ```
+
+use crate::{execute, Catalog, EngineError, Plan, QueryOutput};
+use sim::{Device, SimTime, Trace};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The scheduling policies a session can run under (re-exported from
+/// [`sim::SchedPolicy`]): `Serial`, `RoundRobin`, or `WeightedFair`.
+pub type Policy = sim::SchedPolicy;
+
+/// One tenant query: a plan plus its scheduling parameters.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The logical plan to execute.
+    pub plan: Plan,
+    /// Fair-share weight under [`Policy::WeightedFair`]; ignored by the
+    /// other policies. Defaults to 1.0.
+    pub weight: f64,
+    /// Explicit memory budget, bytes. `None` reserves an equal share of
+    /// the device memory left free by the catalog.
+    pub budget_bytes: Option<u64>,
+}
+
+impl QuerySpec {
+    /// A spec with default weight (1.0) and an equal-share budget.
+    pub fn new(plan: Plan) -> Self {
+        QuerySpec {
+            plan,
+            weight: 1.0,
+            budget_bytes: None,
+        }
+    }
+
+    /// Set the fair-share weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Set an explicit memory budget.
+    pub fn with_budget(mut self, budget_bytes: u64) -> Self {
+        self.budget_bytes = Some(budget_bytes);
+        self
+    }
+}
+
+/// Outcome of one tenant query in a [`run_queries`] session.
+pub struct QueryReport {
+    /// Index of the originating spec in the `specs` argument (equal to the
+    /// device-side query id when every spec passed registration).
+    pub query: u32,
+    /// The query's result, or the typed error that stopped it.
+    pub result: Result<QueryOutput, EngineError>,
+    /// The budget the query ran under (or requested, if rejected), bytes.
+    pub budget_bytes: u64,
+    /// Simulated device time the query's kernels received.
+    pub busy: SimTime,
+    /// Device-clock time at which the query retired — its completion time
+    /// on the shared timeline, the metric the fairness suite bounds.
+    pub completion: SimTime,
+    /// Peak bytes of the query's private ledger — never above
+    /// `budget_bytes` by construction.
+    pub peak_mem_bytes: u64,
+    /// The query's private trace, when the base device was tracing at
+    /// session start (events on the query's own clock, named
+    /// `"<device>#q<id>"`).
+    pub trace: Option<Trace>,
+}
+
+/// Execute `specs` concurrently on `dev` under `policy`; returns one
+/// [`QueryReport`] per spec, in spec order.
+///
+/// Call on the base (non-query) handle of the device holding `catalog`.
+/// Each spec gets a budget reservation (equal shares of the free capacity
+/// by default) and runs `execute(qdev, catalog, plan)` on its own thread
+/// behind the deterministic kernel turn gate — host threading changes
+/// nothing observable. A query that exceeds its budget fails alone, with
+/// co-tenants' results, stats and ledgers untouched.
+///
+/// With [`Policy::Serial`] the same machinery runs queries to completion in
+/// spec order — the oracle the concurrent policies are byte-compared
+/// against.
+pub fn run_queries(
+    dev: &Device,
+    catalog: &Catalog,
+    specs: Vec<QuerySpec>,
+    policy: Policy,
+) -> Vec<QueryReport> {
+    assert!(
+        dev.query_id().is_none(),
+        "run_queries must be called on the base device handle"
+    );
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let was_tracing = dev.tracing_enabled();
+    dev.sched_start(policy);
+    let free = dev
+        .mem_capacity()
+        .saturating_sub(dev.mem_report().current_bytes);
+    let fair_share = free / specs.len() as u64;
+
+    // Register every spec on this thread, in spec order: device query ids
+    // are assigned in call order, and the id order is what the policies'
+    // determinism rests on.
+    enum Registered {
+        Query { qdev: Device, plan: Plan },
+        Rejected { budget: u64, err: EngineError },
+    }
+    let registered: Vec<Registered> = specs
+        .into_iter()
+        .map(|spec| {
+            let budget = spec.budget_bytes.unwrap_or(fair_share);
+            match dev.sched_register(spec.weight, budget) {
+                Ok(qdev) => {
+                    if was_tracing {
+                        qdev.enable_tracing();
+                    }
+                    Registered::Query {
+                        qdev,
+                        plan: spec.plan,
+                    }
+                }
+                Err(e) => Registered::Rejected {
+                    budget,
+                    err: EngineError::BudgetUnsatisfiable {
+                        requested_bytes: e.requested_bytes,
+                        available_bytes: e.available_bytes,
+                    },
+                },
+            }
+        })
+        .collect();
+
+    // One worker thread per admitted query. The threads only race on the
+    // turn gate, whose decisions are functions of simulated state — so the
+    // per-query outcome is independent of host scheduling.
+    type Outcome = Result<Result<QueryOutput, EngineError>, Box<dyn std::any::Any + Send>>;
+    let outcomes: Vec<Option<Outcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = registered
+            .iter()
+            .map(|reg| match reg {
+                Registered::Rejected { .. } => None,
+                Registered::Query { qdev, plan } => Some(scope.spawn(move || {
+                    qdev.sched_admit();
+                    let result = catch_unwind(AssertUnwindSafe(|| execute(qdev, catalog, plan)));
+                    // Retire unconditionally — success, engine error or
+                    // unwind — so the reservation is released, queued
+                    // queries admit, and the turn gate never waits on a
+                    // dead query.
+                    qdev.sched_retire();
+                    match result {
+                        Ok(res) => Ok(res),
+                        Err(payload) => match payload.downcast::<sim::BudgetError>() {
+                            Ok(b) => Ok(Err(EngineError::BudgetExceeded {
+                                query: b.query,
+                                budget_bytes: b.budget_bytes,
+                                requested_bytes: b.requested_bytes,
+                                in_use_bytes: b.in_use_bytes,
+                                label: b.label.clone(),
+                            })),
+                            Err(other) => Err(other),
+                        },
+                    }
+                })),
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.map(|h| h.join().expect("scheduler worker panicked outside execute")))
+            .collect()
+    });
+
+    let reports = registered
+        .into_iter()
+        .zip(outcomes)
+        .enumerate()
+        .map(|(i, (reg, outcome))| match reg {
+            Registered::Rejected { budget, err } => QueryReport {
+                query: i as u32,
+                result: Err(err),
+                budget_bytes: budget,
+                busy: SimTime::ZERO,
+                completion: SimTime::ZERO,
+                peak_mem_bytes: 0,
+                trace: None,
+            },
+            Registered::Query { qdev, .. } => {
+                let result = match outcome.expect("admitted query has an outcome") {
+                    Ok(res) => res,
+                    // A non-budget panic is a simulator invariant violation,
+                    // not a tenant failure: co-tenants have already retired,
+                    // so propagate it.
+                    Err(payload) => resume_unwind(payload),
+                };
+                let qid = qdev.query_id().expect("query handle");
+                let sched = dev.sched_query_stats(qid);
+                QueryReport {
+                    query: i as u32,
+                    result,
+                    budget_bytes: sched.budget_bytes,
+                    busy: SimTime::from_secs(sched.busy_secs),
+                    completion: SimTime::from_secs(sched.completion_secs),
+                    peak_mem_bytes: qdev.mem_report().peak_bytes,
+                    trace: qdev.take_trace(),
+                }
+            }
+        })
+        .collect();
+    dev.sched_finish();
+    reports
+}

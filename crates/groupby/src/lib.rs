@@ -244,6 +244,7 @@ pub fn run_group_by(
         }
     };
     out.stats.op.counters = dev.counters().delta_since(&before).0;
+    out.stats.op.query = dev.query_id();
     dev.trace_span(sim::SpanCat::GroupBy, algorithm.name(), t0, dev.elapsed());
     out
 }

@@ -51,9 +51,11 @@ fn chunk_bytes_needed(r: &Relation, s: &Relation, chunk_rows: usize, out_rows: u
 /// `None` when even a single-row chunk cannot fit (the build side itself is
 /// too large — build-side chunking is future work, as in the papers cited).
 pub fn plan_chunks(dev: &Device, r: &Relation, s: &Relation) -> Option<ChunkPlan> {
+    // `mem_capacity` is the query's reserved budget on a scheduler query
+    // handle (and the device's global memory otherwise), so a budget-capped
+    // tenant re-plans out-of-core instead of OOMing.
     let budget = dev
-        .config()
-        .global_mem_bytes
+        .mem_capacity()
         .saturating_sub(dev.mem_report().current_bytes);
     // The output of a PK-FK chunk is at most the chunk itself; general
     // joins can explode, so leave a 2x factor.

@@ -270,6 +270,7 @@ pub fn run_join(
         Algorithm::CpuRadix => cpu::cpu_radix_join(dev, r, s, config),
     };
     out.stats.op.counters = dev.counters().delta_since(&before).0;
+    out.stats.op.query = dev.query_id();
     dev.trace_span(sim::SpanCat::Join, algorithm.name(), t0, dev.elapsed());
     out
 }

@@ -14,7 +14,7 @@
 //! The calibration is validated against Table 4 of the paper in
 //! `tests/calibration.rs` of the `primitives` crate.
 
-use crate::{Device, DeviceState, SimTime, SECTOR_BYTES, WARP_SIZE};
+use crate::{Device, L2Cache, SimTime, SECTOR_BYTES, WARP_SIZE};
 
 /// Warps per block in the parallel warp-traffic path: addresses are
 /// materialized block-wise (1 Mi addresses, 8 MiB of sector ids) so memory
@@ -121,7 +121,9 @@ impl<'d> KernelBuilder<'d> {
     {
         let ideal = (elem_size * WARP_SIZE as u64).div_ceil(SECTOR_BYTES).max(1) as f64;
         let penalty = self.dev.inner.config.uncoalesced_penalty;
+        let query = self.dev.query;
         let mut st = self.dev.inner.state.lock();
+        let l2 = st.l2_for(query);
         let mut lane_sectors = [u64::MAX; WARP_SIZE];
         let mut lanes = 0usize;
         let mut iter = addrs.into_iter();
@@ -144,7 +146,7 @@ impl<'d> KernelBuilder<'d> {
                 for &s in warp.iter() {
                     if s != prev {
                         distinct += 1;
-                        if !st.l2.access(s) {
+                        if !l2.access(s) {
                             dram += 1;
                         }
                         prev = s;
@@ -189,6 +191,7 @@ impl<'d> KernelBuilder<'d> {
     {
         let ideal = (elem_size * WARP_SIZE as u64).div_ceil(SECTOR_BYTES).max(1) as f64;
         let penalty = self.dev.inner.config.uncoalesced_penalty;
+        let query = self.dev.query;
         let block_lanes = PAR_BLOCK_WARPS * WARP_SIZE;
         let mut iter = addrs.into_iter();
         let mut sectors: Vec<u64> = Vec::with_capacity(block_lanes.min(1 << 16));
@@ -207,7 +210,7 @@ impl<'d> KernelBuilder<'d> {
             }
             let exhausted = sectors.len() < block_lanes;
             let mut st = self.dev.inner.state.lock();
-            self.charge_block(&mut st, &sectors, threads, ideal, penalty);
+            self.charge_block(st.l2_for(query), &sectors, threads, ideal, penalty);
             drop(st);
             if exhausted {
                 break;
@@ -236,7 +239,7 @@ impl<'d> KernelBuilder<'d> {
     /// in warp order, reproducing the reference f64 summation order.
     fn charge_block(
         &mut self,
-        st: &mut DeviceState,
+        l2: &mut L2Cache,
         sectors: &[u64],
         threads: usize,
         ideal: f64,
@@ -244,11 +247,11 @@ impl<'d> KernelBuilder<'d> {
     ) {
         let warps = sectors.len().div_ceil(WARP_SIZE);
         if warps < PAR_MIN_WARPS_PER_THREAD * threads {
-            self.charge_block_seq(st, sectors, ideal, penalty);
+            self.charge_block_seq(l2, sectors, ideal, penalty);
             return;
         }
-        let mask = st.l2.set_mask();
-        let (chunk, mut shards) = st.l2.shards(threads);
+        let mask = l2.set_mask();
+        let (chunk, mut shards) = l2.shards(threads);
         let n_shards = shards.len();
         let warps_per_worker = warps.div_ceil(threads);
         let mut distinct = vec![0u32; warps];
@@ -323,13 +326,7 @@ impl<'d> KernelBuilder<'d> {
 
     /// Reference charging of an already-materialized block, used when the
     /// block is too small to be worth fanning out.
-    fn charge_block_seq(
-        &mut self,
-        st: &mut DeviceState,
-        sectors: &[u64],
-        ideal: f64,
-        penalty: f64,
-    ) {
+    fn charge_block_seq(&mut self, l2: &mut L2Cache, sectors: &[u64], ideal: f64, penalty: f64) {
         let mut lane_sectors = [0u64; WARP_SIZE];
         for warp in sectors.chunks(WARP_SIZE) {
             let w = &mut lane_sectors[..warp.len()];
@@ -341,7 +338,7 @@ impl<'d> KernelBuilder<'d> {
             for &s in w.iter() {
                 if s != prev {
                     distinct += 1;
-                    if !st.l2.access(s) {
+                    if !l2.access(s) {
                         dram += 1;
                     }
                     prev = s;
@@ -382,6 +379,12 @@ impl<'d> KernelBuilder<'d> {
 
     /// Launch: convert the accounted work into simulated time, advance the
     /// device clock and counters, and return the kernel's duration.
+    ///
+    /// On a query handle the launch first passes the scheduling turn gate
+    /// (blocking until the session's policy designates this query), then
+    /// charges the work twice: to the query's private counters, clock and
+    /// trace, and to the device-wide aggregates (whose trace tags the event
+    /// with the query id, yielding the multi-tenant timeline).
     pub fn launch(self) -> SimTime {
         let cfg = &self.dev.inner.config;
         let t_comp = self.warp_instructions as f64 / cfg.issue_rate();
@@ -391,10 +394,39 @@ impl<'d> KernelBuilder<'d> {
         let t_atomic = self.atomics_hottest as f64 * cfg.atomic_serialize_cycles / cfg.clock_hz;
         let t = t_comp.max(t_mem) + t_atomic + cfg.kernel_launch_overhead;
 
+        let query = self.dev.query;
+        let gated = match query {
+            Some(qid) => self.dev.acquire_turn(qid),
+            None => false,
+        };
+
         let mut st = self.dev.inner.state.lock();
-        let c = &mut st.counters;
+        let dev_start = st.clock;
+        st.clock += t;
+        self.bump(&mut st.counters, t, cfg.clock_hz);
+        if let Some(tr) = st.trace.as_deref_mut() {
+            tr.push_kernel(self.event(dev_start, t, query));
+        }
+        if let Some(qid) = query {
+            let q = &mut st.queries[qid as usize];
+            let q_start = q.clock;
+            q.clock += t;
+            self.bump(&mut q.counters, t, cfg.clock_hz);
+            if let Some(tr) = q.trace.as_deref_mut() {
+                tr.push_kernel(self.event(q_start, t, query));
+            }
+        }
+        drop(st);
+        if gated {
+            self.dev.complete_turn(query.unwrap(), t);
+        }
+        SimTime::from_secs(t)
+    }
+
+    /// Fold this launch's work into a counter set.
+    fn bump(&self, c: &mut crate::Counters, t: f64, clock_hz: f64) {
         c.kernel_launches += 1;
-        c.cycles += t * cfg.clock_hz;
+        c.cycles += t * clock_hz;
         c.warp_instructions += self.warp_instructions;
         c.dram_read_bytes += self.seq_read_bytes + self.dram_gather_sectors * SECTOR_BYTES;
         c.dram_write_bytes += self.seq_write_bytes + self.store_writeback_sectors * SECTOR_BYTES;
@@ -403,25 +435,29 @@ impl<'d> KernelBuilder<'d> {
         c.l2_hits += self.l2_hit_sectors;
         c.l2_misses += self.dram_gather_sectors;
         c.atomics += self.atomics_total;
-        let start = st.clock;
-        st.clock += t;
-        if let Some(tr) = st.trace.as_deref_mut() {
-            tr.push_kernel(crate::trace::KernelEvent {
-                name: self.name,
-                start,
-                dur: t,
-                warp_instructions: self.warp_instructions,
-                dram_read_bytes: self.seq_read_bytes + self.dram_gather_sectors * SECTOR_BYTES,
-                dram_write_bytes: self.seq_write_bytes
-                    + self.store_writeback_sectors * SECTOR_BYTES,
-                load_requests: self.load_requests,
-                sectors_requested: self.sectors_requested,
-                l2_hits: self.l2_hit_sectors,
-                l2_misses: self.dram_gather_sectors,
-                atomics: self.atomics_total,
-            });
+    }
+
+    /// The trace record of this launch starting at `start` on some clock.
+    fn event(
+        &self,
+        start: f64,
+        dur: f64,
+        query: Option<crate::QueryId>,
+    ) -> crate::trace::KernelEvent {
+        crate::trace::KernelEvent {
+            name: self.name,
+            start,
+            dur,
+            query,
+            warp_instructions: self.warp_instructions,
+            dram_read_bytes: self.seq_read_bytes + self.dram_gather_sectors * SECTOR_BYTES,
+            dram_write_bytes: self.seq_write_bytes + self.store_writeback_sectors * SECTOR_BYTES,
+            load_requests: self.load_requests,
+            sectors_requested: self.sectors_requested,
+            l2_hits: self.l2_hit_sectors,
+            l2_misses: self.dram_gather_sectors,
+            atomics: self.atomics_total,
         }
-        SimTime::from_secs(t)
     }
 }
 

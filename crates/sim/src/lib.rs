@@ -38,6 +38,17 @@
 //! `host_threads = 1` sequential reference. See `DESIGN.md` for the full
 //! determinism argument.
 //!
+//! ## Multi-query scheduling
+//!
+//! A device can host several concurrent queries (see [`sched`]). The base
+//! handle starts a session with [`Device::sched_start`] and registers each
+//! query with [`Device::sched_register`], which reserves the query a memory
+//! budget and returns a *query handle* — a `Device` whose counters, clock,
+//! L2 image, memory ledger and trace are private to that query. Kernel
+//! launches through a query handle pass a deterministic turn gate, so the
+//! interleaving (and every per-query byte of state) is a pure function of
+//! simulated time — concurrent execution is bit-identical to serial.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -59,6 +70,7 @@ mod element;
 mod kernel;
 mod l2;
 mod memory;
+pub mod sched;
 mod stats;
 mod time;
 pub mod trace;
@@ -69,6 +81,7 @@ pub use element::Element;
 pub use kernel::KernelBuilder;
 pub use l2::L2Cache;
 pub use memory::{DeviceBuffer, MemReport};
+pub use sched::{AdmissionError, BudgetError, QueryId, QuerySchedStats, SchedPolicy};
 pub use stats::OpStats;
 pub use time::{PhaseTimes, SimTime};
 pub use trace::{SpanCat, Trace, TraceEvent};
@@ -84,6 +97,41 @@ pub const WARP_SIZE: usize = 32;
 /// subsystem moves data and at which Nsight Compute reports traffic.
 pub const SECTOR_BYTES: u64 = 32;
 
+/// Base simulated address of every query's private sub-ledger. All queries
+/// start at the *same* base: their address spaces only need to be disjoint
+/// from the base ledger's (catalog-resident buffers), not from each other,
+/// because each query probes its own private L2 image. Identical bases are
+/// what make a query's sector stream — and therefore its L2 hits, penalties
+/// and simulated times — independent of which co-tenants run beside it.
+pub(crate) const QUERY_ADDR_BASE: u64 = 1 << 40;
+
+/// Per-query virtual device state: everything a query can observe about its
+/// own execution. Touched only by that query's kernels, in program order, so
+/// it evolves identically under any scheduling policy.
+pub(crate) struct QueryState {
+    pub(crate) counters: Counters,
+    pub(crate) l2: L2Cache,
+    pub(crate) mem: memory::MemLedger,
+    /// The query's private clock: sum of its own kernel times.
+    pub(crate) clock: f64,
+    pub(crate) trace: Option<Box<Trace>>,
+    /// The reservation this query's sub-ledger is capped at.
+    pub(crate) budget_bytes: u64,
+}
+
+impl QueryState {
+    fn new(config: &DeviceConfig, budget_bytes: u64) -> Self {
+        QueryState {
+            counters: Counters::default(),
+            l2: L2Cache::new(config.l2_bytes),
+            mem: memory::MemLedger::with_base(QUERY_ADDR_BASE),
+            clock: 0.0,
+            trace: None,
+            budget_bytes,
+        }
+    }
+}
+
 pub(crate) struct DeviceState {
     pub(crate) counters: Counters,
     pub(crate) l2: L2Cache,
@@ -92,11 +140,41 @@ pub(crate) struct DeviceState {
     pub(crate) clock: f64,
     /// Opt-in event recorder (see [`trace`]); `None` costs nothing.
     pub(crate) trace: Option<Box<Trace>>,
+    /// Virtual state of the current scheduling session's queries, indexed by
+    /// [`QueryId`]. Cleared by the next [`Device::sched_start`].
+    pub(crate) queries: Vec<QueryState>,
+}
+
+impl DeviceState {
+    /// The L2 image a kernel probes: the query's private image for a query
+    /// handle, the device image otherwise.
+    pub(crate) fn l2_for(&mut self, query: Option<QueryId>) -> &mut L2Cache {
+        match query {
+            Some(q) => &mut self.queries[q as usize].l2,
+            None => &mut self.l2,
+        }
+    }
 }
 
 pub(crate) struct DeviceInner {
     pub(crate) config: DeviceConfig,
     pub(crate) state: Mutex<DeviceState>,
+    /// Scheduling bookkeeping behind the kernel turn gate. Deliberately a
+    /// separate `std` mutex (with [`DeviceInner::sched_cv`]): launches block
+    /// on the condvar here, and code must never hold `state` and `sched`
+    /// at the same time.
+    pub(crate) sched: std::sync::Mutex<sched::SchedState>,
+    pub(crate) sched_cv: std::sync::Condvar,
+}
+
+impl DeviceInner {
+    pub(crate) fn sched_lock(&self) -> std::sync::MutexGuard<'_, sched::SchedState> {
+        // Panics never unwind while holding this lock (the budget-OOM panic
+        // fires under the state lock), but be robust to poisoning anyway.
+        self.sched
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// A handle to a simulated GPU.
@@ -104,9 +182,16 @@ pub(crate) struct DeviceInner {
 /// Cheap to clone (it is an `Arc` internally); all clones observe the same
 /// counters, memory ledger and simulated clock. A `Device` is the first
 /// argument of every primitive and operator in this workspace.
+///
+/// A handle returned by [`Device::sched_register`] is a *query handle*: it
+/// shares the physical device but routes counters, clock, L2, memory and
+/// tracing to that query's private virtual state, and its kernel launches
+/// are sequenced by the session's scheduling policy.
 #[derive(Clone)]
 pub struct Device {
     pub(crate) inner: Arc<DeviceInner>,
+    /// `Some(q)` on a query handle; `None` on the base device handle.
+    pub(crate) query: Option<QueryId>,
 }
 
 impl Device {
@@ -122,8 +207,12 @@ impl Device {
                     mem: memory::MemLedger::default(),
                     clock: 0.0,
                     trace: None,
+                    queries: Vec::new(),
                 }),
+                sched: std::sync::Mutex::new(sched::SchedState::default()),
+                sched_cv: std::sync::Condvar::new(),
             }),
+            query: None,
         }
     }
 
@@ -144,31 +233,65 @@ impl Device {
         &self.inner.config
     }
 
+    /// The query this handle routes to, if it is a query handle.
+    pub fn query_id(&self) -> Option<QueryId> {
+        self.query
+    }
+
+    /// The memory capacity visible to this handle: the query's budget on a
+    /// query handle, the device's global memory otherwise. Out-of-core
+    /// planning (`joins::chunked`) sizes chunks against this.
+    pub fn mem_capacity(&self) -> u64 {
+        match self.query {
+            Some(q) => self.inner.state.lock().queries[q as usize].budget_bytes,
+            None => self.inner.config.global_mem_bytes,
+        }
+    }
+
     /// Begin describing a kernel launch. Call accounting methods on the
     /// returned builder and finish with [`KernelBuilder::launch`].
     pub fn kernel(&self, name: &'static str) -> KernelBuilder<'_> {
         KernelBuilder::new(self, name)
     }
 
-    /// Snapshot of the cumulative hardware counters.
+    /// Snapshot of the cumulative hardware counters (this query's own
+    /// counters on a query handle; device-wide totals otherwise).
     pub fn counters(&self) -> Counters {
-        self.inner.state.lock().counters.clone()
+        let st = self.inner.state.lock();
+        match self.query {
+            Some(q) => st.queries[q as usize].counters.clone(),
+            None => st.counters.clone(),
+        }
     }
 
-    /// Total simulated time elapsed on this device.
+    /// Total simulated time elapsed: the query's private clock (sum of its
+    /// own kernels) on a query handle, the device clock otherwise.
     pub fn elapsed(&self) -> SimTime {
-        SimTime::from_secs(self.inner.state.lock().clock)
+        let st = self.inner.state.lock();
+        SimTime::from_secs(match self.query {
+            Some(q) => st.queries[q as usize].clock,
+            None => st.clock,
+        })
     }
 
-    /// Current and peak device-memory usage.
+    /// Current and peak device-memory usage (the query's sub-ledger on a
+    /// query handle).
     pub fn mem_report(&self) -> MemReport {
-        self.inner.state.lock().mem.report()
+        let st = self.inner.state.lock();
+        match self.query {
+            Some(q) => st.queries[q as usize].mem.report(),
+            None => st.mem.report(),
+        }
     }
 
     /// Reset the peak-memory watermark to the current usage. Call between
     /// experiments that share a device.
     pub fn reset_peak_mem(&self) {
-        self.inner.state.lock().mem.reset_peak();
+        let mut st = self.inner.state.lock();
+        match self.query {
+            Some(q) => st.queries[q as usize].mem.reset_peak(),
+            None => st.mem.reset_peak(),
+        }
     }
 
     /// Reset counters, simulated clock, and the peak-memory watermark. Live
@@ -180,39 +303,78 @@ impl Device {
     /// trace is a sequence of overlapping timelines separated by markers.
     pub fn reset_stats(&self) {
         let mut st = self.inner.state.lock();
-        let clock = st.clock;
-        if let Some(tr) = st.trace.as_deref_mut() {
-            tr.push_instant("reset_stats", clock);
+        match self.query {
+            Some(qid) => {
+                let q = &mut st.queries[qid as usize];
+                let clock = q.clock;
+                if let Some(tr) = q.trace.as_deref_mut() {
+                    tr.push_instant("reset_stats", clock);
+                }
+                q.counters = Counters::default();
+                q.clock = 0.0;
+                q.mem.reset_peak();
+            }
+            None => {
+                let clock = st.clock;
+                if let Some(tr) = st.trace.as_deref_mut() {
+                    tr.push_instant("reset_stats", clock);
+                }
+                st.counters = Counters::default();
+                st.clock = 0.0;
+                st.mem.reset_peak();
+            }
         }
-        st.counters = Counters::default();
-        st.clock = 0.0;
-        st.mem.reset_peak();
     }
 
     /// Start recording trace events (see the [`trace`] module). Idempotent:
-    /// enabling an already-tracing device keeps the existing event log.
+    /// enabling an already-tracing device keeps the existing event log. On a
+    /// query handle this starts the query's private trace, named
+    /// `"<device>#q<id>"`.
     pub fn enable_tracing(&self) {
         let mut st = self.inner.state.lock();
-        if st.trace.is_none() {
-            st.trace = Some(Box::new(Trace::new(self.inner.config.name.clone())));
+        match self.query {
+            Some(qid) => {
+                let name = format!("{}#q{qid}", self.inner.config.name);
+                let q = &mut st.queries[qid as usize];
+                if q.trace.is_none() {
+                    q.trace = Some(Box::new(Trace::new(name)));
+                }
+            }
+            None => {
+                if st.trace.is_none() {
+                    st.trace = Some(Box::new(Trace::new(self.inner.config.name.clone())));
+                }
+            }
         }
     }
 
-    /// Whether this device is currently recording trace events. Check this
+    /// Whether this handle is currently recording trace events. Check this
     /// before doing work (string formatting, snapshotting `elapsed`) whose
     /// only purpose is a [`Device::trace_span`] call.
     pub fn tracing_enabled(&self) -> bool {
-        self.inner.state.lock().trace.is_some()
+        let st = self.inner.state.lock();
+        match self.query {
+            Some(q) => st.queries[q as usize].trace.is_some(),
+            None => st.trace.is_some(),
+        }
     }
 
     /// Stop tracing and return the recorded event log, if tracing was on.
     pub fn take_trace(&self) -> Option<Trace> {
-        self.inner.state.lock().trace.take().map(|b| *b)
+        let mut st = self.inner.state.lock();
+        match self.query {
+            Some(q) => st.queries[q as usize].trace.take().map(|b| *b),
+            None => st.trace.take().map(|b| *b),
+        }
     }
 
     /// Clone the event log recorded so far without stopping the recorder.
     pub fn trace_snapshot(&self) -> Option<Trace> {
-        self.inner.state.lock().trace.as_deref().cloned()
+        let st = self.inner.state.lock();
+        match self.query {
+            Some(q) => st.queries[q as usize].trace.as_deref().cloned(),
+            None => st.trace.as_deref().cloned(),
+        }
     }
 
     /// Record a retroactive span `[start, end]` on the simulated clock.
@@ -221,14 +383,20 @@ impl Device {
     /// therefore appear in the log before their enclosing parent.
     pub fn trace_span(&self, cat: SpanCat, name: &str, start: SimTime, end: SimTime) {
         let mut st = self.inner.state.lock();
-        if let Some(tr) = st.trace.as_deref_mut() {
+        let tr = match self.query {
+            Some(q) => st.queries[q as usize].trace.as_deref_mut(),
+            None => st.trace.as_deref_mut(),
+        };
+        if let Some(tr) = tr {
             tr.push_span(cat, name.to_string(), start, end);
         }
     }
 
-    /// Invalidate the modeled L2 (e.g. to measure a cold run).
+    /// Invalidate the modeled L2 (the query's private image on a query
+    /// handle), e.g. to measure a cold run.
     pub fn flush_l2(&self) {
-        self.inner.state.lock().l2.clear();
+        let mut st = self.inner.state.lock();
+        st.l2_for(self.query).clear();
     }
 
     /// Allocate a zero-initialized buffer of `len` elements.
@@ -242,12 +410,128 @@ impl Device {
     pub fn upload<T: Element>(&self, data: Vec<T>, label: &'static str) -> DeviceBuffer<T> {
         DeviceBuffer::from_vec(self.clone(), data, label)
     }
+
+    // --- Multi-query scheduling session (see the `sched` module) ---
+
+    /// Begin a scheduling session on this device. Call on the base handle.
+    ///
+    /// Snapshots the currently free device memory (capacity minus resident
+    /// allocations, e.g. a catalog) as the pool query budgets are reserved
+    /// from, and discards any previous session's per-query state. Panics if
+    /// a session is already active.
+    pub fn sched_start(&self, policy: SchedPolicy) {
+        assert!(self.query.is_none(), "sched_start on a query handle");
+        let used = {
+            let mut st = self.inner.state.lock();
+            st.queries.clear();
+            st.mem.report().current_bytes
+        };
+        let available = self.inner.config.global_mem_bytes.saturating_sub(used);
+        self.inner.sched_lock().start(policy, available);
+    }
+
+    /// Register a query with the active session, reserving it a memory
+    /// budget of `budget_bytes`, and return its query handle.
+    ///
+    /// Budgets are granted FIFO in registration order; a query whose budget
+    /// does not currently fit queues until earlier queries retire (block on
+    /// it with [`Device::sched_admit`]). A budget that can *never* fit —
+    /// larger than the session's free pool — is rejected here. Register all
+    /// queries from one thread: query ids are assigned in call order and the
+    /// id order is what makes admission and scheduling deterministic.
+    pub fn sched_register(&self, weight: f64, budget_bytes: u64) -> Result<Device, AdmissionError> {
+        assert!(self.query.is_none(), "sched_register on a query handle");
+        let qid = self.inner.sched_lock().register(weight, budget_bytes)?;
+        let clock = {
+            let mut st = self.inner.state.lock();
+            debug_assert_eq!(
+                st.queries.len(),
+                qid as usize,
+                "sched_register must not race itself"
+            );
+            st.queries
+                .push(QueryState::new(&self.inner.config, budget_bytes));
+            st.clock
+        };
+        let mut sched = self.inner.sched_lock();
+        sched.admit_fifo(clock);
+        drop(sched);
+        self.inner.sched_cv.notify_all();
+        Ok(Device {
+            inner: Arc::clone(&self.inner),
+            query: Some(qid),
+        })
+    }
+
+    /// Block until this query's budget reservation has been granted. Call on
+    /// the query handle, before running the query's plan.
+    pub fn sched_admit(&self) {
+        let qid = self.query.expect("sched_admit on a non-query handle");
+        let mut sched = self.inner.sched_lock();
+        while !sched.is_admitted(qid) {
+            sched = self
+                .inner
+                .sched_cv
+                .wait(sched)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Retire this query: record its completion time on the device clock,
+    /// release its budget reservation (possibly admitting queued queries),
+    /// and remove it from scheduling. Call on the query handle exactly once,
+    /// whether the query succeeded or failed.
+    pub fn sched_retire(&self) {
+        let qid = self.query.expect("sched_retire on a non-query handle");
+        let clock = self.inner.state.lock().clock;
+        self.inner.sched_lock().retire(qid, clock);
+        self.inner.sched_cv.notify_all();
+    }
+
+    /// End the session. Call on the base handle after every query retired.
+    /// Per-query stats and traces remain readable until the next
+    /// [`Device::sched_start`].
+    pub fn sched_finish(&self) {
+        assert!(self.query.is_none(), "sched_finish on a query handle");
+        self.inner.sched_lock().finish();
+    }
+
+    /// Scheduling outcome (busy time, completion time, budget) of a query in
+    /// the current or just-finished session.
+    pub fn sched_query_stats(&self, query: QueryId) -> QuerySchedStats {
+        self.inner.sched_lock().stats(query)
+    }
+
+    /// Wait until the scheduling policy designates `qid` to run the next
+    /// kernel. Returns `false` (without waiting) when no session is active,
+    /// in which case no turn is held and none must be completed.
+    pub(crate) fn acquire_turn(&self, qid: QueryId) -> bool {
+        let mut sched = self.inner.sched_lock();
+        if !sched.active() {
+            return false;
+        }
+        while !sched.is_designated(qid) {
+            sched = self
+                .inner
+                .sched_cv
+                .wait(sched)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        true
+    }
+
+    /// Account a finished kernel turn and pass the turn to the next query.
+    pub(crate) fn complete_turn(&self, qid: QueryId, kernel_secs: f64) {
+        self.inner.sched_lock().complete_turn(qid, kernel_secs);
+        self.inner.sched_cv.notify_all();
+    }
 }
 
 impl std::fmt::Debug for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Device")
             .field("name", &self.inner.config.name)
+            .field("query", &self.query)
             .finish_non_exhaustive()
     }
 }
@@ -262,6 +546,8 @@ mod tests {
         assert_eq!(dev.counters().kernel_launches, 0);
         assert_eq!(dev.elapsed().secs(), 0.0);
         assert_eq!(dev.mem_report().current_bytes, 0);
+        assert_eq!(dev.query_id(), None);
+        assert_eq!(dev.mem_capacity(), dev.config().global_mem_bytes);
     }
 
     #[test]
@@ -283,5 +569,48 @@ mod tests {
         dev.reset_stats();
         assert_eq!(dev.elapsed().secs(), 0.0);
         assert_eq!(dev.counters().kernel_launches, 0);
+    }
+
+    #[test]
+    fn query_handles_virtualize_device_state() {
+        let dev = Device::a100();
+        dev.sched_start(SchedPolicy::RoundRobin);
+        let q0 = dev.sched_register(1.0, 1 << 30).unwrap();
+        let q1 = dev.sched_register(1.0, 1 << 30).unwrap();
+        q0.sched_admit();
+        q1.sched_admit();
+        assert_eq!(q0.query_id(), Some(0));
+        assert_eq!(q1.mem_capacity(), 1 << 30);
+
+        q0.kernel("k0").items(1 << 20, 2.0).launch();
+        // Query state is private; the base device aggregates.
+        assert_eq!(q0.counters().kernel_launches, 1);
+        assert_eq!(q1.counters().kernel_launches, 0);
+        assert_eq!(dev.counters().kernel_launches, 1);
+        assert!(q0.elapsed().secs() > 0.0);
+        assert_eq!(q1.elapsed().secs(), 0.0);
+
+        let buf = q1.alloc::<i64>(1024, "q1.buf");
+        assert_eq!(q1.mem_report().current_bytes, 8192);
+        assert_eq!(q0.mem_report().current_bytes, 0);
+        assert_eq!(dev.mem_report().current_bytes, 0, "base ledger untouched");
+        drop(buf);
+
+        q0.sched_retire();
+        q1.sched_retire();
+        dev.sched_finish();
+        let s0 = dev.sched_query_stats(0);
+        assert!(s0.busy_secs > 0.0);
+        assert_eq!(s0.budget_bytes, 1 << 30);
+    }
+
+    #[test]
+    fn oversized_budget_is_rejected() {
+        let dev = Device::a100();
+        dev.sched_start(SchedPolicy::Serial);
+        let cap = dev.config().global_mem_bytes;
+        let err = dev.sched_register(1.0, cap + 1).unwrap_err();
+        assert_eq!(err.available_bytes, cap);
+        dev.sched_finish();
     }
 }

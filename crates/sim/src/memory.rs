@@ -23,6 +23,16 @@ pub struct MemReport {
     pub live_allocations: u64,
 }
 
+/// Why a [`MemLedger::try_alloc`] could not be satisfied; the caller turns
+/// this into the appropriate failure (device OOM panic or typed
+/// [`crate::BudgetError`]).
+pub(crate) struct AllocFailure {
+    /// Requested bytes after alignment rounding.
+    pub(crate) requested_bytes: u64,
+    /// Bytes the ledger already had in use.
+    pub(crate) in_use_bytes: u64,
+}
+
 #[derive(Default)]
 pub(crate) struct MemLedger {
     next_addr: u64,
@@ -32,17 +42,26 @@ pub(crate) struct MemLedger {
 }
 
 impl MemLedger {
-    /// Reserve `bytes` and return the base address.
-    pub(crate) fn alloc(&mut self, bytes: u64, capacity: u64, label: &str) -> u64 {
+    /// A ledger whose address space starts at `base` — per-query sub-ledgers
+    /// all start at [`crate::QUERY_ADDR_BASE`], disjoint from the base
+    /// ledger's low addresses but deliberately identical to each other.
+    pub(crate) fn with_base(base: u64) -> Self {
+        MemLedger {
+            next_addr: base,
+            ..MemLedger::default()
+        }
+    }
+
+    /// Reserve `bytes` if they fit in `capacity`, returning the base
+    /// address. A rejection leaves the ledger untouched (an unwound join
+    /// must balance back to zero).
+    pub(crate) fn try_alloc(&mut self, bytes: u64, capacity: u64) -> Result<u64, AllocFailure> {
         let rounded = bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
-        // Reject before committing, so a failed allocation leaves the
-        // ledger untouched (an unwound join must balance back to zero).
         if self.current + rounded > capacity {
-            panic!(
-                "device out of memory allocating {bytes} bytes for '{label}': \
-                 {} in use of {capacity} capacity",
-                self.current + rounded
-            );
+            return Err(AllocFailure {
+                requested_bytes: rounded,
+                in_use_bytes: self.current,
+            });
         }
         // Mirror of free(): zero-byte allocations charge nothing and are
         // not counted live (their drop is a no-op), but still receive a
@@ -54,7 +73,19 @@ impl MemLedger {
         }
         let addr = self.next_addr;
         self.next_addr += rounded.max(ALLOC_ALIGN);
-        addr
+        Ok(addr)
+    }
+
+    /// Reserve `bytes` and return the base address; panics on OOM.
+    pub(crate) fn alloc(&mut self, bytes: u64, capacity: u64, label: &str) -> u64 {
+        match self.try_alloc(bytes, capacity) {
+            Ok(addr) => addr,
+            Err(f) => panic!(
+                "device out of memory allocating {bytes} bytes for '{label}': \
+                 {} in use of {capacity} capacity",
+                f.in_use_bytes + f.requested_bytes
+            ),
+        }
     }
 
     pub(crate) fn free(&mut self, bytes: u64) {
@@ -100,15 +131,52 @@ pub struct DeviceBuffer<T: Element> {
 impl<T: Element> DeviceBuffer<T> {
     pub(crate) fn from_vec(dev: Device, data: Vec<T>, label: &'static str) -> Self {
         let bytes = data.len() as u64 * T::SIZE;
-        let base_addr = {
-            let mut guard = dev.inner.state.lock();
-            let st = &mut *guard;
-            let cap = dev.inner.config.global_mem_bytes;
-            let addr = st.mem.alloc(bytes, cap, label);
-            if let Some(tr) = st.trace.as_deref_mut() {
-                tr.push_mem(st.clock, st.mem.report().current_bytes);
+        let base_addr = match dev.query {
+            None => {
+                let mut guard = dev.inner.state.lock();
+                let st = &mut *guard;
+                let cap = dev.inner.config.global_mem_bytes;
+                let addr = st.mem.alloc(bytes, cap, label);
+                if let Some(tr) = st.trace.as_deref_mut() {
+                    tr.push_mem(st.clock, st.mem.report().current_bytes);
+                }
+                addr
             }
-            addr
+            Some(qid) => {
+                // Query allocations charge the query's private sub-ledger,
+                // capped at its reserved budget. Exceeding the budget raises
+                // a *typed* panic (`sim::BudgetError`) that a scheduler can
+                // catch and convert, leaving co-tenants untouched — the base
+                // ledger and every other query's sub-ledger never move.
+                let mut guard = dev.inner.state.lock();
+                let q = &mut guard.queries[qid as usize];
+                let budget = q.budget_bytes;
+                match q.mem.try_alloc(bytes, budget) {
+                    Ok(addr) => {
+                        let clock = q.clock;
+                        let current = q.mem.report().current_bytes;
+                        if let Some(tr) = q.trace.as_deref_mut() {
+                            tr.push_mem(clock, current);
+                        }
+                        addr
+                    }
+                    Err(f) => {
+                        let err = crate::BudgetError {
+                            query: qid,
+                            budget_bytes: budget,
+                            requested_bytes: f.requested_bytes,
+                            in_use_bytes: f.in_use_bytes,
+                            label: label.to_string(),
+                        };
+                        drop(guard);
+                        // resume_unwind rather than panic_any: budget
+                        // overruns are typed control flow the scheduler
+                        // catches per tenant, not programmer errors — skip
+                        // the default panic hook's stderr noise.
+                        std::panic::resume_unwind(Box::new(err));
+                    }
+                }
+            }
         };
         DeviceBuffer {
             data,
@@ -204,12 +272,31 @@ impl<T: Element> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
         let mut guard = self.dev.inner.state.lock();
         let st = &mut *guard;
-        st.mem.free(self.charged_bytes);
-        // Zero-charged drops (aliases, empty buffers) never moved the
-        // ledger, so they produce no timeline sample either.
-        if self.charged_bytes > 0 {
-            if let Some(tr) = st.trace.as_deref_mut() {
-                tr.push_mem(st.clock, st.mem.report().current_bytes);
+        match self.dev.query {
+            None => {
+                st.mem.free(self.charged_bytes);
+                // Zero-charged drops (aliases, empty buffers) never moved
+                // the ledger, so they produce no timeline sample either.
+                if self.charged_bytes > 0 {
+                    if let Some(tr) = st.trace.as_deref_mut() {
+                        tr.push_mem(st.clock, st.mem.report().current_bytes);
+                    }
+                }
+            }
+            // `get_mut`: a query buffer may legally outlive its scheduling
+            // session (the next sched_start clears the per-query slots), in
+            // which case the credit has nowhere to go and is dropped.
+            Some(qid) => {
+                if let Some(q) = st.queries.get_mut(qid as usize) {
+                    q.mem.free(self.charged_bytes);
+                    if self.charged_bytes > 0 {
+                        let clock = q.clock;
+                        let current = q.mem.report().current_bytes;
+                        if let Some(tr) = q.trace.as_deref_mut() {
+                            tr.push_mem(clock, current);
+                        }
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,396 @@
+//! Multi-query scheduling on one simulated device.
+//!
+//! The paper's framework assumes an operator owns the whole GPU; a
+//! production engine serves many tenants on one device. This module adds
+//! the device-side half of that story:
+//!
+//! * **Admission control** — each query reserves a fixed memory budget out
+//!   of the device's free capacity before it runs. Reservations are granted
+//!   in query-id (FIFO) order; a query whose budget does not fit queues
+//!   behind the head of the line until earlier queries retire and release
+//!   theirs. Because the sum of granted budgets never exceeds the free
+//!   capacity, no tenant can OOM a co-tenant.
+//! * **Kernel-granular interleaving** — a query's kernel launches pass
+//!   through a turn gate: the launch blocks until the scheduling policy
+//!   designates that query, performs its accounting, then hands the turn
+//!   on. The designation is a pure function of *simulated* state (query
+//!   ids, per-query busy time, weights), so the interleaving — and with it
+//!   every counter, clock and trace byte — is deterministic regardless of
+//!   host thread timing.
+//! * **Virtualized device state** — each query gets its own counters,
+//!   clock, L2 image, trace and budget-capped memory sub-ledger (see
+//!   `lib.rs`), so a query's observable execution is touched only by its
+//!   own kernels, in program order. That is the whole concurrent-equals-
+//!   serial argument: per-query state evolves identically under any policy.
+//!
+//! The engine's `scheduler` module drives this API; it is exposed on
+//! [`crate::Device`] as the `sched_*` methods.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one admitted query on a device, assigned densely from 0
+/// in registration order.
+pub type QueryId = u32;
+
+/// How the turn gate picks the next query to run a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Run admitted queries to completion in query-id order — the serial
+    /// baseline the equivalence suite compares against. (It still uses the
+    /// same budgets, ids and accounting as the concurrent policies.)
+    Serial,
+    /// Cycle through runnable queries in id order, one kernel per turn.
+    RoundRobin,
+    /// Designate the runnable query with the smallest `busy_time / weight`
+    /// (lowest id on ties): long-run device time is shared in proportion
+    /// to the configured weights.
+    WeightedFair,
+}
+
+impl SchedPolicy {
+    /// Stable lowercase label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Serial => "serial",
+            SchedPolicy::RoundRobin => "round_robin",
+            SchedPolicy::WeightedFair => "weighted_fair",
+        }
+    }
+}
+
+/// Typed payload carried by the panic a budget-capped allocation raises
+/// when a query's sub-ledger would exceed its reservation.
+///
+/// The device cannot return a `Result` from deep inside an executing
+/// operator (the OOM surface is `DeviceBuffer` construction), so — like the
+/// device-capacity OOM — the failure unwinds; unlike it, the payload is
+/// typed so a scheduler can `catch_unwind`, downcast, and convert it into
+/// its own error type while co-tenants keep running.
+#[derive(Debug, Clone)]
+pub struct BudgetError {
+    /// The query whose allocation failed.
+    pub query: QueryId,
+    /// The query's reserved budget, bytes.
+    pub budget_bytes: u64,
+    /// Bytes the failing allocation requested (after alignment rounding).
+    pub requested_bytes: u64,
+    /// Bytes the query already had in use.
+    pub in_use_bytes: u64,
+    /// Label of the failing allocation.
+    pub label: String,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "query {} exceeded its {} byte memory budget allocating {} bytes \
+             for '{}' ({} already in use)",
+            self.query, self.budget_bytes, self.requested_bytes, self.label, self.in_use_bytes
+        )
+    }
+}
+
+/// Error returned by [`crate::Device::sched_register`] when a query's
+/// requested budget can never be satisfied on this device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionError {
+    /// Bytes the query asked to reserve.
+    pub requested_bytes: u64,
+    /// Free device bytes when the scheduling session started (capacity
+    /// minus catalog residents) — the most any reservation can get.
+    pub available_bytes: u64,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requested budget of {} bytes exceeds the device's {} free bytes",
+            self.requested_bytes, self.available_bytes
+        )
+    }
+}
+
+/// Scheduling outcome of one retired query, for fairness reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuerySchedStats {
+    /// Simulated seconds of kernel time this query received.
+    pub busy_secs: f64,
+    /// Device clock (seconds) when the query retired — its completion time
+    /// on the shared timeline.
+    pub completion_secs: f64,
+    /// Device clock when the query's budget reservation was granted.
+    pub admitted_secs: f64,
+    /// The reservation the query ran under, bytes.
+    pub budget_bytes: u64,
+}
+
+/// Per-query scheduling bookkeeping.
+pub(crate) struct QuerySched {
+    weight: f64,
+    budget_bytes: u64,
+    admitted: bool,
+    finished: bool,
+    busy_secs: f64,
+    admitted_secs: f64,
+    completion_secs: f64,
+}
+
+/// The state behind the turn gate. Guarded by a dedicated `std` mutex (and
+/// condvar) in `DeviceInner`, *never* held together with the device-state
+/// lock.
+#[derive(Default)]
+pub(crate) struct SchedState {
+    policy: Option<SchedPolicy>,
+    queries: Vec<QuerySched>,
+    designated: Option<QueryId>,
+    /// Round-robin resume point: the first id considered for the next turn.
+    rr_cursor: u32,
+    /// Sum of granted (admitted, unretired) reservations.
+    reserved_bytes: u64,
+    /// Free device bytes at session start (capacity minus base residents).
+    available_bytes: u64,
+}
+
+impl SchedState {
+    pub(crate) fn start(&mut self, policy: SchedPolicy, available_bytes: u64) {
+        assert!(
+            self.policy.is_none(),
+            "a scheduling session is already active on this device"
+        );
+        self.policy = Some(policy);
+        self.queries.clear();
+        self.designated = None;
+        self.rr_cursor = 0;
+        self.reserved_bytes = 0;
+        self.available_bytes = available_bytes;
+    }
+
+    pub(crate) fn finish(&mut self) {
+        assert!(
+            self.queries.iter().all(|q| q.finished),
+            "sched_finish with unretired queries"
+        );
+        self.policy = None;
+        self.designated = None;
+    }
+
+    pub(crate) fn active(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// Register a query with the session; returns its id. Admission (the
+    /// actual reservation) happens separately, in id order.
+    pub(crate) fn register(
+        &mut self,
+        weight: f64,
+        budget_bytes: u64,
+    ) -> Result<QueryId, AdmissionError> {
+        assert!(self.active(), "sched_register outside a session");
+        assert!(weight > 0.0, "query weight must be positive");
+        if budget_bytes > self.available_bytes {
+            return Err(AdmissionError {
+                requested_bytes: budget_bytes,
+                available_bytes: self.available_bytes,
+            });
+        }
+        let id = self.queries.len() as QueryId;
+        self.queries.push(QuerySched {
+            weight,
+            budget_bytes,
+            admitted: false,
+            finished: false,
+            busy_secs: 0.0,
+            admitted_secs: 0.0,
+            completion_secs: 0.0,
+        });
+        Ok(id)
+    }
+
+    /// Grant reservations in id (FIFO) order until one does not fit; the
+    /// head of the line blocks everyone behind it, which keeps admission
+    /// order — and therefore everything downstream — deterministic.
+    pub(crate) fn admit_fifo(&mut self, device_clock: f64) {
+        for q in self.queries.iter_mut() {
+            if q.finished || q.admitted {
+                continue;
+            }
+            if self.reserved_bytes + q.budget_bytes > self.available_bytes {
+                break;
+            }
+            self.reserved_bytes += q.budget_bytes;
+            q.admitted = true;
+            q.admitted_secs = device_clock;
+        }
+        if self.designated.is_none() {
+            self.redesignate();
+        }
+    }
+
+    pub(crate) fn is_admitted(&self, id: QueryId) -> bool {
+        self.queries[id as usize].admitted
+    }
+
+    pub(crate) fn is_designated(&self, id: QueryId) -> bool {
+        self.designated == Some(id)
+    }
+
+    /// Account a completed kernel turn and pass the turn on.
+    pub(crate) fn complete_turn(&mut self, id: QueryId, kernel_secs: f64) {
+        debug_assert_eq!(self.designated, Some(id), "turn completed out of order");
+        self.queries[id as usize].busy_secs += kernel_secs;
+        if self.policy == Some(SchedPolicy::RoundRobin) {
+            self.rr_cursor = id + 1;
+        }
+        self.redesignate();
+    }
+
+    /// Mark a query finished, release its reservation, and re-run FIFO
+    /// admission for queued queries.
+    pub(crate) fn retire(&mut self, id: QueryId, device_clock: f64) {
+        let q = &mut self.queries[id as usize];
+        assert!(!q.finished, "query retired twice");
+        q.finished = true;
+        q.completion_secs = device_clock;
+        if q.admitted {
+            self.reserved_bytes -= q.budget_bytes;
+        }
+        self.admit_fifo(device_clock);
+        self.redesignate();
+    }
+
+    pub(crate) fn stats(&self, id: QueryId) -> QuerySchedStats {
+        let q = &self.queries[id as usize];
+        QuerySchedStats {
+            busy_secs: q.busy_secs,
+            completion_secs: q.completion_secs,
+            admitted_secs: q.admitted_secs,
+            budget_bytes: q.budget_bytes,
+        }
+    }
+
+    /// Recompute the designated query from simulated state only.
+    fn redesignate(&mut self) {
+        let runnable = |q: &QuerySched| q.admitted && !q.finished;
+        let n = self.queries.len() as u32;
+        self.designated = match self.policy {
+            None => None,
+            Some(SchedPolicy::Serial) => {
+                self.queries.iter().position(runnable).map(|i| i as QueryId)
+            }
+            Some(SchedPolicy::RoundRobin) => (0..n)
+                .map(|off| (self.rr_cursor + off) % n.max(1))
+                .find(|&id| runnable(&self.queries[id as usize])),
+            Some(SchedPolicy::WeightedFair) => self
+                .queries
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| runnable(q))
+                .min_by(|(_, a), (_, b)| {
+                    (a.busy_secs / a.weight)
+                        .partial_cmp(&(b.busy_secs / b.weight))
+                        .unwrap()
+                })
+                .map(|(i, _)| i as QueryId),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(policy: SchedPolicy, budgets: &[u64], available: u64) -> SchedState {
+        let mut st = SchedState::default();
+        st.start(policy, available);
+        for &b in budgets {
+            st.register(1.0, b).unwrap();
+        }
+        st.admit_fifo(0.0);
+        st
+    }
+
+    #[test]
+    fn round_robin_cycles_in_id_order() {
+        let mut st = session(SchedPolicy::RoundRobin, &[10, 10, 10], 100);
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            let id = st.designated.unwrap();
+            order.push(id);
+            st.complete_turn(id, 1.0);
+        }
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+        st.retire(1, 6.0);
+        let id = st.designated.unwrap();
+        assert_eq!(id, 0, "cursor wraps past the retired query");
+        st.complete_turn(id, 1.0);
+        assert_eq!(st.designated, Some(2));
+    }
+
+    #[test]
+    fn serial_runs_to_completion_in_id_order() {
+        let mut st = session(SchedPolicy::Serial, &[10, 10], 100);
+        for _ in 0..5 {
+            assert_eq!(st.designated, Some(0));
+            st.complete_turn(0, 1.0);
+        }
+        st.retire(0, 5.0);
+        assert_eq!(st.designated, Some(1));
+    }
+
+    #[test]
+    fn weighted_fair_shares_busy_time_by_weight() {
+        let mut st = SchedState::default();
+        st.start(SchedPolicy::WeightedFair, 100);
+        st.register(3.0, 10).unwrap();
+        st.register(1.0, 10).unwrap();
+        st.admit_fifo(0.0);
+        let mut turns = [0u32; 2];
+        for _ in 0..8 {
+            let id = st.designated.unwrap();
+            turns[id as usize] += 1;
+            st.complete_turn(id, 1.0);
+        }
+        assert_eq!(turns, [6, 2], "3:1 weights split equal-cost turns 3:1");
+    }
+
+    #[test]
+    fn fifo_admission_blocks_behind_the_head_of_line() {
+        // Query 1 does not fit while 0 runs; query 2 would fit but must
+        // queue behind 1.
+        let mut st = session(SchedPolicy::RoundRobin, &[60, 60, 10], 100);
+        assert!(st.is_admitted(0));
+        assert!(!st.is_admitted(1));
+        assert!(!st.is_admitted(2), "FIFO: 2 queues behind 1");
+        assert_eq!(st.designated, Some(0));
+        st.retire(0, 1.0);
+        assert!(st.is_admitted(1));
+        assert!(st.is_admitted(2), "both fit after 0 released its budget");
+    }
+
+    #[test]
+    fn oversized_budget_is_rejected_at_registration() {
+        let mut st = SchedState::default();
+        st.start(SchedPolicy::Serial, 100);
+        let err = st.register(1.0, 101).unwrap_err();
+        assert_eq!(err.requested_bytes, 101);
+        assert_eq!(err.available_bytes, 100);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn budget_error_display_names_the_query() {
+        let e = BudgetError {
+            query: 3,
+            budget_bytes: 1024,
+            requested_bytes: 4096,
+            in_use_bytes: 512,
+            label: "probe.out".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("query 3"));
+        assert!(msg.contains("probe.out"));
+        assert!(msg.contains("budget"));
+    }
+}

@@ -34,6 +34,12 @@ pub struct OpStats {
     /// Hardware-counter delta over the operator: DRAM bytes,
     /// sectors/request, L2 hit rate, atomics (the Table 4 metrics).
     pub counters: Counters,
+    /// The query this operator executed under when run through a query
+    /// handle of a multi-query scheduling session; `None` for single-query
+    /// execution. Skipped in JSON when absent so pre-scheduler results
+    /// files keep their exact bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub query: Option<u32>,
 }
 
 impl OpStats {
@@ -48,6 +54,7 @@ impl OpStats {
             rows,
             peak_mem_bytes,
             counters: Counters::default(),
+            query: None,
         }
     }
 

@@ -75,6 +75,12 @@ pub struct KernelEvent {
     pub start: f64,
     /// Simulated duration, seconds.
     pub dur: f64,
+    /// The query this launch belonged to, when it ran through a query
+    /// handle of a multi-query scheduling session (`None` otherwise). In a
+    /// query's private trace `start` is on the query's own clock; in the
+    /// base device's trace the same launch appears at its device-clock
+    /// position, tagged with this id — the multi-tenant timeline.
+    pub query: Option<u32>,
     /// Warp instructions issued by this launch.
     pub warp_instructions: u64,
     /// DRAM bytes read by this launch (sequential + gather misses).
@@ -325,12 +331,18 @@ pub fn chrome_trace_json(traces: &[Trace]) -> String {
                 TraceEvent::Kernel(k) => {
                     let mut kname = String::new();
                     escape_into(&mut kname, k.name);
+                    // Query attribution is emitted only when present, so
+                    // single-query traces keep their exact historical bytes.
+                    let qarg = match k.query {
+                        Some(q) => format!("\"query\":{q},"),
+                        None => String::new(),
+                    };
                     timed.push((
                         k.start,
                         k.dur,
                         format!(
                             "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":2,\"cat\":\"kernel\",\
-                             \"name\":\"{kname}\",\"ts\":{ts},\"dur\":{dur},\"args\":{{\
+                             \"name\":\"{kname}\",\"ts\":{ts},\"dur\":{dur},\"args\":{{{qarg}\
                              \"warp_instructions\":{wi},\"dram_read_bytes\":{dr},\
                              \"dram_write_bytes\":{dw},\"load_requests\":{lr},\
                              \"sectors_per_request\":{spr:.3},\"l2_hit_rate\":{l2:.4},\
@@ -414,9 +426,15 @@ pub fn jsonl(traces: &[Trace]) -> String {
                 TraceEvent::Kernel(k) => {
                     let mut name = String::new();
                     escape_into(&mut name, k.name);
+                    // As in the Chrome exporter, `query` appears only when
+                    // set, keeping pre-scheduler trace bytes unchanged.
+                    let qfield = match k.query {
+                        Some(q) => format!("\"query\":{q},"),
+                        None => String::new(),
+                    };
                     out.push_str(&format!(
                         "{{\"type\":\"kernel\",\"device\":\"{dev}\",\"name\":\"{name}\",\
-                         \"start\":{},\"dur\":{},\"warp_instructions\":{},\
+                         {qfield}\"start\":{},\"dur\":{},\"warp_instructions\":{},\
                          \"dram_read_bytes\":{},\"dram_write_bytes\":{},\
                          \"load_requests\":{},\"sectors_requested\":{},\
                          \"l2_hits\":{},\"l2_misses\":{},\"atomics\":{}}}\n",

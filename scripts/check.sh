@@ -18,6 +18,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> multi-query scheduler suite"
+# Already part of the full run above, but named here so a scheduler
+# regression fails loudly under its own heading.
+cargo test -q -p gpu-join \
+    --test scheduler_equivalence --test scheduler_fairness \
+    --test failure_injection --test trace_invariants
+
 echo "==> bench smoke-run (run_all --scale 14)"
 # run_all writes results/ into the cwd; run from a scratch dir so the
 # checked-in results/ stays untouched.
@@ -64,6 +71,19 @@ fi
     exit 1
 }
 echo "    trace.json valid with $events events"
+
+echo "==> multi-query smoke (m01_multi_query --scale 14)"
+(cd "$smoke_dir" \
+    && cargo run --release --quiet --manifest-path "$repo_dir/Cargo.toml" \
+        -p bench --bin m01_multi_query -- --scale 14 --reps 1 >m01.log 2>&1) || {
+    echo "m01_multi_query smoke failed; tail of log:"
+    tail -40 "$smoke_dir/m01.log"
+    exit 1
+}
+grep -q "budgets hold" "$smoke_dir/m01.log" || {
+    echo "m01_multi_query smoke: missing budget finding in output"
+    exit 1
+}
 # Keep the smoke trace where CI can pick it up as an artifact.
 mkdir -p "$repo_dir/target/smoke"
 cp "$smoke_dir/trace.json" "$smoke_dir/trace.jsonl" "$repo_dir/target/smoke/"

@@ -102,3 +102,216 @@ fn ledger_balances_after_oom_unwind() {
     );
     assert_eq!(dev.mem_report().live_allocations, 0);
 }
+
+// ---------------------------------------------------------------------------
+// Multi-query budget failures: a tenant that cannot live within its memory
+// budget fails (or spills out-of-core) *alone* — with a typed engine error,
+// a ledger that never crossed the budget, and co-tenants whose results and
+// peak-memory ledgers are identical to running them single-query.
+// ---------------------------------------------------------------------------
+
+use gpu_join::engine::scheduler::{Policy, QuerySpec};
+use gpu_join::engine::{self, AggSpec, Catalog, EngineError, Expr, NodeStats, Plan, Table};
+
+/// Catalog with one join pair plus a table wide enough that materializing a
+/// filter over it cannot fit a deliberately tiny budget.
+fn sched_catalog(dev: &Device) -> Catalog {
+    let mut c = Catalog::new();
+    c.insert(Table::new(
+        "orders",
+        vec![("o_id", Column::from_i32(dev, (0..128).collect(), "o_id"))],
+    ));
+    c.insert(Table::new(
+        "lineitem",
+        vec![
+            (
+                "l_oid",
+                Column::from_i32(dev, (0..512).map(|i| (i * 3) % 150).collect(), "l_oid"),
+            ),
+            (
+                "l_qty",
+                Column::from_i64(dev, (0..512).map(|i| (i * 7) % 29).collect(), "l_qty"),
+            ),
+        ],
+    ));
+    c.insert(Table::new(
+        "big",
+        vec![("v", Column::from_i64(dev, (0..(1i64 << 16)).collect(), "v"))],
+    ));
+    c
+}
+
+fn join_plan() -> Plan {
+    Plan::scan("orders").join(Plan::scan("lineitem"), "o_id", "l_oid")
+}
+
+fn agg_plan() -> Plan {
+    Plan::scan("lineitem").aggregate("l_oid", vec![AggSpec::new(AggFn::Sum, "l_qty", "total")])
+}
+
+#[test]
+fn over_budget_tenant_fails_typed_while_cotenants_match_oracle() {
+    const TINY: u64 = 16 << 10; // 16 KiB: a 512 KiB filter output can't fit
+    const AMPLE: u64 = 1 << 22;
+    let dev = Device::a100();
+    let cat = sched_catalog(&dev);
+    let base_in_use = dev.mem_report().current_bytes;
+    let specs = vec![
+        QuerySpec::new(join_plan()).with_budget(AMPLE),
+        QuerySpec::new(Plan::scan("big").filter(Expr::col("v").gt(Expr::lit(-1))))
+            .with_budget(TINY),
+        QuerySpec::new(agg_plan()).with_budget(AMPLE),
+    ];
+    let reports = engine::run_queries(&dev, &cat, specs, Policy::RoundRobin);
+
+    // The over-budget tenant dies with the typed error, naming itself and
+    // its budget — and its private ledger never crossed the budget.
+    match &reports[1].result {
+        Err(EngineError::BudgetExceeded {
+            query,
+            budget_bytes,
+            requested_bytes,
+            ..
+        }) => {
+            assert_eq!(*query, 1);
+            assert_eq!(*budget_bytes, TINY);
+            assert!(*requested_bytes > TINY, "the offending allocation is named");
+        }
+        other => panic!("expected BudgetExceeded, got {:?}", other.as_ref().err()),
+    }
+    assert!(reports[1].peak_mem_bytes <= TINY);
+
+    // Co-tenants are unaffected: byte-for-byte the single-query outcome
+    // under the same budget.
+    for (i, plan) in [(0usize, join_plan()), (2usize, agg_plan())] {
+        let solo_dev = Device::a100();
+        let solo_cat = sched_catalog(&solo_dev);
+        let solo = engine::run_queries(
+            &solo_dev,
+            &solo_cat,
+            vec![QuerySpec::new(plan).with_budget(AMPLE)],
+            Policy::Serial,
+        );
+        let (a, b) = (&reports[i], &solo[0]);
+        let (x, y) = (
+            a.result.as_ref().expect("co-tenant succeeds"),
+            b.result.as_ref().expect("solo oracle succeeds"),
+        );
+        assert_eq!(x.table.rows_sorted(), y.table.rows_sorted(), "q{i} rows");
+        assert_eq!(a.peak_mem_bytes, b.peak_mem_bytes, "q{i} ledger peak");
+        assert_eq!(
+            a.busy.secs().to_bits(),
+            b.busy.secs().to_bits(),
+            "q{i} simulated busy time"
+        );
+    }
+
+    // Query allocations live on private sub-ledgers: the base ledger holds
+    // exactly the catalog, before and after the failed session.
+    assert_eq!(dev.mem_report().current_bytes, base_in_use);
+}
+
+#[test]
+fn unsatisfiable_budget_is_rejected_at_admission() {
+    let dev = Device::a100();
+    let cat = sched_catalog(&dev);
+    let absurd = dev.mem_capacity() * 2;
+    let specs = vec![
+        QuerySpec::new(join_plan()),
+        QuerySpec::new(join_plan()).with_budget(absurd),
+    ];
+    let reports = engine::run_queries(&dev, &cat, specs, Policy::RoundRobin);
+    assert!(reports[0].result.is_ok(), "co-tenant runs to completion");
+    match &reports[1].result {
+        Err(EngineError::BudgetUnsatisfiable {
+            requested_bytes,
+            available_bytes,
+        }) => {
+            assert_eq!(*requested_bytes, absurd);
+            assert!(*available_bytes < absurd);
+        }
+        other => panic!(
+            "expected BudgetUnsatisfiable, got {:?}",
+            other.as_ref().err()
+        ),
+    }
+}
+
+#[test]
+fn budget_capped_tenant_spills_out_of_core_and_stays_correct() {
+    // A budget big enough to run chunk-by-chunk but far too small for the
+    // direct join: the planner must spill out-of-core rather than fail —
+    // and produce exactly the rows an uncapped device produces.
+    let n = 1usize << 15;
+    let build = |dev: &Device| {
+        let mut c = Catalog::new();
+        c.insert(Table::new(
+            "r",
+            vec![
+                ("rk", Column::from_i32(dev, (0..n as i32).collect(), "rk")),
+                (
+                    "rv",
+                    Column::from_i64(dev, (0..n as i64).map(|i| i * 3).collect(), "rv"),
+                ),
+            ],
+        ));
+        c.insert(Table::new(
+            "s",
+            vec![
+                (
+                    "sk",
+                    Column::from_i32(
+                        dev,
+                        (0..n as i32).map(|i| (i * 5) % n as i32).collect(),
+                        "sk",
+                    ),
+                ),
+                (
+                    "sv",
+                    Column::from_i64(dev, (0..n as i64).map(|i| i + 1).collect(), "sv"),
+                ),
+            ],
+        ));
+        c
+    };
+    let plan = Plan::scan("r").join(Plan::scan("s"), "rk", "sk");
+
+    let uncapped_dev = Device::a100();
+    let oracle = engine::execute(&uncapped_dev, &build(&uncapped_dev), &plan)
+        .expect("uncapped join succeeds");
+
+    let budget = 1536u64 << 10; // 1.5 MiB — the direct join needs well over 2 MiB
+    let dev = Device::a100();
+    let cat = build(&dev);
+    let reports = engine::run_queries(
+        &dev,
+        &cat,
+        vec![QuerySpec::new(plan).with_budget(budget)],
+        Policy::RoundRobin,
+    );
+    let out = reports[0]
+        .result
+        .as_ref()
+        .expect("budgeted join spills, not fails");
+    assert_eq!(out.table.rows_sorted(), oracle.table.rows_sorted());
+    assert!(
+        reports[0].peak_mem_bytes <= budget,
+        "peak {} must respect the {budget} byte budget",
+        reports[0].peak_mem_bytes
+    );
+
+    // Prove it actually went out-of-core: the join node's label records the
+    // chunked re-plan.
+    fn labels(n: &NodeStats, out: &mut Vec<String>) {
+        out.push(n.label.clone());
+        for c in &n.children {
+            labels(c, out);
+        }
+    }
+    let mut all = Vec::new();
+    labels(&out.stats, &mut all);
+    assert!(
+        all.iter().any(|l| l.contains("chunked x")),
+        "expected a chunked join node, got labels: {all:?}"
+    );
+}

@@ -1,0 +1,262 @@
+//! The scheduler's central correctness claim: concurrency is *unobservable*
+//! per query. Any mix of up to 8 concurrent queries — random plan shapes
+//! over joins and group-bys, random budget splits, random fair-share
+//! weights — produces byte-identical per-query outputs, `OpStats` and
+//! traces under [`Policy::RoundRobin`] and [`Policy::WeightedFair`] as
+//! under [`Policy::Serial`] (the same specs run to completion one at a
+//! time). Queries that blow their budget must fail *identically* too.
+
+use gpu_join::engine::{self, AggSpec, Catalog, Expr, NodeStats, Plan, QueryReport, Table};
+use gpu_join::prelude::*;
+use gpu_join::sim::trace::jsonl;
+use proptest::prelude::*;
+
+use engine::scheduler::{Policy, QuerySpec};
+
+/// One proptest-chosen tenant: a plan shape, a predicate knob, a fair-share
+/// weight and a budget choice. Plain data so proptest can shrink it.
+#[derive(Debug, Clone)]
+struct TenantDesc {
+    shape: u8,
+    threshold: i32,
+    weight: u8,
+    budget: u8,
+}
+
+fn tenant_strategy() -> impl Strategy<Value = Vec<TenantDesc>> {
+    proptest::collection::vec(
+        (0u8..6, 0i32..64, 1u8..=4, 0u8..3).prop_map(|(shape, threshold, weight, budget)| {
+            TenantDesc {
+                shape,
+                threshold,
+                weight,
+                budget,
+            }
+        }),
+        1..=8,
+    )
+}
+
+/// Deterministic two-table catalog (the Q3/Q18 shape at toy scale).
+fn catalog(dev: &Device) -> Catalog {
+    let n_orders = 256usize;
+    let n_lines = 1024usize;
+    let mut c = Catalog::new();
+    c.insert(Table::new(
+        "orders",
+        vec![
+            (
+                "o_id",
+                Column::from_i32(dev, (0..n_orders as i32).collect(), "o_id"),
+            ),
+            (
+                "o_cust",
+                Column::from_i32(
+                    dev,
+                    (0..n_orders as i32).map(|i| (i * 7) % 41).collect(),
+                    "o_cust",
+                ),
+            ),
+        ],
+    ));
+    c.insert(Table::new(
+        "lineitem",
+        vec![
+            (
+                "l_oid",
+                Column::from_i32(
+                    dev,
+                    (0..n_lines as i32).map(|i| (i * 13) % 300).collect(),
+                    "l_oid",
+                ),
+            ),
+            (
+                "l_qty",
+                Column::from_i64(
+                    dev,
+                    (0..n_lines as i64).map(|i| (i * 31) % 97).collect(),
+                    "l_qty",
+                ),
+            ),
+        ],
+    ));
+    c
+}
+
+fn plan_of(d: &TenantDesc) -> Plan {
+    match d.shape {
+        0 => Plan::scan("lineitem").filter(Expr::col("l_qty").gt(Expr::lit(d.threshold as i64))),
+        1 => Plan::scan("orders").join(Plan::scan("lineitem"), "o_id", "l_oid"),
+        2 => Plan::scan("orders")
+            .join(Plan::scan("lineitem"), "o_id", "l_oid")
+            .aggregate(
+                "o_cust",
+                vec![
+                    AggSpec::new(AggFn::Sum, "l_qty", "total_qty"),
+                    AggSpec::new(AggFn::Max, "o_id", "max_order"),
+                ],
+            ),
+        3 => Plan::scan("lineitem").distinct("l_oid"),
+        4 => Plan::scan("lineitem").sort_by("l_qty", true, Some(16)),
+        _ => Plan::scan("orders")
+            .join(
+                Plan::scan("lineitem").filter(Expr::col("l_qty").gt(Expr::lit(d.threshold as i64))),
+                "o_id",
+                "l_oid",
+            )
+            .aggregate("o_id", vec![AggSpec::new(AggFn::Count, "l_qty", "lines")]),
+    }
+}
+
+fn spec_of(d: &TenantDesc) -> QuerySpec {
+    let spec = QuerySpec::new(plan_of(d)).with_weight(d.weight as f64);
+    match d.budget {
+        // An equal share of the free capacity — always ample here.
+        0 => spec,
+        // Ample explicit budget.
+        1 => spec.with_budget(1 << 22),
+        // Tight budget: joins may re-plan out-of-core or fail with
+        // BudgetExceeded — in which case they must do so *identically*
+        // under every policy.
+        _ => spec.with_budget(48 << 10),
+    }
+}
+
+fn run(tenants: &[TenantDesc], policy: Policy) -> Vec<QueryReport> {
+    let dev = Device::new(DeviceConfig::a100().scaled(8192.0));
+    dev.enable_tracing();
+    let catalog = catalog(&dev);
+    let specs = tenants.iter().map(spec_of).collect();
+    engine::run_queries(&dev, &catalog, specs, policy)
+}
+
+/// Flatten a stats tree to `(label, canonical JSON of the node's OpStats)`
+/// pairs — `OpStats` has no `PartialEq`, but its serialized form is the
+/// byte-level fingerprint the results files persist.
+fn flatten_stats(n: &NodeStats, out: &mut Vec<(String, String)>) {
+    out.push((
+        n.label.clone(),
+        serde_json::to_string(&n.op).expect("OpStats serializes"),
+    ));
+    for c in &n.children {
+        flatten_stats(c, out);
+    }
+}
+
+fn assert_reports_identical(a: &QueryReport, b: &QueryReport, ctx: &str) {
+    assert_eq!(a.query, b.query, "{ctx}: spec index");
+    assert_eq!(a.budget_bytes, b.budget_bytes, "{ctx}: budget");
+    assert_eq!(
+        a.busy.secs().to_bits(),
+        b.busy.secs().to_bits(),
+        "{ctx}: simulated busy time must be bit-identical"
+    );
+    assert_eq!(a.peak_mem_bytes, b.peak_mem_bytes, "{ctx}: ledger peak");
+    match (&a.result, &b.result) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(
+                x.table.column_names(),
+                y.table.column_names(),
+                "{ctx}: output schema"
+            );
+            for (name, col) in x.table.columns() {
+                let other = y.table.column(name).expect("same schema");
+                assert_eq!(
+                    col.to_vec_i64(),
+                    other.to_vec_i64(),
+                    "{ctx}: column {name:?} values"
+                );
+            }
+            let (mut sa, mut sb) = (Vec::new(), Vec::new());
+            flatten_stats(&x.stats, &mut sa);
+            flatten_stats(&y.stats, &mut sb);
+            assert_eq!(sa, sb, "{ctx}: per-node OpStats");
+        }
+        (Err(x), Err(y)) => assert_eq!(x, y, "{ctx}: error"),
+        (x, y) => panic!(
+            "{ctx}: outcome diverged across policies: {:?} vs {:?}",
+            x.as_ref().map(|o| o.table.num_rows()),
+            y.as_ref().map(|o| o.table.num_rows())
+        ),
+    }
+    let (ta, tb) = (&a.trace, &b.trace);
+    assert_eq!(
+        ta.is_some(),
+        tb.is_some(),
+        "{ctx}: trace presence must agree"
+    );
+    if let (Some(ta), Some(tb)) = (ta, tb) {
+        assert_eq!(
+            jsonl(std::slice::from_ref(ta)),
+            jsonl(std::slice::from_ref(tb)),
+            "{ctx}: per-query traces must be byte-identical"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole property: per-query observables under a concurrent
+    /// policy are byte-identical to the serial oracle.
+    #[test]
+    fn concurrent_policies_match_serial_oracle(tenants in tenant_strategy()) {
+        let serial = run(&tenants, Policy::Serial);
+        for policy in [Policy::RoundRobin, Policy::WeightedFair] {
+            let concurrent = run(&tenants, policy);
+            prop_assert_eq!(serial.len(), concurrent.len());
+            for (a, b) in serial.iter().zip(&concurrent) {
+                assert_reports_identical(a, b, &format!("{policy:?} q{}", a.query));
+            }
+        }
+    }
+}
+
+/// Eight ample-budget tenants each compute the same answer (and simulated
+/// operator time) the plain single-query `execute` path computes on a
+/// private device — the query handles virtualize the device completely.
+#[test]
+fn eight_concurrent_queries_match_solo_execution() {
+    let tenants: Vec<TenantDesc> = (0..8)
+        .map(|i| TenantDesc {
+            shape: i as u8 % 6,
+            threshold: 11 * i,
+            weight: 1 + (i as u8 % 3),
+            budget: 0,
+        })
+        .collect();
+    let concurrent = run(&tenants, Policy::RoundRobin);
+    assert_eq!(concurrent.len(), 8);
+    for (d, report) in tenants.iter().zip(&concurrent) {
+        let dev = Device::new(DeviceConfig::a100().scaled(8192.0));
+        let catalog = catalog(&dev);
+        let solo = engine::execute(&dev, &catalog, &plan_of(d)).expect("solo run succeeds");
+        let shared = report.result.as_ref().expect("concurrent run succeeds");
+        assert_eq!(solo.table.rows_sorted(), shared.table.rows_sorted());
+        // `OpStats::query` differs by construction (None solo, Some(q)
+        // shared), so compare the simulated time rather than bytes.
+        assert_eq!(
+            solo.stats.total_time().secs().to_bits(),
+            shared.stats.total_time().secs().to_bits(),
+            "q{}: simulated time must not depend on co-tenants",
+            report.query
+        );
+    }
+}
+
+/// A session of one query under every policy is just that query: identical
+/// to `Policy::Serial` with itself, and `busy` covers the whole run.
+#[test]
+fn single_tenant_session_is_policy_invariant() {
+    let tenant = [TenantDesc {
+        shape: 2,
+        threshold: 5,
+        weight: 1,
+        budget: 0,
+    }];
+    let serial = run(&tenant, Policy::Serial);
+    for policy in [Policy::RoundRobin, Policy::WeightedFair] {
+        let other = run(&tenant, policy);
+        assert_reports_identical(&serial[0], &other[0], &format!("{policy:?}"));
+    }
+}

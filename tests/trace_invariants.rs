@@ -209,3 +209,201 @@ fn disabled_tracing_leaves_results_untouched() {
         "tracing must not perturb the simulation"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Multi-query sessions: interleaving must not corrupt any of the above.
+// Each tenant's private trace still nests and still accounts for exactly its
+// own OpStats; its ledger timeline never crosses its budget; and the base
+// device's trace carries the interleaved timeline with every kernel tagged
+// by its owning query.
+// ---------------------------------------------------------------------------
+
+mod multi_query {
+    use super::*;
+    use gpu_join::engine::scheduler::{Policy, QuerySpec};
+    use gpu_join::engine::{self, AggSpec, Catalog, Expr, Plan, Table};
+
+    const BUDGET: u64 = 1 << 22;
+
+    fn catalog(dev: &Device) -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(Table::new(
+            "orders",
+            vec![("o_id", Column::from_i32(dev, (0..128).collect(), "o_id"))],
+        ));
+        c.insert(Table::new(
+            "lineitem",
+            vec![
+                (
+                    "l_oid",
+                    Column::from_i32(dev, (0..640).map(|i| (i * 3) % 160).collect(), "l_oid"),
+                ),
+                (
+                    "l_qty",
+                    Column::from_i64(dev, (0..640).map(|i| (i * 13) % 37).collect(), "l_qty"),
+                ),
+            ],
+        ));
+        c
+    }
+
+    fn tenant_plans() -> Vec<Plan> {
+        vec![
+            Plan::scan("orders")
+                .join(Plan::scan("lineitem"), "o_id", "l_oid")
+                .aggregate("o_id", vec![AggSpec::new(AggFn::Sum, "l_qty", "total")]),
+            Plan::scan("lineitem")
+                .filter(Expr::col("l_qty").gt(Expr::lit(9)))
+                .distinct("l_oid"),
+            Plan::scan("orders").join(Plan::scan("lineitem"), "o_id", "l_oid"),
+        ]
+    }
+
+    fn run_session() -> (Vec<gpu_join::engine::scheduler::QueryReport>, Trace) {
+        let dev = traced_device();
+        let cat = catalog(&dev);
+        let specs = tenant_plans()
+            .into_iter()
+            .map(|p| QuerySpec::new(p).with_budget(BUDGET))
+            .collect();
+        let reports = engine::run_queries(&dev, &cat, specs, Policy::RoundRobin);
+        let base = dev.take_trace().expect("tracing was enabled");
+        (reports, base)
+    }
+
+    #[test]
+    fn per_query_spans_still_nest() {
+        let (reports, _) = run_session();
+        for r in &reports {
+            let trace = r.trace.as_ref().expect("per-query trace present");
+            let spans: Vec<&SpanEvent> = trace.spans().collect();
+            assert!(!spans.is_empty());
+            for (i, a) in spans.iter().enumerate() {
+                for b in spans.iter().skip(i + 1) {
+                    let disjoint = a.end <= b.start + NS || b.end <= a.start + NS;
+                    let a_in_b = b.start <= a.start + NS && a.end <= b.end + NS;
+                    let b_in_a = a.start <= b.start + NS && b.end <= a.end + NS;
+                    assert!(
+                        disjoint || a_in_b || b_in_a,
+                        "q{}: spans overlap without nesting: {:?} vs {:?}",
+                        r.query,
+                        a.name,
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_operator_spans_match_per_query_op_stats() {
+        let (reports, _) = run_session();
+        for r in &reports {
+            let out = r.result.as_ref().expect("tenant succeeds");
+            let trace = r.trace.as_ref().expect("per-query trace present");
+
+            fn flatten(n: &gpu_join::engine::NodeStats, acc: &mut Vec<(String, f64)>) {
+                acc.push((n.label.clone(), n.op.total_time().secs()));
+                for c in &n.children {
+                    flatten(c, acc);
+                }
+            }
+            let mut nodes = Vec::new();
+            flatten(&out.stats, &mut nodes);
+            let op_spans = spans_of(trace, SpanCat::Operator);
+            assert_eq!(
+                op_spans.len(),
+                nodes.len(),
+                "q{}: one operator span per plan node",
+                r.query
+            );
+            for (label, secs) in nodes {
+                let span = op_spans
+                    .iter()
+                    .find(|s| s.name == label)
+                    .unwrap_or_else(|| panic!("q{}: no operator span {label:?}", r.query));
+                assert!(
+                    (span.dur() - secs).abs() <= NS,
+                    "q{}: {label}: span {}s vs OpStats::total_time {}s",
+                    r.query,
+                    span.dur(),
+                    secs
+                );
+            }
+            // Every OpStats in the tree is stamped with the owning query.
+            fn stamped(n: &gpu_join::engine::NodeStats, q: u32) {
+                assert_eq!(n.op.query, Some(q), "{}: missing query stamp", n.label);
+                for c in &n.children {
+                    stamped(c, q);
+                }
+            }
+            stamped(&out.stats, r.query);
+        }
+    }
+
+    #[test]
+    fn ledger_timeline_never_crosses_the_budget() {
+        let (reports, _) = run_session();
+        for r in &reports {
+            assert!(r.peak_mem_bytes <= BUDGET, "q{}: peak over budget", r.query);
+            let trace = r.trace.as_ref().expect("per-query trace present");
+            let samples: Vec<_> = trace.mem_samples().collect();
+            assert!(
+                !samples.is_empty(),
+                "q{}: ledger timeline recorded",
+                r.query
+            );
+            for m in samples {
+                assert!(
+                    m.high_water_bytes <= BUDGET,
+                    "q{}: ledger sample at {}s shows {} bytes, budget is {BUDGET}",
+                    r.query,
+                    m.ts,
+                    m.high_water_bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_trace_tags_every_session_kernel_with_its_query() {
+        let (reports, base) = run_session();
+        // Kernels launched inside the session carry their owner's id; the
+        // tagged sub-streams partition the session exactly — each query's
+        // tagged kernel count and total duration equal its private trace.
+        for r in &reports {
+            let qtrace = r.trace.as_ref().expect("per-query trace present");
+            let tagged: Vec<_> = base
+                .kernels()
+                .filter(|k| k.query == Some(r.query))
+                .collect();
+            assert_eq!(
+                tagged.len(),
+                qtrace.kernels().count(),
+                "q{}: base-trace kernel count",
+                r.query
+            );
+            let base_secs: f64 = tagged.iter().map(|k| k.dur).sum();
+            let q_secs: f64 = qtrace.kernels().map(|k| k.dur).sum();
+            assert!(
+                (base_secs - q_secs).abs() <= NS,
+                "q{}: base-trace kernel time {base_secs}s vs private {q_secs}s",
+                r.query
+            );
+            assert!(
+                (r.busy.secs() - q_secs).abs() <= NS,
+                "q{}: reported busy {}s vs kernel time {q_secs}s",
+                r.query,
+                r.busy.secs()
+            );
+        }
+        // And nothing else ran during the session: every tag is a real
+        // query id (untagged kernels, if any, predate the session).
+        let ids: Vec<u32> = (0..reports.len() as u32).collect();
+        for k in base.kernels() {
+            if let Some(q) = k.query {
+                assert!(ids.contains(&q), "unknown query tag {q}");
+            }
+        }
+    }
+}

@@ -11,11 +11,20 @@
 //!   this workspace round-trips data-carrying enums through JSON).
 //! * `Deserialize` derives the marker impl whose default method reports
 //!   "unsupported"; only `serde_json::Value` itself is ever decoded.
+//! * The `#[serde(...)]` field attribute is accepted; of its options only
+//!   `skip_serializing_if = "path"` is honored (the field is omitted from
+//!   the object when `path(&field)` is true), the rest are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct Field {
+    name: String,
+    /// Predicate path from `#[serde(skip_serializing_if = "...")]`, if any.
+    skip_if: Option<String>,
+}
+
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
+    NamedStruct { name: String, fields: Vec<Field> },
     TupleStruct { name: String, arity: usize },
     UnitStruct { name: String },
     Enum { name: String },
@@ -108,17 +117,53 @@ fn count_top_level_fields(stream: TokenStream) -> usize {
     }
 }
 
-/// Extract field names from a named-struct body.
-fn named_fields(stream: TokenStream) -> Vec<String> {
+/// If `stream` is the body of a `#[serde(...)]` attribute, return the
+/// `skip_serializing_if` predicate path it names, if any.
+fn skip_predicate(stream: TokenStream) -> Option<String> {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let mut inner = inner.into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "skip_serializing_if" {
+                match (inner.next(), inner.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        return Some(lit.to_string().trim_matches('"').to_string());
+                    }
+                    other => panic!("malformed skip_serializing_if: {other:?}"),
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Extract field names (and serde field options) from a named-struct body.
+fn named_fields(stream: TokenStream) -> Vec<Field> {
     let mut tokens = stream.into_iter().peekable();
     let mut fields = Vec::new();
     'outer: loop {
-        // Skip attributes and visibility before the field name.
+        // Skip attributes and visibility before the field name, keeping any
+        // `#[serde(skip_serializing_if = ...)]` predicate we pass over.
+        let mut skip_if = None;
         let name = loop {
             match tokens.next() {
                 None => break 'outer,
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        if let Some(pred) = skip_predicate(g.stream()) {
+                            skip_if = Some(pred);
+                        }
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     if let Some(TokenTree::Group(_)) = tokens.peek() {
@@ -129,7 +174,7 @@ fn named_fields(stream: TokenStream) -> Vec<String> {
                 Some(other) => panic!("unexpected token in struct body: {other:?}"),
             }
         };
-        fields.push(name);
+        fields.push(Field { name, skip_if });
         match tokens.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("expected `:` after field name, got {other:?}"),
@@ -157,26 +202,34 @@ fn named_fields(stream: TokenStream) -> Vec<String> {
     fields
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let body = match parse_item(input.clone()) {
         Item::NamedStruct { name, fields } => {
-            let entries: Vec<String> = fields
+            let pushes: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(::std::string::String::from(\"{f}\"), \
-                         serde::Serialize::to_value(&self.{f}))"
-                    )
+                    let fname = &f.name;
+                    let push = format!(
+                        "entries.push((::std::string::String::from(\"{fname}\"), \
+                         serde::Serialize::to_value(&self.{fname})));"
+                    );
+                    match &f.skip_if {
+                        Some(pred) => format!("if !{pred}(&self.{fname}) {{ {push} }}"),
+                        None => push,
+                    }
                 })
                 .collect();
             format!(
                 "impl serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> serde::Value {{\n\
-                         serde::Value::Object(vec![{}])\n\
+                         let mut entries: ::std::vec::Vec<(::std::string::String, serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {}\n\
+                         serde::Value::Object(entries)\n\
                      }}\n\
                  }}",
-                entries.join(", ")
+                pushes.join("\n")
             )
         }
         Item::TupleStruct { name, arity: 1 } => format!(
@@ -215,7 +268,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     body.parse().expect("generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = match parse_item(input) {
         Item::NamedStruct { name, .. }
