@@ -1,0 +1,61 @@
+//! CI perf-regression gate over the checked-in smoke baselines.
+//!
+//! ```text
+//! bench_gate [--baseline DIR] [--fresh DIR] [--tol FRACTION]
+//! ```
+//!
+//! Compares a fresh smoke-scale run against the committed baselines
+//! (default `results/smoke14/`) with [`bench::gate::run_gate`]: any
+//! simulated field drifting past the tolerance (default
+//! [`bench::gate::DEFAULT_TOL`], 1%) fails with exit code 1. Wall-clock
+//! (CPU-baseline) fields are excluded from the verdict — CI hosts vary;
+//! the simulator does not. Driven by `scripts/check.sh`.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut baseline = PathBuf::from("results/smoke14");
+    let mut fresh = PathBuf::from("target/smoke/results");
+    let mut tol = bench::gate::DEFAULT_TOL;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                std::process::exit(2)
+            })
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = PathBuf::from(val("--baseline")),
+            "--fresh" => fresh = PathBuf::from(val("--fresh")),
+            "--tol" => {
+                tol = val("--tol").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --tol needs a fraction (e.g. 0.01)");
+                    std::process::exit(2)
+                })
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                eprintln!("usage: bench_gate [--baseline DIR] [--fresh DIR] [--tol FRACTION]");
+                std::process::exit(2)
+            }
+        }
+    }
+
+    let gate = bench::gate::run_gate(&baseline, &fresh, tol).unwrap_or_else(|e| {
+        eprintln!("error: cannot read report dirs: {e}");
+        std::process::exit(2)
+    });
+    if gate.diffs.is_empty() {
+        eprintln!(
+            "error: no *.json reports under {} or {}",
+            baseline.display(),
+            fresh.display()
+        );
+        std::process::exit(2);
+    }
+    print!("{}", gate.render());
+    if !gate.passed() {
+        std::process::exit(1);
+    }
+}

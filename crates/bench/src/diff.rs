@@ -20,7 +20,7 @@ pub const WALLCLOCK_TOL: f64 = 0.5;
 
 /// Wall-clock fields are the CPU baseline's: `rows[3].CPU`,
 /// `rows[0].cpu_s`, ….
-fn is_wallclock(path: &str) -> bool {
+pub(crate) fn is_wallclock(path: &str) -> bool {
     path.to_ascii_lowercase().contains("cpu")
 }
 

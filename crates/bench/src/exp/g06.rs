@@ -103,6 +103,12 @@ pub fn run(args: &Args) -> Report {
             let t = out.stats.total_time().secs();
             print!(" {:>9.2}ms", t * 1e3);
             let label = pick.map_or("auto", |a| a.name());
+            if pick.is_none() && args.explain_enabled() {
+                args.record_explain(
+                    &format!("g06 {name} (auto)"),
+                    &engine::QueryExplain::from_stats(dev.config(), &out.stats),
+                );
+            }
             row[label] = serde_json::json!(t);
             if pick.is_none() {
                 auto_t = t;

@@ -169,6 +169,15 @@ pub fn run(args: &Args) -> Report {
             .collect();
         let s = session(&dev, &catalog, specs, policy);
         assert!(s.reports.iter().all(|r| r.result.is_ok()));
+        // Each tenant comes back with its own attributed EXPLAIN ANALYZE
+        // report; under --explain, record the round-robin session's.
+        if policy == Policy::RoundRobin {
+            for r in &s.reports {
+                if let Some(ex) = &r.explain {
+                    args.record_explain(&format!("m01 round-robin tenant {}", r.query), ex);
+                }
+            }
+        }
         let mean = s.finishes.iter().sum::<f64>() / 4.0;
         let p99v = p99(&s.finishes);
         println!(

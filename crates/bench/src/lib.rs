@@ -19,6 +19,7 @@
 
 pub mod diff;
 pub mod exp;
+pub mod gate;
 
 use serde::Serialize;
 use sim::Device;
@@ -42,9 +43,18 @@ pub struct Args {
     /// [`Report::finish`] exports the cumulative timeline here (plus a
     /// JSONL event log next to it).
     pub trace: Option<PathBuf>,
+    /// Optional EXPLAIN ANALYZE output path (`--explain`). When set,
+    /// engine-level experiments record attributed per-query reports via
+    /// [`Args::record_explain`], and [`Report::finish`] writes the
+    /// cumulative JSON report (queries + per-kernel roofline analysis)
+    /// here. Implies tracing, so the kernel section has data.
+    pub explain: Option<PathBuf>,
     /// Devices created while tracing, shared across clones of these args
     /// so a multi-experiment driver (`run_all`) accumulates one trace.
     trace_devices: Arc<Mutex<Vec<Device>>>,
+    /// Attributed query reports accumulated by [`Args::record_explain`],
+    /// shared across clones like the trace devices.
+    explain_queries: Arc<Mutex<Vec<serde_json::Value>>>,
 }
 
 impl Default for Args {
@@ -55,7 +65,9 @@ impl Default for Args {
             json: None,
             reps: 3,
             trace: None,
+            explain: None,
             trace_devices: Arc::new(Mutex::new(Vec::new())),
+            explain_queries: Arc::new(Mutex::new(Vec::new())),
         }
     }
 }
@@ -92,6 +104,11 @@ impl Args {
                         it.next().unwrap_or_else(|| usage("--trace needs a path")),
                     ));
                 }
+                "--explain" => {
+                    out.explain = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--explain needs a path")),
+                    ));
+                }
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
@@ -111,11 +128,65 @@ impl Args {
             other => usage(&format!("unknown device '{other}' (a100|rtx3090)")),
         };
         let dev = Device::new(cfg.scaled(self.regime_factor()));
-        if self.trace.is_some() {
+        if self.trace.is_some() || self.explain.is_some() {
             dev.enable_tracing();
             self.trace_devices.lock().unwrap().push(dev.clone());
         }
         dev
+    }
+
+    /// The scaled configuration [`Args::device`] builds devices from.
+    pub fn device_config(&self) -> sim::DeviceConfig {
+        let cfg = match self.device.as_str() {
+            "a100" => sim::DeviceConfig::a100(),
+            "rtx3090" => sim::DeviceConfig::rtx3090(),
+            other => usage(&format!("unknown device '{other}' (a100|rtx3090)")),
+        };
+        cfg.scaled(self.regime_factor())
+    }
+
+    /// True when `--explain` was given: engine-level experiments should
+    /// record their attributed query reports.
+    pub fn explain_enabled(&self) -> bool {
+        self.explain.is_some()
+    }
+
+    /// Record one query's EXPLAIN ANALYZE report under `query` (an
+    /// experiment-chosen label). No-op without `--explain`.
+    pub fn record_explain(&self, query: &str, explain: &engine::QueryExplain) {
+        if self.explain.is_none() {
+            return;
+        }
+        self.explain_queries
+            .lock()
+            .unwrap()
+            .push(serde_json::json!({
+                "query": query,
+                "tree": explain.render(),
+                "report": explain.to_json(),
+            }));
+    }
+
+    /// Export the cumulative EXPLAIN ANALYZE report: every query recorded
+    /// via [`Args::record_explain`] plus the per-kernel roofline analysis
+    /// of all traced devices. No-op without `--explain`. Called by
+    /// [`Report::finish`]; re-exports overwrite.
+    pub fn write_explain(&self) {
+        let Some(path) = &self.explain else { return };
+        let cfg = self.device_config();
+        let traces = self.trace_snapshots();
+        let kernels = sim::analysis::analyze_kernels(&traces, &cfg);
+        let doc = serde_json::json!({
+            "device": cfg.name,
+            "queries": self.explain_queries.lock().unwrap().clone(),
+            "kernels": serde_json::to_value(&kernels),
+        });
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let data = serde_json::to_string_pretty(&doc).expect("explain report serializes");
+        std::fs::write(path, data).expect("write explain report");
+        println!("(wrote explain: {})", path.display());
     }
 
     /// Export the cumulative trace of every device created so far: Chrome
@@ -163,7 +234,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: <bin> [--scale LOG2] [--device a100|rtx3090] [--json PATH] [--reps N] \
-         [--trace PATH]"
+         [--trace PATH] [--explain PATH]"
     );
     std::process::exit(2)
 }
@@ -220,6 +291,7 @@ impl Report {
             println!("(wrote {})", path.display());
         }
         args.write_trace();
+        args.write_explain();
     }
 }
 

@@ -53,6 +53,11 @@ pub struct NodeStats {
     /// output rows, peak device memory and hardware-counter deltas — all
     /// for this node only, children excluded.
     pub op: OpStats,
+    /// How adaptive operators picked their algorithm: the sampled
+    /// statistics, the decision-tree branch taken and the branches
+    /// rejected on the way. `None` for operators with nothing to decide
+    /// (scans, filters, projections).
+    pub provenance: Option<heuristics::Provenance>,
     /// Child node statistics (inputs first).
     pub children: Vec<NodeStats>,
 }
@@ -95,9 +100,9 @@ impl NodeStats {
         );
         let c = &self.op.counters;
         if c.dram_bytes() > 0 {
-            let _ = write!(out, ", {} DRAM", fmt_bytes(c.dram_bytes()));
+            let _ = write!(out, ", {} DRAM", sim::analysis::human_bytes(c.dram_bytes()));
             if c.load_requests > 0 {
-                let _ = write!(out, ", {:.1} sect/req", c.sectors_per_request());
+                let _ = write!(out, ", {:.2} sect/req", c.sectors_per_request());
             }
             if c.l2_hits + c.l2_misses > 0 {
                 let _ = write!(out, ", L2 {:.0}%", c.l2_hit_rate() * 100.0);
@@ -107,19 +112,6 @@ impl NodeStats {
         for child in &self.children {
             child.render_into(out, depth + 1);
         }
-    }
-}
-
-/// Human-scale byte count for plan reports.
-fn fmt_bytes(b: u64) -> String {
-    if b >= 1 << 30 {
-        format!("{:.1} GB", b as f64 / (1u64 << 30) as f64)
-    } else if b >= 1 << 20 {
-        format!("{:.1} MB", b as f64 / (1u64 << 20) as f64)
-    } else if b >= 1 << 10 {
-        format!("{:.1} KB", b as f64 / (1u64 << 10) as f64)
-    } else {
-        format!("{b} B")
     }
 }
 

@@ -39,6 +39,7 @@
 pub mod demo;
 mod error;
 mod exec;
+pub mod explain;
 mod expr;
 pub mod op;
 mod plan;
@@ -47,7 +48,8 @@ mod table;
 
 pub use error::EngineError;
 pub use exec::{execute, Catalog, NodeStats, QueryOutput};
+pub use explain::{ExplainNode, QueryExplain};
 pub use expr::{CmpOp, Expr};
 pub use plan::{AggSpec, Plan};
-pub use scheduler::{run_queries, Policy, QueryReport, QuerySpec};
+pub use scheduler::{run_queries, OperatorBreakdown, Policy, QueryReport, QuerySpec};
 pub use table::Table;

@@ -24,7 +24,10 @@ use crate::exec::{to_relation, Catalog, NodeStats};
 use crate::{AggSpec, EngineError, Expr, Plan, Table};
 use columnar::Relation;
 use groupby::{AggFn, GroupByAlgorithm, GroupByConfig};
-use heuristics::{choose_group_by, choose_join, estimate_profile, sample_group_stats, AggProfile};
+use heuristics::{
+    estimate_profile_with_stats, explain_choose_group_by, explain_choose_join, sample_group_stats,
+    AggProfile, GroupByProvenance, JoinProvenance, Provenance,
+};
 use joins::{chunked, Algorithm, JoinConfig};
 use primitives::gather_column;
 use sim::{Device, OpStats, PhaseTimes};
@@ -54,6 +57,9 @@ pub struct Evaluated {
     /// Suffix for the stats label (e.g. the algorithm an adaptive operator
     /// picked), rendered as `"{label} via {detail}"`.
     pub detail: Option<String>,
+    /// Decision provenance for operators that ran a planner tree (joins,
+    /// aggregations): what the planner saw and why it chose what it chose.
+    pub provenance: Option<Provenance>,
 }
 
 impl Evaluated {
@@ -63,6 +69,7 @@ impl Evaluated {
             table,
             phases: None,
             detail: None,
+            provenance: None,
         }
     }
 }
@@ -130,6 +137,7 @@ pub fn run_operator(
         NodeStats {
             label,
             op: op_stats,
+            provenance: ev.provenance,
             children,
         },
     ))
@@ -404,27 +412,71 @@ impl PhysicalOperator for JoinOp {
                 right: r_rel.key().dtype().label(),
             });
         }
-        let alg = self.algorithm.unwrap_or_else(|| {
-            // No optimizer statistics here: sample them (match ratio, skew)
-            // and let the Figure 18 tree decide. The sampling cost is
-            // charged and shows up in this node's "other" time.
-            let profile = estimate_profile(ctx.dev, &l_rel, &r_rel, 512);
-            choose_join(&profile).algorithm
-        });
+        let free_mem = ctx
+            .dev
+            .mem_capacity()
+            .saturating_sub(ctx.dev.mem_report().current_bytes);
+        // Decision provenance: everything below is captured as it happens —
+        // the sampled stats behind the profile, the branch taken and the
+        // branches rejected — so `engine::explain` can replay the choice.
+        let (alg, profile, sampled, guard, rationale, rejected) = match self.algorithm {
+            Some(pinned) => (
+                pinned,
+                None,
+                None,
+                "pinned by plan".to_string(),
+                "algorithm fixed by the plan; no decision tree ran".to_string(),
+                Vec::new(),
+            ),
+            None => {
+                // No optimizer statistics here: sample them (match ratio,
+                // skew) and let the Figure 18 tree decide. The sampling cost
+                // is charged and shows up in this node's "other" time.
+                let (profile, stats) = estimate_profile_with_stats(ctx.dev, &l_rel, &r_rel, 512);
+                let e = explain_choose_join(&profile);
+                (
+                    e.algorithm,
+                    Some(profile),
+                    Some(stats),
+                    e.guard.to_string(),
+                    e.rationale.to_string(),
+                    e.rejected,
+                )
+            }
+        };
         // Plan-level memory budget: run the Section 4.4 model against the
         // device's free memory and go out-of-core when the direct join
         // would not fit. `None` (build side alone too big) falls through to
         // the direct path, which reports the OOM.
-        let (joined, detail) = match chunked::plan_chunks(ctx.dev, &l_rel, &r_rel) {
+        let (joined, detail, chunks) = match chunked::plan_chunks(ctx.dev, &l_rel, &r_rel) {
             Some(plan) if plan.chunks > 1 => {
                 let (out, plan) = chunked::chunked_join(ctx.dev, alg, &l_rel, &r_rel, &self.config);
-                (out, format!("{}, chunked x{}", alg.name(), plan.chunks))
+                (
+                    out,
+                    format!("{}, chunked x{}", alg.name(), plan.chunks),
+                    plan.chunks,
+                )
             }
             _ => (
                 joins::run_join(ctx.dev, alg, &l_rel, &r_rel, &self.config),
                 alg.name().to_string(),
+                1,
             ),
         };
+        let provenance = Provenance::Join(JoinProvenance {
+            build_rows: l_rel.len(),
+            probe_rows: r_rel.len(),
+            free_mem_bytes: free_mem,
+            profile,
+            sampled,
+            chunks,
+            pinned: self.algorithm.is_some(),
+            choice: alg.name().to_string(),
+            materialization: alg.materialization().to_string(),
+            guard,
+            rationale,
+            rejected,
+        });
         let phases = joined.stats.phases;
 
         // Reassemble with names: key, build payloads, probe payloads;
@@ -451,6 +503,7 @@ impl PhysicalOperator for JoinOp {
             table: Table::from_columns("joined", cols),
             phases: Some(phases),
             detail: Some(detail),
+            provenance: Some(provenance),
         })
     }
 }
@@ -534,19 +587,26 @@ impl PhysicalOperator for DistinctOp {
     ) -> Result<Evaluated, EngineError> {
         let child = inputs.pop().expect("Distinct takes one input");
         let key = child.column(&self.column)?.alias();
+        let rows = key.len();
         let rel = Relation::new("distinct_input", key, Vec::new());
-        let grouped = groupby::run_group_by(
-            ctx.dev,
-            GroupByAlgorithm::SortGftr,
-            &rel,
-            &[],
-            &GroupByConfig::default(),
-        );
+        let alg = GroupByAlgorithm::SortGftr;
+        let grouped = groupby::run_group_by(ctx.dev, alg, &rel, &[], &GroupByConfig::default());
         let phases = grouped.stats.phases;
         Ok(Evaluated {
             table: Table::from_columns("distinct", vec![(self.column.clone(), grouped.keys)]),
             phases: Some(phases),
             detail: None,
+            provenance: Some(Provenance::GroupBy(GroupByProvenance {
+                rows,
+                profile: None,
+                sampled: None,
+                pinned: true,
+                choice: alg.name().to_string(),
+                materialization: alg.materialization().to_string(),
+                guard: "pinned by operator".to_string(),
+                rationale: "Distinct always sorts: keys alone, no aggregates to gather".to_string(),
+                rejected: Vec::new(),
+            })),
         })
     }
 }
@@ -603,19 +663,38 @@ impl PhysicalOperator for AggregateOp {
             payloads.push(child.column(&a.column)?.alias());
             fns.push(a.agg);
         }
-        let alg = self.algorithm.unwrap_or_else(|| {
-            // Sample the grouping key for a distinct-count and skew
-            // estimate, then let the aggregation decision tree pick.
-            let sampled = sample_group_stats(ctx.dev, &key, 512);
-            let profile = AggProfile {
-                rows: key.len(),
-                est_groups: sampled.est_groups,
-                skewed: sampled.skewed(),
-                wide: fns.len() > 1,
-                l2_bytes: ctx.dev.config().l2_bytes,
-            };
-            choose_group_by(&profile).algorithm
-        });
+        let rows = key.len();
+        let (alg, profile, sampled, guard, rationale, rejected) = match self.algorithm {
+            Some(pinned) => (
+                pinned,
+                None,
+                None,
+                "pinned by plan".to_string(),
+                "algorithm fixed by the plan; no decision tree ran".to_string(),
+                Vec::new(),
+            ),
+            None => {
+                // Sample the grouping key for a distinct-count and skew
+                // estimate, then let the aggregation decision tree pick.
+                let sampled = sample_group_stats(ctx.dev, &key, 512);
+                let profile = AggProfile {
+                    rows,
+                    est_groups: sampled.est_groups,
+                    skewed: sampled.skewed(),
+                    wide: fns.len() > 1,
+                    l2_bytes: ctx.dev.config().l2_bytes,
+                };
+                let e = explain_choose_group_by(&profile);
+                (
+                    e.algorithm,
+                    Some(profile),
+                    Some(sampled),
+                    e.guard.to_string(),
+                    e.rationale.to_string(),
+                    e.rejected,
+                )
+            }
+        };
         let rel = Relation::new("agg_input", key, payloads);
         let grouped = groupby::run_group_by(ctx.dev, alg, &rel, &fns, &self.config);
         let phases = grouped.stats.phases;
@@ -627,6 +706,17 @@ impl PhysicalOperator for AggregateOp {
             table: Table::from_columns("aggregated", cols),
             phases: Some(phases),
             detail: Some(alg.name().to_string()),
+            provenance: Some(Provenance::GroupBy(GroupByProvenance {
+                rows,
+                profile,
+                sampled,
+                pinned: self.algorithm.is_some(),
+                choice: alg.name().to_string(),
+                materialization: alg.materialization().to_string(),
+                guard,
+                rationale,
+                rejected,
+            })),
         })
     }
 }

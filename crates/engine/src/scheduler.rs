@@ -45,8 +45,10 @@
 //! assert!(reports.iter().all(|r| r.result.is_ok()));
 //! ```
 
-use crate::{execute, Catalog, EngineError, Plan, QueryOutput};
-use sim::{Device, SimTime, Trace};
+use crate::explain::QueryExplain;
+use crate::{execute, Catalog, EngineError, NodeStats, Plan, QueryOutput};
+use serde::Serialize;
+use sim::{Device, OpStats, SimTime, Trace};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// The scheduling policies a session can run under (re-exported from
@@ -89,6 +91,30 @@ impl QuerySpec {
     }
 }
 
+/// One operator of a finished query, flattened out of the [`NodeStats`]
+/// tree in pre-order: the display label plus the shared per-operator
+/// report. The flat form is what per-tenant accounting wants — summing
+/// `op` fields over the breakdown reproduces the whole-query totals,
+/// because each node's stats exclude its children.
+#[derive(Debug, Clone, Serialize)]
+pub struct OperatorBreakdown {
+    /// Node description (operator + parameters + chosen algorithm).
+    pub label: String,
+    /// The node's own report, children excluded.
+    pub op: OpStats,
+}
+
+/// Flatten a stats tree into pre-order [`OperatorBreakdown`] rows.
+fn flatten_breakdown(stats: &NodeStats, out: &mut Vec<OperatorBreakdown>) {
+    out.push(OperatorBreakdown {
+        label: stats.label.clone(),
+        op: stats.op.clone(),
+    });
+    for child in &stats.children {
+        flatten_breakdown(child, out);
+    }
+}
+
 /// Outcome of one tenant query in a [`run_queries`] session.
 pub struct QueryReport {
     /// Index of the originating spec in the `specs` argument (equal to the
@@ -110,6 +136,14 @@ pub struct QueryReport {
     /// session start (events on the query's own clock, named
     /// `"<device>#q<id>"`).
     pub trace: Option<Trace>,
+    /// The query's operators, flattened in pre-order — the per-tenant
+    /// stats breakdown. Empty when the query failed. Byte-identical to the
+    /// breakdown of a solo run of the same plan (modulo [`OpStats::query`]
+    /// tagging), the property `tests/scheduler_equivalence.rs` proves.
+    pub breakdown: Vec<OperatorBreakdown>,
+    /// The query's attributed EXPLAIN ANALYZE report. `None` when the
+    /// query failed.
+    pub explain: Option<QueryExplain>,
 }
 
 /// Execute `specs` concurrently on `dev` under `policy`; returns one
@@ -229,6 +263,8 @@ pub fn run_queries(
                 completion: SimTime::ZERO,
                 peak_mem_bytes: 0,
                 trace: None,
+                breakdown: Vec::new(),
+                explain: None,
             },
             Registered::Query { qdev, .. } => {
                 let result = match outcome.expect("admitted query has an outcome") {
@@ -240,6 +276,17 @@ pub fn run_queries(
                 };
                 let qid = qdev.query_id().expect("query handle");
                 let sched = dev.sched_query_stats(qid);
+                let (breakdown, explain) = match &result {
+                    Ok(out) => {
+                        let mut rows = Vec::new();
+                        flatten_breakdown(&out.stats, &mut rows);
+                        (
+                            rows,
+                            Some(QueryExplain::from_stats(dev.config(), &out.stats)),
+                        )
+                    }
+                    Err(_) => (Vec::new(), None),
+                };
                 QueryReport {
                     query: i as u32,
                     result,
@@ -248,6 +295,8 @@ pub fn run_queries(
                     completion: SimTime::from_secs(sched.completion_secs),
                     peak_mem_bytes: qdev.mem_report().peak_bytes,
                     trace: qdev.take_trace(),
+                    breakdown,
+                    explain,
                 }
             }
         })

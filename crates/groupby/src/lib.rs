@@ -111,6 +111,18 @@ impl GroupByAlgorithm {
         }
     }
 
+    /// The materialization strategy label: `"GFTR"` when every aggregated
+    /// column is transformed with the keys, `"GFUR"` when only (key, ID)
+    /// pairs are transformed and values are gathered unclustered,
+    /// `"in-place"` for the global hash table (no transformation at all).
+    pub fn materialization(self) -> &'static str {
+        match self {
+            GroupByAlgorithm::HashGlobal => "in-place",
+            GroupByAlgorithm::SortGftr | GroupByAlgorithm::PartitionedGftr => "GFTR",
+            GroupByAlgorithm::SortGfur | GroupByAlgorithm::PartitionedGfur => "GFUR",
+        }
+    }
+
     /// Every implementation, for sweep benchmarks.
     pub const ALL: [GroupByAlgorithm; 5] = [
         GroupByAlgorithm::HashGlobal,

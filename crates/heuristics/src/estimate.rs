@@ -8,11 +8,12 @@
 
 use crate::WorkloadProfile;
 use columnar::{Column, DType, Relation};
+use serde::{Deserialize, Serialize};
 use sim::Device;
 use std::collections::HashMap;
 
 /// Statistics estimated from a key sample.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct EstimatedStats {
     /// Estimated fraction of probe tuples with a build-side partner.
     pub match_ratio: f64,
@@ -91,7 +92,7 @@ pub fn sample_stats(
 }
 
 /// Statistics estimated from a grouping-key sample.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct EstimatedGroupStats {
     /// Estimated number of distinct groups in the full column (Chao1
     /// extrapolation from the sample).
@@ -173,18 +174,31 @@ pub fn estimate_profile(
     s: &Relation,
     sample_size: usize,
 ) -> WorkloadProfile {
+    estimate_profile_with_stats(dev, r, s, sample_size).0
+}
+
+/// [`estimate_profile`] keeping the raw sample behind the profile — the
+/// provenance-capturing variant. Identical device cost and identical
+/// profile: the plain version is implemented on top of this one.
+pub fn estimate_profile_with_stats(
+    dev: &Device,
+    r: &Relation,
+    s: &Relation,
+    sample_size: usize,
+) -> (WorkloadProfile, EstimatedStats) {
     let stats = sample_stats(dev, r, s, sample_size);
     let has_8byte = r.key().dtype() == DType::I64
         || s.key().dtype() == DType::I64
         || r.payloads().iter().any(|c| c.dtype() == DType::I64)
         || s.payloads().iter().any(|c| c.dtype() == DType::I64);
-    WorkloadProfile {
+    let profile = WorkloadProfile {
         wide: r.num_payloads() > 1 || s.num_payloads() > 1,
         match_ratio: stats.match_ratio,
         skewed: stats.skewed(),
         has_8byte,
         small_inputs: r.size_bytes().max(s.size_bytes()) < dev.config().l2_bytes / 2,
-    }
+    };
+    (profile, stats)
 }
 
 #[cfg(test)]
@@ -310,5 +324,91 @@ mod tests {
         let est = sample_stats(&dev, &r, &s, 64);
         assert_eq!(est.match_ratio, 0.0);
         assert!(!est.skewed());
+    }
+
+    /// The values must be finite (no NaN/Inf anywhere the explain layer
+    /// would print) and the record must serialize to a complete JSON object
+    /// — the renderability contract provenance capture relies on.
+    fn assert_renderable(est: &EstimatedGroupStats) {
+        assert!(est.top_key_share.is_finite(), "top_key_share NaN: {est:?}");
+        assert!(
+            (0.0..=1.0).contains(&est.top_key_share),
+            "share out of range: {est:?}"
+        );
+        let v = serde_json::to_value(est);
+        for field in ["est_groups", "top_key_share", "sample_size"] {
+            assert!(!v[field].is_null(), "field {field} missing/null: {v:?}");
+        }
+        let text = serde_json::to_string(est).expect("serializes");
+        assert!(
+            !text.contains("null") && !text.contains("NaN"),
+            "unrenderable value in {text}"
+        );
+    }
+
+    #[test]
+    fn chao1_on_empty_column() {
+        let dev = Device::a100();
+        let empty = Column::from_i32(&dev, vec![], "g");
+        let est = sample_group_stats(&dev, &empty, 512);
+        assert_eq!(est.est_groups, 0);
+        assert_eq!(est.sample_size, 0);
+        assert_eq!(est.top_key_share, 0.0);
+        assert!(!est.skewed());
+        assert_renderable(&est);
+    }
+
+    #[test]
+    fn chao1_on_all_distinct_sample() {
+        let dev = Device::a100();
+        // Far more distinct keys than sample draws: essentially every draw
+        // is a singleton, f2 ~ 0, so the bias-corrected f1(f1-1)/2 form
+        // fires. The estimate explodes upward by design — the clamp must
+        // cap it at the row count, never NaN or overflow.
+        let n = 1 << 20;
+        let keys = Column::from_i32(&dev, (0..n).collect(), "g");
+        let est = sample_group_stats(&dev, &keys, 256);
+        assert!(est.est_groups >= 200, "mostly singletons: {est:?}");
+        assert!(est.est_groups <= n as usize, "clamped to rows: {est:?}");
+        assert!(!est.skewed(), "all-distinct is the opposite of skew");
+        assert_renderable(&est);
+    }
+
+    #[test]
+    fn chao1_on_single_group_sample() {
+        let dev = Device::a100();
+        let keys = Column::from_i32(&dev, vec![42; 4096], "g");
+        let est = sample_group_stats(&dev, &keys, 512);
+        // One group, zero singletons and doubletons: d=1, extra=0.
+        assert_eq!(est.est_groups, 1);
+        assert_eq!(est.top_key_share, 1.0);
+        assert!(est.skewed(), "one group holding everything is maximal skew");
+        assert_renderable(&est);
+    }
+
+    #[test]
+    fn chao1_on_single_row_column() {
+        let dev = Device::a100();
+        let keys = Column::from_i32(&dev, vec![7], "g");
+        let est = sample_group_stats(&dev, &keys, 512);
+        // One row sampled once or more: d=1, f1 counts at most one
+        // singleton, and the clamp pins the estimate to [1, 1].
+        assert_eq!(est.est_groups, 1);
+        assert_renderable(&est);
+    }
+
+    #[test]
+    fn with_stats_variant_matches_plain_profile_and_device_cost() {
+        let dev = Device::a100();
+        let r = rel(&dev, (0..512).collect());
+        let s = rel(&dev, (0..2048).map(|i| i % 512).collect());
+        let plain = estimate_profile(&dev, &r, &s, 256);
+        let t_plain = dev.elapsed().secs();
+        dev.reset_stats();
+        let (profile, stats) = estimate_profile_with_stats(&dev, &r, &s, 256);
+        assert_eq!(dev.elapsed().secs().to_bits(), t_plain.to_bits());
+        assert_eq!(profile.match_ratio.to_bits(), plain.match_ratio.to_bits());
+        assert_eq!(profile.skewed, plain.skewed);
+        assert_eq!(stats.sample_size, 256);
     }
 }

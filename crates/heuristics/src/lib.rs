@@ -17,7 +17,8 @@
 pub mod estimate;
 
 pub use estimate::{
-    estimate_profile, sample_group_stats, sample_stats, EstimatedGroupStats, EstimatedStats,
+    estimate_profile, estimate_profile_with_stats, sample_group_stats, sample_stats,
+    EstimatedGroupStats, EstimatedStats,
 };
 
 use columnar::{DType, Relation};
@@ -64,92 +65,188 @@ pub struct Recommendation {
     pub rationale: &'static str,
 }
 
-/// Figure 18a: choose among SMJ-UM, SMJ-OM, PHJ-UM and PHJ-OM.
+/// One branch of a decision tree: a named guard over the profile and the
+/// recommendation when the guard holds. Every tree ends in a fallthrough
+/// branch whose guard is always true, so a walk always terminates on a
+/// branch.
 ///
-/// The partitioned hash joins dominate throughout the study ("partitioning
-/// is more efficient than sorting but both transformations make the
-/// match-finding phase similarly efficient"), so the tree mostly decides
-/// *which* PHJ variant to use.
-pub fn choose_join(p: &WorkloadProfile) -> Recommendation {
-    if p.skewed {
+/// The trees are data, not control flow, so [`choose_join`] and the
+/// provenance-producing [`explain_choose_join`] (etc.) walk the *same*
+/// branches by construction — the explain layer can never describe a
+/// different tree than the one the planner ran.
+struct Branch<P: 'static, A: 'static> {
+    /// The predicate as the paper's figure states it (shown in provenance).
+    guard: &'static str,
+    holds: fn(&P) -> bool,
+    algorithm: A,
+    rationale: &'static str,
+}
+
+/// A branch the walk evaluated and rejected before reaching its choice —
+/// the "roads not taken" half of decision provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectedBranch {
+    /// Display name of the algorithm this branch would have picked.
+    pub algorithm: String,
+    /// The guard that evaluated false.
+    pub guard: String,
+}
+
+/// The outcome of walking a decision tree with full provenance: the choice,
+/// the guard that fired, and every branch rejected on the way down.
+#[derive(Debug, Clone)]
+pub struct Explained<A> {
+    /// The algorithm the tree picked.
+    pub algorithm: A,
+    /// The guard of the branch taken (`"otherwise"` for the fallthrough).
+    pub guard: &'static str,
+    /// The taken branch's rationale.
+    pub rationale: &'static str,
+    /// Branches evaluated and rejected before the taken one, in tree order.
+    pub rejected: Vec<RejectedBranch>,
+}
+
+fn walk_tree<P, A: Copy>(
+    tree: &'static [Branch<P, A>],
+    p: &P,
+    name: fn(A) -> &'static str,
+) -> Explained<A> {
+    let mut rejected = Vec::new();
+    for b in tree {
+        if (b.holds)(p) {
+            return Explained {
+                algorithm: b.algorithm,
+                guard: b.guard,
+                rationale: b.rationale,
+                rejected,
+            };
+        }
+        rejected.push(RejectedBranch {
+            algorithm: name(b.algorithm).to_string(),
+            guard: b.guard.to_string(),
+        });
+    }
+    unreachable!("every decision tree ends in an always-true fallthrough branch")
+}
+
+/// Figure 18a as data. The partitioned hash joins dominate throughout the
+/// study ("partitioning is more efficient than sorting but both
+/// transformations make the match-finding phase similarly efficient"), so
+/// the tree mostly decides *which* PHJ variant to use.
+static JOIN_TREE: [Branch<WorkloadProfile, Algorithm>; 5] = [
+    Branch {
+        guard: "skewed foreign keys",
+        holds: |p| p.skewed,
         // Bucket chaining collapses under skew (Figure 14); the stable
         // radix partitioner does not.
-        return Recommendation {
-            algorithm: Algorithm::PhjOm,
-            rationale: "skewed foreign keys: bucket-chain partitioning (PHJ-UM) degrades, \
-                        RADIX-PARTITION is distribution-robust",
-        };
-    }
-    if !p.wide {
-        return Recommendation {
-            algorithm: Algorithm::PhjUm,
-            rationale: "narrow join: nothing to gain from transforming payloads; \
-                        PHJ-UM and PHJ-OM are nearly identical, bucket chaining is \
-                        marginally ahead on small inputs",
-        };
-    }
-    if p.match_ratio < 0.25 {
-        return Recommendation {
-            algorithm: Algorithm::PhjUm,
-            rationale: "low match ratio: little is materialized, unclustered gathers are \
-                        cheap, and GFTR's transformation cost does not pay off (Figure 13)",
-        };
-    }
-    if p.small_inputs {
-        return Recommendation {
-            algorithm: Algorithm::PhjUm,
-            rationale: "inputs fit the L2 cache: unclustered gathers are already fast \
-                        (the TPC-H J3 effect), skip the payload transformation",
-        };
-    }
-    Recommendation {
+        algorithm: Algorithm::PhjOm,
+        rationale: "skewed foreign keys: bucket-chain partitioning (PHJ-UM) degrades, \
+                    RADIX-PARTITION is distribution-robust",
+    },
+    Branch {
+        guard: "narrow join (single payload)",
+        holds: |p| !p.wide,
+        algorithm: Algorithm::PhjUm,
+        rationale: "narrow join: nothing to gain from transforming payloads; \
+                    PHJ-UM and PHJ-OM are nearly identical, bucket chaining is \
+                    marginally ahead on small inputs",
+    },
+    Branch {
+        guard: "match ratio < 0.25",
+        holds: |p| p.match_ratio < 0.25,
+        algorithm: Algorithm::PhjUm,
+        rationale: "low match ratio: little is materialized, unclustered gathers are \
+                    cheap, and GFTR's transformation cost does not pay off (Figure 13)",
+    },
+    Branch {
+        guard: "inputs fit L2",
+        holds: |p| p.small_inputs,
+        algorithm: Algorithm::PhjUm,
+        rationale: "inputs fit the L2 cache: unclustered gathers are already fast \
+                    (the TPC-H J3 effect), skip the payload transformation",
+    },
+    Branch {
+        guard: "otherwise",
+        holds: |_| true,
         algorithm: Algorithm::PhjOm,
         rationale: "wide join with a high match ratio: materialization dominates and \
                     clustered gathers win despite the partitioning cost (Figure 10); \
                     PHJ-OM also tolerates 8-byte values where SMJ-OM does not",
+    },
+];
+
+/// Figure 18b as data: within the sort-merge family, does optimized
+/// materialization pay off?
+static SMJ_TREE: [Branch<WorkloadProfile, Algorithm>; 6] = [
+    Branch {
+        guard: "narrow join (single payload)",
+        holds: |p| !p.wide,
+        algorithm: Algorithm::SmjUm,
+        rationale: "narrow join: SMJ-OM degenerates to SMJ-UM",
+    },
+    Branch {
+        guard: "match ratio < 0.25",
+        holds: |p| p.match_ratio < 0.25,
+        algorithm: Algorithm::SmjUm,
+        rationale: "low match ratio: materialization is not the bottleneck",
+    },
+    Branch {
+        guard: "skewed foreign keys",
+        holds: |p| p.skewed,
+        algorithm: Algorithm::SmjUm,
+        rationale: "skewed keys: few primary keys have matches, so little is \
+                    materialized and consistent sorting wins (Figure 14)",
+    },
+    Branch {
+        guard: "8-byte keys or payloads",
+        holds: |p| p.has_8byte,
+        algorithm: Algorithm::SmjUm,
+        rationale: "8-byte keys/payloads: sorting every payload column becomes too \
+                    expensive (Figure 15); gather from untransformed relations",
+    },
+    Branch {
+        guard: "inputs fit L2",
+        holds: |p| p.small_inputs,
+        algorithm: Algorithm::SmjUm,
+        rationale: "L2-resident inputs make unclustered gathers cheap",
+    },
+    Branch {
+        guard: "otherwise",
+        holds: |_| true,
+        algorithm: Algorithm::SmjOm,
+        rationale: "wide 4-byte join with a high match ratio: clustered gathers repay \
+                    the extra sorting (Figure 10)",
+    },
+];
+
+/// Figure 18a: choose among SMJ-UM, SMJ-OM, PHJ-UM and PHJ-OM.
+pub fn choose_join(p: &WorkloadProfile) -> Recommendation {
+    let e = explain_choose_join(p);
+    Recommendation {
+        algorithm: e.algorithm,
+        rationale: e.rationale,
     }
+}
+
+/// [`choose_join`] with full provenance: the same walk over the same tree,
+/// also reporting the guard taken and the branches rejected.
+pub fn explain_choose_join(p: &WorkloadProfile) -> Explained<Algorithm> {
+    walk_tree(&JOIN_TREE, p, Algorithm::name)
 }
 
 /// Figure 18b: within the sort-merge family, does optimized materialization
 /// pay off?
 pub fn choose_smj(p: &WorkloadProfile) -> Recommendation {
-    if !p.wide {
-        return Recommendation {
-            algorithm: Algorithm::SmjUm,
-            rationale: "narrow join: SMJ-OM degenerates to SMJ-UM",
-        };
-    }
-    if p.match_ratio < 0.25 {
-        return Recommendation {
-            algorithm: Algorithm::SmjUm,
-            rationale: "low match ratio: materialization is not the bottleneck",
-        };
-    }
-    if p.skewed {
-        return Recommendation {
-            algorithm: Algorithm::SmjUm,
-            rationale: "skewed keys: few primary keys have matches, so little is \
-                        materialized and consistent sorting wins (Figure 14)",
-        };
-    }
-    if p.has_8byte {
-        return Recommendation {
-            algorithm: Algorithm::SmjUm,
-            rationale: "8-byte keys/payloads: sorting every payload column becomes too \
-                        expensive (Figure 15); gather from untransformed relations",
-        };
-    }
-    if p.small_inputs {
-        return Recommendation {
-            algorithm: Algorithm::SmjUm,
-            rationale: "L2-resident inputs make unclustered gathers cheap",
-        };
-    }
+    let e = explain_choose_smj(p);
     Recommendation {
-        algorithm: Algorithm::SmjOm,
-        rationale: "wide 4-byte join with a high match ratio: clustered gathers repay \
-                    the extra sorting (Figure 10)",
+        algorithm: e.algorithm,
+        rationale: e.rationale,
     }
+}
+
+/// [`choose_smj`] with full provenance.
+pub fn explain_choose_smj(p: &WorkloadProfile) -> Explained<Algorithm> {
+    walk_tree(&SMJ_TREE, p, Algorithm::name)
 }
 
 /// The statistics the grouped-aggregation decision branches on — the
@@ -190,37 +287,140 @@ pub struct GroupByRecommendation {
     pub rationale: &'static str,
 }
 
-/// The grouped-aggregation decision: global hash table while it is
+/// The grouped-aggregation tree as data: global hash table while it is
 /// L2-resident and uniform, otherwise transform — with the GFTR/GFUR choice
 /// following the same width logic as the join tree (Section 5.4 applied to
 /// the aggregation half of the paper).
-pub fn choose_group_by(p: &AggProfile) -> GroupByRecommendation {
-    if p.table_fits_l2() && !p.skewed {
-        return GroupByRecommendation {
-            algorithm: GroupByAlgorithm::HashGlobal,
-            rationale: "few groups: the global hash table is L2-resident, random atomic \
-                        updates are cheap and skip the transformation entirely",
-        };
-    }
-    if p.skewed && p.table_fits_l2() {
-        return GroupByRecommendation {
-            algorithm: GroupByAlgorithm::PartitionedGfur,
-            rationale: "skewed keys serialize global atomics on the hot group; the stable \
-                        radix partitioner spreads each group over shared-memory tables",
-        };
-    }
-    if p.wide {
-        return GroupByRecommendation {
-            algorithm: GroupByAlgorithm::PartitionedGftr,
-            rationale: "many groups and several aggregate columns: transforming every \
-                        column (GFTR) converts the random accesses of aggregation into \
-                        sequential ones",
-        };
-    }
-    GroupByRecommendation {
+static GROUP_BY_TREE: [Branch<AggProfile, GroupByAlgorithm>; 4] = [
+    Branch {
+        guard: "hash table fits L2, uniform keys",
+        holds: |p| p.table_fits_l2() && !p.skewed,
+        algorithm: GroupByAlgorithm::HashGlobal,
+        rationale: "few groups: the global hash table is L2-resident, random atomic \
+                    updates are cheap and skip the transformation entirely",
+    },
+    Branch {
+        guard: "hash table fits L2, skewed keys",
+        holds: |p| p.skewed && p.table_fits_l2(),
+        algorithm: GroupByAlgorithm::PartitionedGfur,
+        rationale: "skewed keys serialize global atomics on the hot group; the stable \
+                    radix partitioner spreads each group over shared-memory tables",
+    },
+    Branch {
+        guard: "several aggregate columns",
+        holds: |p| p.wide,
+        algorithm: GroupByAlgorithm::PartitionedGftr,
+        rationale: "many groups and several aggregate columns: transforming every \
+                    column (GFTR) converts the random accesses of aggregation into \
+                    sequential ones",
+    },
+    Branch {
+        guard: "otherwise",
+        holds: |_| true,
         algorithm: GroupByAlgorithm::PartitionedGfur,
         rationale: "many groups but few columns: partition the (key, ID) pairs once and \
                     gather — the transformation cost of GFTR would not pay off",
+    },
+];
+
+/// The grouped-aggregation decision (the winning branch's rationale, from
+/// the static group-by tree).
+pub fn choose_group_by(p: &AggProfile) -> GroupByRecommendation {
+    let e = explain_choose_group_by(p);
+    GroupByRecommendation {
+        algorithm: e.algorithm,
+        rationale: e.rationale,
+    }
+}
+
+/// [`choose_group_by`] with full provenance: the same walk over the same
+/// tree, also reporting the guard taken and the branches rejected.
+pub fn explain_choose_group_by(p: &AggProfile) -> Explained<GroupByAlgorithm> {
+    walk_tree(&GROUP_BY_TREE, p, GroupByAlgorithm::name)
+}
+
+/// Everything the planner knew when it picked a join algorithm: the inputs
+/// it looked at, the statistics it sampled, the branch it took and the
+/// branches it rejected. Captured at plan time by `engine::op`, rendered by
+/// `engine::explain`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinProvenance {
+    /// Build-side rows at plan time.
+    pub build_rows: usize,
+    /// Probe-side rows at plan time.
+    pub probe_rows: usize,
+    /// Free device memory the chunk planner saw, bytes.
+    pub free_mem_bytes: u64,
+    /// The profile the tree branched on (`None` when the algorithm was
+    /// pinned by the plan, skipping profiling entirely).
+    pub profile: Option<WorkloadProfile>,
+    /// The sampled statistics behind the profile (`None` when the profile
+    /// came from optimizer knowledge rather than sampling).
+    pub sampled: Option<EstimatedStats>,
+    /// Chunk count the out-of-core planner settled on (1 = in-core).
+    pub chunks: usize,
+    /// True when the plan pinned the algorithm and no tree ran.
+    pub pinned: bool,
+    /// Display name of the chosen algorithm.
+    pub choice: String,
+    /// Materialization strategy of the choice (`"GFTR"` / `"GFUR"` / ...).
+    pub materialization: String,
+    /// The guard that fired (`"pinned by plan"` when pinned).
+    pub guard: String,
+    /// The taken branch's rationale.
+    pub rationale: String,
+    /// Branches rejected before the taken one, in tree order.
+    pub rejected: Vec<RejectedBranch>,
+}
+
+/// Everything the planner knew when it picked a grouped-aggregation
+/// algorithm — the aggregation-side counterpart of [`JoinProvenance`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupByProvenance {
+    /// Input rows at plan time.
+    pub rows: usize,
+    /// The profile the tree branched on (`None` when pinned).
+    pub profile: Option<AggProfile>,
+    /// The sampled grouping-key statistics (Chao1 estimate, skew signal).
+    pub sampled: Option<EstimatedGroupStats>,
+    /// True when the plan pinned the algorithm and no tree ran.
+    pub pinned: bool,
+    /// Display name of the chosen algorithm.
+    pub choice: String,
+    /// Materialization strategy of the choice.
+    pub materialization: String,
+    /// The guard that fired (`"pinned by plan"` when pinned).
+    pub guard: String,
+    /// The taken branch's rationale.
+    pub rationale: String,
+    /// Branches rejected before the taken one, in tree order.
+    pub rejected: Vec<RejectedBranch>,
+}
+
+/// Decision provenance attached to an executed operator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Provenance {
+    /// A join planner decision.
+    Join(JoinProvenance),
+    /// A grouped-aggregation planner decision.
+    GroupBy(GroupByProvenance),
+}
+
+impl Provenance {
+    /// Display name of the chosen algorithm.
+    pub fn choice(&self) -> &str {
+        match self {
+            Provenance::Join(j) => &j.choice,
+            Provenance::GroupBy(g) => &g.choice,
+        }
+    }
+
+    /// Materialization strategy label of the choice.
+    pub fn materialization(&self) -> &str {
+        match self {
+            Provenance::Join(j) => &j.materialization,
+            Provenance::GroupBy(g) => &g.materialization,
+        }
     }
 }
 

@@ -73,6 +73,18 @@ impl Algorithm {
         }
     }
 
+    /// The materialization strategy label (the paper's Section 4.2 split):
+    /// `"GFTR"` for gather-from-transformed-relations variants, `"GFUR"`
+    /// for gather-from-untransformed-relations, `"CPU"` for the host
+    /// baseline.
+    pub fn materialization(self) -> &'static str {
+        match self {
+            Algorithm::SmjOm | Algorithm::PhjOm => "GFTR",
+            Algorithm::SmjUm | Algorithm::PhjUm | Algorithm::PhjOmGfur | Algorithm::Nphj => "GFUR",
+            Algorithm::CpuRadix => "CPU",
+        }
+    }
+
     /// All GPU variants compared throughout Section 5.
     pub const GPU_VARIANTS: [Algorithm; 4] = [
         Algorithm::SmjUm,

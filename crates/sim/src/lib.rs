@@ -64,6 +64,7 @@
 //! assert!(dev.elapsed().secs() > 0.0);
 //! ```
 
+pub mod analysis;
 mod config;
 mod counters;
 mod element;
@@ -75,6 +76,9 @@ mod stats;
 mod time;
 pub mod trace;
 
+pub use analysis::{
+    diagnose, roofline, AccessPattern, Bottleneck, Diagnosis, KernelAnalysis, Roofline,
+};
 pub use config::DeviceConfig;
 pub use counters::{Counters, CountersDelta};
 pub use element::Element;

@@ -588,7 +588,7 @@ pub fn render_kernel_summary(traces: &[Trace]) -> String {
         .unwrap_or(6);
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<name_w$}  {:>8}  {:>12}  {:>6}  {:>8}  {:>6}  {:>12}\n",
+        "{:<name_w$}  {:>8}  {:>12}  {:>6}  {:>8}  {:>6}  {:>14}\n",
         "kernel", "launches", "time", "%", "sect/req", "l2hit", "dram"
     ));
     for s in &stats {
@@ -598,32 +598,17 @@ pub fn render_kernel_summary(traces: &[Trace]) -> String {
             0.0
         };
         out.push_str(&format!(
-            "{:<name_w$}  {:>8}  {:>12}  {:>5.1}%  {:>8.1}  {:>5.1}%  {:>12}\n",
+            "{:<name_w$}  {:>8}  {:>12}  {:>5.1}%  {:>8.2}  {:>5.1}%  {:>14}\n",
             s.name,
             s.launches,
             format!("{}", SimTime::from_secs(s.total_secs)),
             pct,
             s.sectors_per_request(),
             100.0 * s.l2_hit_rate(),
-            human_bytes(s.dram_bytes),
+            crate::analysis::human_bytes(s.dram_bytes),
         ));
     }
     out
-}
-
-fn human_bytes(b: u64) -> String {
-    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
-    let mut v = b as f64;
-    let mut u = 0;
-    while v >= 1024.0 && u < UNITS.len() - 1 {
-        v /= 1024.0;
-        u += 1;
-    }
-    if u == 0 {
-        format!("{b} B")
-    } else {
-        format!("{v:.2} {}", UNITS[u])
-    }
 }
 
 #[cfg(test)]
@@ -809,5 +794,30 @@ mod tests {
         assert!(table.contains("big"));
         assert!(table.contains("small"));
         assert!(table.contains("256.00 MiB"));
+    }
+
+    #[test]
+    fn kernel_summary_stays_aligned_past_a_gigabyte() {
+        let dev = traced_device();
+        // > 1e9 bytes of traffic in one kernel, plus a tiny one: the DRAM
+        // column must hold both without pushing its row wider.
+        dev.kernel("huge")
+            .items(1 << 22, 4.0)
+            .seq_read_bytes(3 << 30)
+            .launch();
+        dev.kernel("tiny")
+            .items(32, 1.0)
+            .seq_read_bytes(64)
+            .launch();
+        let tr = dev.take_trace().unwrap();
+        let table = render_kernel_summary(&[tr]);
+        assert!(table.contains("3.00 GiB"), "GiB units expected: {table}");
+        let widths: Vec<usize> = table.lines().map(|l| l.chars().count()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "rows must stay column-aligned: {table}"
+        );
+        // Sectors/request prints to two decimals, like the plan tree.
+        assert!(table.contains("0.00"));
     }
 }

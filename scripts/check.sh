@@ -32,7 +32,8 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 if ! (cd "$smoke_dir" \
     && cargo run --release --quiet --manifest-path "$repo_dir/Cargo.toml" \
-        -p bench --bin run_all -- --scale 14 --reps 1 --trace trace.json >run_all.log 2>&1); then
+        -p bench --bin run_all -- --scale 14 --reps 1 --trace trace.json \
+        --explain explain.json >run_all.log 2>&1); then
     echo "bench smoke-run failed; tail of log:"
     tail -40 "$smoke_dir/run_all.log"
     exit 1
@@ -72,6 +73,40 @@ fi
 }
 echo "    trace.json valid with $events events"
 
+# The --explain export must be valid JSON with recorded queries and the
+# per-kernel roofline analysis.
+test -s "$smoke_dir/explain.json" || {
+    echo "bench smoke-run produced no explain.json"
+    exit 1
+}
+if command -v jq >/dev/null 2>&1; then
+    explain_queries=$(jq '.queries | length' "$smoke_dir/explain.json")
+    explain_kernels=$(jq '.kernels | length' "$smoke_dir/explain.json")
+else
+    explain_queries=$(python3 -c \
+        "import json,sys; print(len(json.load(open(sys.argv[1]))['queries']))" \
+        "$smoke_dir/explain.json")
+    explain_kernels=$(python3 -c \
+        "import json,sys; print(len(json.load(open(sys.argv[1]))['kernels']))" \
+        "$smoke_dir/explain.json")
+fi
+[ "$explain_queries" -gt 0 ] || {
+    echo "explain.json parsed but records no queries"
+    exit 1
+}
+[ "$explain_kernels" -gt 0 ] || {
+    echo "explain.json parsed but has no kernel analysis"
+    exit 1
+}
+echo "    explain.json valid with $explain_queries queries, $explain_kernels kernels"
+
+echo "==> perf-regression gate (vs results/smoke14)"
+# Simulated numbers are deterministic, so the smoke results must match the
+# checked-in baselines to 1%; wall-clock (CPU) fields are exempt. A
+# deliberate cost-model change updates results/smoke14/ in the same commit.
+cargo run --release --quiet -p bench --bin bench_gate -- \
+    --baseline "$repo_dir/results/smoke14" --fresh "$smoke_dir/results"
+
 echo "==> multi-query smoke (m01_multi_query --scale 14)"
 (cd "$smoke_dir" \
     && cargo run --release --quiet --manifest-path "$repo_dir/Cargo.toml" \
@@ -84,8 +119,12 @@ grep -q "budgets hold" "$smoke_dir/m01.log" || {
     echo "m01_multi_query smoke: missing budget finding in output"
     exit 1
 }
-# Keep the smoke trace where CI can pick it up as an artifact.
+# Keep the smoke trace, explain report and fresh results where CI can pick
+# them up as artifacts (and where `bench_gate`'s default --fresh finds them).
 mkdir -p "$repo_dir/target/smoke"
-cp "$smoke_dir/trace.json" "$smoke_dir/trace.jsonl" "$repo_dir/target/smoke/"
+cp "$smoke_dir/trace.json" "$smoke_dir/trace.jsonl" "$smoke_dir/explain.json" \
+    "$repo_dir/target/smoke/"
+rm -rf "$repo_dir/target/smoke/results"
+cp -r "$smoke_dir/results" "$repo_dir/target/smoke/results"
 
 echo "All checks passed."

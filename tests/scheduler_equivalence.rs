@@ -143,6 +143,42 @@ fn flatten_stats(n: &NodeStats, out: &mut Vec<(String, String)>) {
     }
 }
 
+/// Canonical `(label, OpStats JSON)` form of one operator with the query
+/// tag stripped, so solo (`query: None`) and in-session (`query: Some(q)`)
+/// runs of the same plan compare equal. `strip_ledger` additionally zeroes
+/// `peak_mem_bytes`: peaks are ledger-scoped (device-wide solo vs
+/// per-tenant in-session), so solo-vs-shared comparisons exclude them.
+fn canonical_op(label: &str, op: &gpu_join::sim::OpStats, strip_ledger: bool) -> (String, String) {
+    let mut op = op.clone();
+    op.query = None;
+    if strip_ledger {
+        op.peak_mem_bytes = 0;
+    }
+    (
+        label.to_string(),
+        serde_json::to_string(&op).expect("OpStats serializes"),
+    )
+}
+
+/// Canonical form of a report's per-operator breakdown.
+fn canonical_breakdown(
+    rows: &[engine::OperatorBreakdown],
+    strip_ledger: bool,
+) -> Vec<(String, String)> {
+    rows.iter()
+        .map(|r| canonical_op(&r.label, &r.op, strip_ledger))
+        .collect()
+}
+
+/// Pre-order canonical form of a stats tree (the solo-run counterpart of
+/// [`canonical_breakdown`]).
+fn canonical_tree(n: &NodeStats, strip_ledger: bool, out: &mut Vec<(String, String)>) {
+    out.push(canonical_op(&n.label, &n.op, strip_ledger));
+    for c in &n.children {
+        canonical_tree(c, strip_ledger, out);
+    }
+}
+
 fn assert_reports_identical(a: &QueryReport, b: &QueryReport, ctx: &str) {
     assert_eq!(a.query, b.query, "{ctx}: spec index");
     assert_eq!(a.budget_bytes, b.budget_bytes, "{ctx}: budget");
@@ -179,6 +215,18 @@ fn assert_reports_identical(a: &QueryReport, b: &QueryReport, ctx: &str) {
             y.as_ref().map(|o| o.table.num_rows())
         ),
     }
+    // The flattened breakdown and the attributed explain are derived from
+    // the same stats, so they must agree byte-for-byte across policies too.
+    assert_eq!(
+        canonical_breakdown(&a.breakdown, false),
+        canonical_breakdown(&b.breakdown, false),
+        "{ctx}: per-operator breakdown"
+    );
+    assert_eq!(
+        a.explain.as_ref().map(|e| e.render()),
+        b.explain.as_ref().map(|e| e.render()),
+        "{ctx}: rendered explain"
+    );
     let (ta, tb) = (&a.trace, &b.trace);
     assert_eq!(
         ta.is_some(),
@@ -239,6 +287,19 @@ fn eight_concurrent_queries_match_solo_execution() {
             solo.stats.total_time().secs().to_bits(),
             shared.stats.total_time().secs().to_bits(),
             "q{}: simulated time must not depend on co-tenants",
+            report.query
+        );
+        // The report's flattened per-operator breakdown equals the solo
+        // run's stats tree, node for node. Peaks are stripped: the solo run
+        // measures them against the base ledger (catalog resident), a
+        // tenant against its own empty sub-ledger — all attributed *work*
+        // (counters, times, rows) must still match exactly.
+        let mut solo_flat = Vec::new();
+        canonical_tree(&solo.stats, true, &mut solo_flat);
+        assert_eq!(
+            solo_flat,
+            canonical_breakdown(&report.breakdown, true),
+            "q{}: per-tenant breakdown must equal the solo-run breakdown",
             report.query
         );
     }
