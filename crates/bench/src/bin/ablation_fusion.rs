@@ -1,0 +1,6 @@
+//! Thin wrapper around [`bench::exp::ablation_fusion`].
+
+fn main() {
+    let args = bench::Args::parse();
+    let _ = bench::exp::ablation_fusion::run(&args);
+}

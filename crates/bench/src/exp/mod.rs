@@ -4,6 +4,7 @@
 //! thin wrappers, and `run_all` executes every experiment in sequence.
 
 pub mod ablation;
+pub mod ablation_fusion;
 pub mod device_sweep;
 pub mod fig01;
 pub mod fig07;

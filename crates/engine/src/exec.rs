@@ -9,7 +9,7 @@
 //! [`sim::OpStats`] record (times, rows, peak memory, hardware counters) as
 //! a [`NodeStats`] tree.
 
-use crate::op::{compile, run_operator, ExecContext};
+use crate::op::{compile, compile_unfused, run_operator, ExecContext};
 use crate::{EngineError, Plan, Table};
 use columnar::Relation;
 use sim::{Device, OpStats, SimTime};
@@ -123,9 +123,30 @@ pub struct QueryOutput {
     pub stats: NodeStats,
 }
 
-/// Execute `plan` against `catalog` on `dev`.
+/// Execute `plan` against `catalog` on `dev`, with operator fusion on:
+/// adjacent Filter/Project chains collapse into single nodes whose outputs
+/// flow as late-materialized tickets ([`crate::fuse`]).
 pub fn execute(dev: &Device, catalog: &Catalog, plan: &Plan) -> Result<QueryOutput, EngineError> {
-    let op = compile(plan);
+    run_compiled(dev, catalog, compile(plan))
+}
+
+/// Execute `plan` with fusion off: one physical operator per plan node,
+/// every intermediate fully materialized. Same results, more DRAM traffic —
+/// the ablation baseline of `bench`'s `ablation_fusion` experiment and the
+/// oracle side of the fusion-equivalence property tests.
+pub fn execute_unfused(
+    dev: &Device,
+    catalog: &Catalog,
+    plan: &Plan,
+) -> Result<QueryOutput, EngineError> {
+    run_compiled(dev, catalog, compile_unfused(plan))
+}
+
+fn run_compiled(
+    dev: &Device,
+    catalog: &Catalog,
+    op: crate::op::BoxOp,
+) -> Result<QueryOutput, EngineError> {
     let ctx = ExecContext {
         dev,
         catalog: Some(catalog),

@@ -186,6 +186,36 @@ fn render_provenance(p: &Provenance, out: &mut String, pad: &str) {
                 );
             }
         }
+        Provenance::Fusion(f) => {
+            let _ = writeln!(
+                out,
+                "{pad}  fused: {} steps ({}), {} predicate{} in one evaluation",
+                f.steps.len(),
+                f.steps.join("+"),
+                f.predicates,
+                if f.predicates == 1 { "" } else { "s" }
+            );
+            let _ = writeln!(
+                out,
+                "{pad}    selection: {} of {} rows ({:.1}%)",
+                f.selected_rows,
+                f.input_rows,
+                if f.input_rows == 0 {
+                    100.0
+                } else {
+                    100.0 * f.selected_rows as f64 / f.input_rows as f64
+                }
+            );
+            let _ = writeln!(
+                out,
+                "{pad}    materialization: {} — {} column{} deferred as tickets, {} computed; boundary: {}",
+                if f.materialized_here { "GFUR (here)" } else { "GFTR (deferred)" },
+                f.deferred_cols,
+                if f.deferred_cols == 1 { "" } else { "s" },
+                f.computed_cols,
+                f.boundary
+            );
+        }
         Provenance::GroupBy(g) => {
             let _ = writeln!(
                 out,
@@ -396,6 +426,35 @@ mod tests {
             text.contains("contended-hash-table"),
             "hot-key aggregation must be diagnosed: {text}"
         );
+    }
+
+    #[test]
+    fn fused_nodes_render_their_provenance() {
+        let dev = Device::a100();
+        let cat = q18_catalog(&dev);
+        // A run below the join (deferred to the join boundary) and a run at
+        // the root (materializes the query output): both strategies show up.
+        let plan = Plan::scan("lineitem")
+            .filter(Expr::col("l_qty").gt(Expr::lit(10)))
+            .join(Plan::scan("orders"), "l_oid", "o_id")
+            .filter(Expr::col("l_qty").lt(Expr::lit(40)))
+            .project(vec![("q2", Expr::col("l_qty").mul(Expr::lit(2)))]);
+        let out = execute(&dev, &cat, &plan).unwrap();
+        let ex = QueryExplain::from_stats(dev.config(), &out.stats);
+        let text = ex.render();
+        assert!(text.contains("Fused(Filter+Project)"), "{text}");
+        assert!(text.contains("Fused(Filter)"), "{text}");
+        assert!(text.contains("fused: 2 steps (Filter+Project)"), "{text}");
+        assert!(text.contains("selection:"), "{text}");
+        assert!(
+            text.contains("materialization: GFUR (here)"),
+            "the root run materializes the output: {text}"
+        );
+        assert!(
+            text.contains("materialization: GFTR (deferred)"),
+            "the below-join run rides tickets to the join: {text}"
+        );
+        assert!(text.contains("boundary:"), "{text}");
     }
 
     #[test]

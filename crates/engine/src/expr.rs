@@ -9,7 +9,7 @@ use crate::{EngineError, Table};
 use columnar::Column;
 use primitives::STREAM_WARP_INSTR;
 use serde::{Deserialize, Serialize};
-use sim::Device;
+use sim::{Device, DeviceBuffer};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -175,11 +175,90 @@ impl Expr {
         Ok(Column::from_i64(dev, vals, "expr.out"))
     }
 
-    /// Evaluate as a predicate into a selection mask.
+    /// Evaluate as a predicate into a host selection mask (oracle/test
+    /// helper). Charges the predicate kernel but not the mask write —
+    /// operators use [`Expr::eval_mask_device`], which accounts for both.
     pub fn eval_mask(&self, dev: &Device, input: &Table) -> Result<Vec<bool>, EngineError> {
         let vals = self.eval_values(input)?;
         self.charge(dev, input);
         Ok(vals.into_iter().map(|v| v != 0).collect())
+    }
+
+    /// Evaluate as a predicate into a device byte mask (1 byte per row),
+    /// charging one fused kernel: every referenced column streamed in once,
+    /// the mask streamed out once. Feed the result to
+    /// [`primitives::compact_mask`] for the selection vector.
+    pub fn eval_mask_device(
+        &self,
+        dev: &Device,
+        input: &Table,
+    ) -> Result<DeviceBuffer<u8>, EngineError> {
+        let vals = self.eval_values(input)?;
+        let n = input.num_rows() as u64;
+        // Dedupe references: a fused AND of several predicates may name the
+        // same base column more than once, but the kernel loads it once.
+        let mut refs = self.columns();
+        refs.sort_unstable();
+        refs.dedup();
+        let mut read = 0u64;
+        for c in refs {
+            if let Ok(col) = input.column(c) {
+                read += col.size_bytes();
+            }
+        }
+        dev.kernel("expr.mask")
+            .items(n, STREAM_WARP_INSTR)
+            .seq_read_bytes(read)
+            .seq_write_bytes(n)
+            .launch();
+        Ok(dev.upload(
+            vals.into_iter().map(|v| (v != 0) as u8).collect(),
+            "expr.mask",
+        ))
+    }
+
+    /// Rewrite every column reference through a substitution environment:
+    /// `Col(name)` becomes `env[name]`. This is how the fusion pass pushes
+    /// predicates and projections below intervening projections — the
+    /// resulting expression reads directly from the base schema. References
+    /// absent from the environment are reported as [`EngineError::
+    /// UnknownColumn`] with the environment's names, exactly the error the
+    /// unfused Project-then-Filter execution would raise at runtime.
+    pub fn substitute(&self, env: &[(String, Expr)]) -> Result<Expr, EngineError> {
+        let lookup = |name: &str| -> Result<Expr, EngineError> {
+            env.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| e.clone())
+                .ok_or_else(|| EngineError::UnknownColumn {
+                    column: name.to_string(),
+                    available: env.iter().map(|(n, _)| n.clone()).collect(),
+                })
+        };
+        Ok(match self {
+            Expr::Col(n) => lookup(n)?,
+            Expr::Lit(v) => Expr::Lit(*v),
+            Expr::Add(a, b) => {
+                Expr::Add(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
+            }
+            Expr::Sub(a, b) => {
+                Expr::Sub(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
+            }
+            Expr::Mul(a, b) => {
+                Expr::Mul(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
+            }
+            Expr::Pack(a, b) => {
+                Expr::Pack(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
+            }
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.substitute(env)?),
+                Box::new(b.substitute(env)?),
+            ),
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
+            }
+            Expr::Or(a, b) => Expr::Or(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?)),
+        })
     }
 
     fn charge(&self, dev: &Device, input: &Table) {
@@ -317,6 +396,43 @@ mod tests {
     fn columns_collects_references() {
         let e = Expr::col("x").add(Expr::col("y").mul(Expr::lit(2)));
         assert_eq!(e.columns(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn mask_device_matches_host_mask_and_charges_write() {
+        let dev = Device::a100();
+        let t = table(&dev);
+        let p = Expr::col("a").ge(Expr::lit(2));
+        let host = p.eval_mask(&dev, &t).unwrap();
+        dev.reset_stats();
+        let mask = p.eval_mask_device(&dev, &t).unwrap();
+        assert_eq!(
+            mask.iter().map(|&b| b != 0).collect::<Vec<_>>(),
+            host,
+            "device mask disagrees with host oracle"
+        );
+        let c = dev.counters();
+        assert_eq!(c.kernel_launches, 1);
+        // The 1-byte-per-row mask write is part of the accounted traffic.
+        assert!(c.dram_bytes() >= t.num_rows() as u64);
+    }
+
+    #[test]
+    fn substitute_pushes_references_through_projections() {
+        let env = vec![
+            ("x".to_string(), Expr::col("a").add(Expr::col("b"))),
+            ("y".to_string(), Expr::lit(3)),
+        ];
+        let e = Expr::col("x").mul(Expr::col("y")).substitute(&env).unwrap();
+        assert_eq!(e.columns(), vec!["a", "b"]);
+        let missing = Expr::col("z").substitute(&env);
+        match missing {
+            Err(EngineError::UnknownColumn { column, available }) => {
+                assert_eq!(column, "z");
+                assert_eq!(available, vec!["x".to_string(), "y".to_string()]);
+            }
+            other => panic!("expected UnknownColumn, got {other:?}"),
+        }
     }
 
     #[test]

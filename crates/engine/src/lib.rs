@@ -13,9 +13,15 @@
 //!   `core::pipeline`) executes through one driver that reports the shared
 //!   [`sim::OpStats`] record per node and applies the Section 4.4 memory
 //!   budget, going out-of-core transparently when a join won't fit;
-//! * [`execute`] — lowers a plan against a [`Catalog`] into that layer,
-//!   picking join and aggregation implementations with the paper's
-//!   decision trees unless the plan pins them.
+//! * [`fuse`] — operator fusion and plan-wide late materialization:
+//!   adjacent Filter/Project chains collapse into one node that evaluates a
+//!   single combined predicate and hands consumers a row-id ticket
+//!   ([`fuse::Deferred`]) instead of materialized payloads — the paper's
+//!   GFTR discipline applied across operators;
+//! * [`execute`] — lowers a plan against a [`Catalog`] into that layer
+//!   (fused; [`execute_unfused`] is the ablation baseline), picking join
+//!   and aggregation implementations with the paper's decision trees
+//!   unless the plan pins them.
 //!
 //! ```
 //! use engine::{execute, Catalog, Expr, Plan, Table};
@@ -41,13 +47,14 @@ mod error;
 mod exec;
 pub mod explain;
 mod expr;
+pub mod fuse;
 pub mod op;
 mod plan;
 pub mod scheduler;
 mod table;
 
 pub use error::EngineError;
-pub use exec::{execute, Catalog, NodeStats, QueryOutput};
+pub use exec::{execute, execute_unfused, Catalog, NodeStats, QueryOutput};
 pub use explain::{ExplainNode, QueryExplain};
 pub use expr::{CmpOp, Expr};
 pub use plan::{AggSpec, Plan};

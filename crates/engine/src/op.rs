@@ -8,6 +8,16 @@
 //! and the hardware-counter delta all land in one shared [`sim::OpStats`]
 //! per node, so a plan report reads like an Nsight profile of the tree.
 //!
+//! Operators exchange [`Value`]s, not just tables: a fused Filter/Project
+//! run ([`crate::fuse::FusedOp`]) emits a late-materialized
+//! [`crate::fuse::Deferred`] — base columns plus a selection
+//! vector of row-id tickets — and every consumer here knows how to spend
+//! the ticket at its own materialization boundary: joins materialize only
+//! the key and let payloads ride a 4-byte ticket column through the match,
+//! aggregations gather only the grouping key and aggregate inputs, sorts
+//! compose their permutation with the selection. This is the paper's GFTR
+//! discipline applied plan-wide rather than per join.
+//!
 //! The layer is also where plan-level memory budgeting lives: before a join
 //! executes, [`JoinOp`] runs the Section 4.4 memory model
 //! ([`joins::chunked::plan_chunks`]) against the device's free memory and
@@ -15,21 +25,24 @@
 //! peak does not fit. Callers — `engine::execute`, `core::pipeline`, the
 //! examples — get out-of-core execution without asking for it.
 //!
-//! [`compile`] lowers a logical [`Plan`] tree into operators; other crates
+//! [`compile`] lowers a logical [`Plan`] tree into operators with fusion on
+//! (adjacent Filter/Project chains collapse); [`compile_unfused`] keeps the
+//! one-node-per-plan-node lowering — the ablation baseline. Other crates
 //! can also assemble operator trees directly ([`ValuesOp`] feeds
 //! already-materialized tables, which is how `core::pipeline` routes the
 //! paper's join→group-by pipeline through this layer).
 
 use crate::exec::{to_relation, Catalog, NodeStats};
+use crate::fuse::{self, DCol, Deferred};
 use crate::{AggSpec, EngineError, Expr, Plan, Table};
-use columnar::Relation;
+use columnar::{Column, DType, Relation};
 use groupby::{AggFn, GroupByAlgorithm, GroupByConfig};
 use heuristics::{
-    estimate_profile_with_stats, explain_choose_group_by, explain_choose_join, sample_group_stats,
-    AggProfile, GroupByProvenance, JoinProvenance, Provenance,
+    explain_choose_group_by, explain_choose_join, profile_from_stats, sample_group_stats,
+    sample_stats, AggProfile, GroupByProvenance, JoinProvenance, Provenance, SideShape,
 };
 use joins::{chunked, Algorithm, JoinConfig};
-use primitives::gather_column;
+use primitives::{gather_column, gather_column_or_null, NULL_ID, STREAM_WARP_INSTR};
 use sim::{Device, OpStats, PhaseTimes};
 use std::collections::HashMap;
 
@@ -46,11 +59,48 @@ pub struct ExecContext<'a> {
 /// A boxed operator — the node type of physical plans.
 pub type BoxOp = Box<dyn PhysicalOperator>;
 
+/// What flows between operators: a materialized table, or a
+/// late-materialized ticket relation from a fused Filter/Project run.
+pub enum Value {
+    /// Materialized columns.
+    Table(Table),
+    /// Base columns plus a selection vector; payloads gather at the
+    /// consumer's materialization boundary.
+    Deferred(Deferred),
+}
+
+impl Value {
+    /// Logical row count.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            Value::Table(t) => t.num_rows(),
+            Value::Deferred(d) => d.num_rows(),
+        }
+    }
+
+    /// Logical table name.
+    pub fn name(&self) -> &str {
+        match self {
+            Value::Table(t) => t.name(),
+            Value::Deferred(d) => d.name(),
+        }
+    }
+
+    /// Materialize: free for tables, one gather per logical column for
+    /// deferred values (the GFUR moment, paid exactly once).
+    pub fn into_table(self, dev: &Device) -> Result<Table, EngineError> {
+        match self {
+            Value::Table(t) => Ok(t),
+            Value::Deferred(d) => d.materialize(dev),
+        }
+    }
+}
+
 /// What one operator's execution produced, before the driver wraps it in
 /// the shared measurement record.
 pub struct Evaluated {
-    /// The output table.
-    pub table: Table,
+    /// The output value (materialized or ticket-deferred).
+    pub out: Value,
     /// The paper's three-phase breakdown, for operators that have one
     /// (joins, aggregations). `None` means all device time is "other".
     pub phases: Option<PhaseTimes>,
@@ -58,15 +108,16 @@ pub struct Evaluated {
     /// picked), rendered as `"{label} via {detail}"`.
     pub detail: Option<String>,
     /// Decision provenance for operators that ran a planner tree (joins,
-    /// aggregations): what the planner saw and why it chose what it chose.
+    /// aggregations) or a fusion rewrite: what the planner saw and why it
+    /// chose what it chose.
     pub provenance: Option<Provenance>,
 }
 
 impl Evaluated {
-    /// An output with no phase breakdown and no label detail.
+    /// A materialized output with no phase breakdown and no label detail.
     pub fn plain(table: Table) -> Self {
         Evaluated {
-            table,
+            out: Value::Table(table),
             phases: None,
             detail: None,
             provenance: None,
@@ -75,7 +126,7 @@ impl Evaluated {
 }
 
 /// The uniform operator contract: children to recurse into, a display
-/// label, and an `evaluate` that consumes the children's output tables.
+/// label, and an `evaluate` that consumes the children's output values.
 ///
 /// Implementations do *not* measure themselves — [`run_operator`] brackets
 /// every `evaluate` call with the device's clock, memory watermark and
@@ -83,25 +134,35 @@ impl Evaluated {
 pub trait PhysicalOperator {
     /// One-line description of the node (operator + parameters).
     fn label(&self) -> String;
-    /// Input operators, in the order their tables arrive at `evaluate`.
+    /// Input operators, in the order their values arrive at `evaluate`.
     fn children(&self) -> &[BoxOp];
-    /// Execute on the device, consuming one input table per child.
-    fn evaluate(&self, ctx: &ExecContext<'_>, inputs: Vec<Table>)
+    /// Execute on the device, consuming one input value per child.
+    fn evaluate(&self, ctx: &ExecContext<'_>, inputs: Vec<Value>)
         -> Result<Evaluated, EngineError>;
 }
 
 /// Execute an operator tree: children first, then the node itself, each
 /// bracketed by the same measurement harness. Returns the root's output
-/// table and the per-node stats tree.
+/// table and the per-node stats tree. (Roots compiled with fusion
+/// materialize themselves; a hand-built tree whose root defers pays its
+/// materialization outside any node bracket.)
 pub fn run_operator(
     ctx: &ExecContext<'_>,
     op: &dyn PhysicalOperator,
 ) -> Result<(Table, NodeStats), EngineError> {
+    let (value, stats) = run_operator_value(ctx, op)?;
+    Ok((value.into_table(ctx.dev)?, stats))
+}
+
+fn run_operator_value(
+    ctx: &ExecContext<'_>,
+    op: &dyn PhysicalOperator,
+) -> Result<(Value, NodeStats), EngineError> {
     let mut inputs = Vec::with_capacity(op.children().len());
     let mut children = Vec::with_capacity(op.children().len());
     for child in op.children() {
-        let (table, stats) = run_operator(ctx, child.as_ref())?;
-        inputs.push(table);
+        let (value, stats) = run_operator_value(ctx, child.as_ref())?;
+        inputs.push(value);
         children.push(stats);
     }
     let before = ctx.dev.counters();
@@ -111,7 +172,7 @@ pub fn run_operator(
     let t1 = ctx.dev.elapsed();
     let elapsed = t1 - t0;
     let phases = ev.phases.unwrap_or_default();
-    let mut op_stats = OpStats::new(phases, ev.table.num_rows(), ctx.dev.mem_report().peak_bytes);
+    let mut op_stats = OpStats::new(phases, ev.out.num_rows(), ctx.dev.mem_report().peak_bytes);
     // Device time outside the operator's phase breakdown: sampling,
     // chunk staging, plan glue. (SimTime subtraction saturates at zero.)
     op_stats.other = elapsed - op_stats.phases.total();
@@ -133,7 +194,7 @@ pub fn run_operator(
         ctx.dev.trace_span(sim::SpanCat::Operator, &label, t0, t1);
     }
     Ok((
-        ev.table,
+        ev.out,
         NodeStats {
             label,
             op: op_stats,
@@ -143,18 +204,52 @@ pub fn run_operator(
     ))
 }
 
-/// Lower a logical [`Plan`] tree to a physical operator tree.
+/// Ticket-lifetime boundary descriptions, set at compile time from what
+/// consumes a fused run (provenance text in EXPLAIN).
+const BOUNDARY_ROOT: &str = "plan root: the query result materializes here";
+const BOUNDARY_JOIN: &str =
+    "Join: key and computed columns materialize, base columns ride the ticket through the match";
+const BOUNDARY_AGG: &str = "Aggregate: only the grouping key and aggregated columns materialize";
+const BOUNDARY_SORT: &str = "Sort: the sort permutation composes with the selection";
+const BOUNDARY_DISTINCT: &str = "Distinct: only the deduplicated column materializes";
+const BOUNDARY_NONE: &str = "not a fused run";
+
+/// Lower a logical [`Plan`] tree to a physical operator tree, fusing every
+/// maximal chain of adjacent `Filter`/`Project` nodes into a single
+/// [`crate::fuse::FusedOp`] that evaluates one combined predicate and
+/// defers payload materialization to the consumer's boundary.
 pub fn compile(plan: &Plan) -> BoxOp {
+    compile_mode(plan, true, true, BOUNDARY_ROOT)
+}
+
+/// Lower without fusion: one operator per plan node, every intermediate
+/// fully materialized — the ablation baseline `bench::ablation_fusion`
+/// compares against, and a debugging aid.
+pub fn compile_unfused(plan: &Plan) -> BoxOp {
+    compile_mode(plan, false, true, BOUNDARY_ROOT)
+}
+
+/// `materialize`/`boundary` describe what consumes the node being compiled
+/// — they only take effect when `plan` starts a fusible run.
+fn compile_mode(plan: &Plan, fuse_runs: bool, materialize: bool, boundary: &'static str) -> BoxOp {
+    if fuse_runs {
+        if let Some((steps, inner)) = fuse::take_run(plan) {
+            // The fused node materializes its own input (the run's base),
+            // so the inner plan compiles as if it were a root.
+            let input = compile_mode(inner, fuse_runs, true, BOUNDARY_ROOT);
+            return Box::new(fuse::FusedOp::new(input, steps, materialize, boundary));
+        }
+    }
     match plan {
         Plan::Scan { table } => Box::new(ScanOp {
             table: table.clone(),
         }),
         Plan::Filter { input, predicate } => Box::new(FilterOp {
-            children: vec![compile(input)],
+            children: vec![compile_mode(input, fuse_runs, true, BOUNDARY_NONE)],
             predicate: predicate.clone(),
         }),
         Plan::Project { input, exprs } => Box::new(ProjectOp {
-            children: vec![compile(input)],
+            children: vec![compile_mode(input, fuse_runs, true, BOUNDARY_NONE)],
             exprs: exprs.clone(),
         }),
         Plan::Join {
@@ -165,8 +260,8 @@ pub fn compile(plan: &Plan) -> BoxOp {
             kind,
             algorithm,
         } => Box::new(JoinOp::new(
-            compile(left),
-            compile(right),
+            compile_mode(left, fuse_runs, false, BOUNDARY_JOIN),
+            compile_mode(right, fuse_runs, false, BOUNDARY_JOIN),
             left_key,
             right_key,
             JoinConfig {
@@ -184,13 +279,13 @@ pub fn compile(plan: &Plan) -> BoxOp {
             desc,
             limit,
         } => Box::new(SortOp {
-            children: vec![compile(input)],
+            children: vec![compile_mode(input, fuse_runs, false, BOUNDARY_SORT)],
             by: by.clone(),
             desc: *desc,
             limit: *limit,
         }),
         Plan::Distinct { input, column } => Box::new(DistinctOp {
-            children: vec![compile(input)],
+            children: vec![compile_mode(input, fuse_runs, false, BOUNDARY_DISTINCT)],
             column: column.clone(),
         }),
         Plan::Aggregate {
@@ -199,7 +294,7 @@ pub fn compile(plan: &Plan) -> BoxOp {
             aggs,
             algorithm,
         } => Box::new(AggregateOp::new(
-            compile(input),
+            compile_mode(input, fuse_runs, false, BOUNDARY_AGG),
             group_by,
             aggs.clone(),
             GroupByConfig::default(),
@@ -225,7 +320,7 @@ impl PhysicalOperator for ScanOp {
     fn evaluate(
         &self,
         ctx: &ExecContext<'_>,
-        _inputs: Vec<Table>,
+        _inputs: Vec<Value>,
     ) -> Result<Evaluated, EngineError> {
         let catalog = ctx
             .catalog
@@ -266,7 +361,7 @@ impl PhysicalOperator for ValuesOp {
     fn evaluate(
         &self,
         _ctx: &ExecContext<'_>,
-        _inputs: Vec<Table>,
+        _inputs: Vec<Value>,
     ) -> Result<Evaluated, EngineError> {
         let cols = self
             .table
@@ -281,8 +376,10 @@ impl PhysicalOperator for ValuesOp {
     }
 }
 
-/// Keep rows where the predicate holds: predicate kernels, then one
-/// compaction gather per column.
+/// Keep rows where the predicate holds: one fused predicate-mask kernel, a
+/// device compaction into a selection vector, then one clustered gather per
+/// column. The output keeps the input's table name — a filter changes rows,
+/// not identity.
 struct FilterOp {
     children: Vec<BoxOp>,
     predicate: Expr,
@@ -300,16 +397,14 @@ impl PhysicalOperator for FilterOp {
     fn evaluate(
         &self,
         ctx: &ExecContext<'_>,
-        mut inputs: Vec<Table>,
+        mut inputs: Vec<Value>,
     ) -> Result<Evaluated, EngineError> {
-        let child = inputs.pop().expect("Filter takes one input");
-        let mask = self.predicate.eval_mask(ctx.dev, &child)?;
-        let sel: Vec<u32> = mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &keep)| keep.then_some(i as u32))
-            .collect();
-        let sel = ctx.dev.upload(sel, "filter.sel");
+        let child = inputs
+            .pop()
+            .expect("Filter takes one input")
+            .into_table(ctx.dev)?;
+        let mask = self.predicate.eval_mask_device(ctx.dev, &child)?;
+        let sel = primitives::compact_mask(ctx.dev, &mask);
         // Compaction: one clustered gather per column (the selection
         // indices ascend).
         let cols = child
@@ -317,11 +412,13 @@ impl PhysicalOperator for FilterOp {
             .iter()
             .map(|(n, c)| (n.clone(), gather_column(ctx.dev, c, &sel)))
             .collect();
-        Ok(Evaluated::plain(Table::from_columns("filtered", cols)))
+        Ok(Evaluated::plain(Table::from_columns(child.name(), cols)))
     }
 }
 
-/// Compute output columns from expressions.
+/// Compute output columns from expressions. Plain column references pass as
+/// zero-cost aliases (a projection is metadata, not a kernel); computed
+/// expressions evaluate. The output keeps the input's table name.
 struct ProjectOp {
     children: Vec<BoxOp>,
     exprs: Vec<(String, Expr)>,
@@ -339,20 +436,212 @@ impl PhysicalOperator for ProjectOp {
     fn evaluate(
         &self,
         ctx: &ExecContext<'_>,
-        mut inputs: Vec<Table>,
+        mut inputs: Vec<Value>,
     ) -> Result<Evaluated, EngineError> {
-        let child = inputs.pop().expect("Project takes one input");
+        let child = inputs
+            .pop()
+            .expect("Project takes one input")
+            .into_table(ctx.dev)?;
         let mut cols = Vec::with_capacity(self.exprs.len());
         for (name, e) in &self.exprs {
-            cols.push((name.clone(), e.eval(ctx.dev, &child)?));
+            let col = match e {
+                Expr::Col(c) => child.column(c)?.alias(),
+                e => e.eval(ctx.dev, &child)?,
+            };
+            cols.push((name.clone(), col));
         }
-        Ok(Evaluated::plain(Table::from_columns("projected", cols)))
+        Ok(Evaluated::plain(Table::from_columns(child.name(), cols)))
     }
+}
+
+/// One join input after binding: the physical relation handed to the join
+/// kernels, the logical output columns in order, and (for deferred inputs)
+/// the base table the ticket indexes into.
+struct PreparedSide {
+    rel: Relation,
+    cols: Vec<SideCol>,
+    shape: SideShape,
+    /// `Some` when base columns ride a ticket through the join.
+    ticket_base: Option<Table>,
+}
+
+/// One logical payload column of a join input.
+enum SideCol {
+    /// Joined by the kernels; position = its index among `Physical`s.
+    Physical(String),
+    /// Gathered from the deferred base after the join, via the ticket.
+    Ticketed {
+        /// Output column name.
+        name: String,
+        /// Base-table column the ticket row ids index into.
+        base: String,
+    },
+}
+
+/// Bind one join input. Tables split into key + payload relation exactly as
+/// before. Deferred inputs materialize the key (and any computed
+/// expressions — the join must see those values), append one 4-byte ticket
+/// column carrying the selection's row ids, and leave base payload columns
+/// behind: they are gathered once, after the match, through the joined
+/// ticket. The [`SideShape`] is always the *logical* schema, so the
+/// decision tree sees identical inputs whether or not fusion fired.
+fn prepare_join_side(dev: &Device, value: Value, key: &str) -> Result<PreparedSide, EngineError> {
+    match value {
+        Value::Table(t) => {
+            let (rel, names) = to_relation(&t, key)?;
+            let shape = SideShape::of(&rel);
+            Ok(PreparedSide {
+                rel,
+                cols: names.into_iter().map(SideCol::Physical).collect(),
+                shape,
+                ticket_base: None,
+            })
+        }
+        Value::Deferred(d) => {
+            let name = d.name().to_string();
+            let key_idx = d.cols.iter().position(|(n, _)| n == key).ok_or_else(|| {
+                EngineError::UnknownColumn {
+                    column: key.to_string(),
+                    available: d.column_names(),
+                }
+            })?;
+            let rows = d.num_rows();
+            let mut cache = HashMap::new();
+            let key_col = d.gather_dcol(dev, &d.cols[key_idx].1, &d.sel, false, &mut cache)?;
+            let mut size_bytes = key_col.size_bytes();
+            let mut has_8byte = key_col.dtype() == DType::I64;
+            let mut cols = Vec::new();
+            let mut payloads = Vec::new();
+            let mut ticketed = 0usize;
+            for (i, (n, c)) in d.cols.iter().enumerate() {
+                if i == key_idx {
+                    continue;
+                }
+                match c {
+                    DCol::Base(b) => {
+                        let dtype = d.base.column(b)?.dtype();
+                        size_bytes += rows as u64 * dtype.size();
+                        has_8byte |= dtype == DType::I64;
+                        cols.push(SideCol::Ticketed {
+                            name: n.clone(),
+                            base: b.clone(),
+                        });
+                        ticketed += 1;
+                    }
+                    DCol::Expr(_) => {
+                        let col = d.gather_dcol(dev, c, &d.sel, false, &mut cache)?;
+                        size_bytes += col.size_bytes();
+                        has_8byte |= col.dtype() == DType::I64;
+                        cols.push(SideCol::Physical(n.clone()));
+                        payloads.push(col);
+                    }
+                }
+            }
+            let ticket_base = if ticketed > 0 {
+                // The ticket: the selection's row ids as an i32 payload —
+                // a reinterpreting alias of the selection vector, not a
+                // copy, so it costs nothing to create.
+                let ids: Vec<i32> = d.sel.iter().map(|&r| r as i32).collect();
+                payloads.push(Column::from_i32(dev, ids, "fuse.ticket"));
+                Some(d.base)
+            } else {
+                None
+            };
+            let shape = SideShape {
+                rows,
+                num_payloads: cols.len(),
+                has_8byte,
+                size_bytes,
+            };
+            Ok(PreparedSide {
+                rel: Relation::new(name, key_col, payloads),
+                cols,
+                shape,
+                ticket_base,
+            })
+        }
+    }
+}
+
+/// Reassemble one side's output columns from what the join kernels
+/// materialized. Physical columns come straight from the join output (in
+/// order); ticketed columns are gathered from the deferred base through the
+/// joined ticket column — one gather per base column, total. Outer joins
+/// surface as negative ticket entries (the join's null sentinel), which
+/// become [`NULL_ID`] so unmatched rows gather the dtype's null sentinel,
+/// exactly as eagerly-materialized payloads would.
+fn reassemble_side(
+    dev: &Device,
+    prep: &PreparedSide,
+    outputs: Vec<Column>,
+) -> Result<Vec<(String, Column)>, EngineError> {
+    if outputs.is_empty() {
+        // Semi/anti joins drop this side's payloads before materialization;
+        // the ticket (if any) was dropped with them — no gathers at all.
+        return Ok(Vec::new());
+    }
+    let mut outputs = outputs;
+    let map = match &prep.ticket_base {
+        None => None,
+        Some(base) => {
+            let ticket = outputs.pop().expect("ticket column is the last payload");
+            let vals = ticket.as_i32();
+            let any_null = vals.iter().any(|&v| v < 0);
+            let ids: Vec<u32> = vals
+                .iter()
+                .map(|&v| if v < 0 { NULL_ID } else { v as u32 })
+                .collect();
+            if any_null {
+                // Sentinel→NULL_ID rewrite is a real streaming pass on
+                // hardware; without nulls the ticket is reinterpreted as
+                // row ids for free.
+                dev.kernel("fuse.ticket_nulls")
+                    .items(ids.len() as u64, STREAM_WARP_INSTR)
+                    .seq_read_bytes(ids.len() as u64 * 4)
+                    .seq_write_bytes(ids.len() as u64 * 4)
+                    .launch();
+            }
+            Some((dev.upload(ids, "fuse.ticket_map"), base, any_null))
+        }
+    };
+    let mut out = Vec::with_capacity(prep.cols.len());
+    let mut physical = outputs.into_iter();
+    let mut cache: HashMap<String, Column> = HashMap::new();
+    for col in &prep.cols {
+        match col {
+            SideCol::Physical(n) => {
+                let c = physical
+                    .next()
+                    .expect("join materialized every physical payload");
+                out.push((n.clone(), c));
+            }
+            SideCol::Ticketed { name, base } => {
+                let (map, src_table, any_null) =
+                    map.as_ref().expect("ticketed column implies a ticket");
+                let c = if let Some(c) = cache.get(base) {
+                    c.alias()
+                } else {
+                    let src = src_table.column(base)?;
+                    let g = if *any_null {
+                        gather_column_or_null(dev, src, map)
+                    } else {
+                        gather_column(dev, src, map)
+                    };
+                    cache.insert(base.clone(), g.alias());
+                    g
+                };
+                out.push((name.clone(), c));
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Equi-join: algorithm by the Figure 18 decision tree unless pinned, and
 /// execution chunked by the Section 4.4 memory model whenever the predicted
-/// peak exceeds the device's free memory.
+/// peak exceeds the device's free memory. Deferred inputs join by ticket:
+/// only the key (plus computed expressions) goes through the kernels, and
+/// base payloads are gathered once afterwards.
 pub struct JoinOp {
     children: Vec<BoxOp>,
     left_key: String,
@@ -400,12 +689,13 @@ impl PhysicalOperator for JoinOp {
     fn evaluate(
         &self,
         ctx: &ExecContext<'_>,
-        mut inputs: Vec<Table>,
+        mut inputs: Vec<Value>,
     ) -> Result<Evaluated, EngineError> {
-        let rt = inputs.pop().expect("Join takes two inputs");
-        let lt = inputs.pop().expect("Join takes two inputs");
-        let (l_rel, l_names) = to_relation(&lt, &self.left_key)?;
-        let (r_rel, r_names) = to_relation(&rt, &self.right_key)?;
+        let rv = inputs.pop().expect("Join takes two inputs");
+        let lv = inputs.pop().expect("Join takes two inputs");
+        let l_prep = prepare_join_side(ctx.dev, lv, &self.left_key)?;
+        let r_prep = prepare_join_side(ctx.dev, rv, &self.right_key)?;
+        let (l_rel, r_rel) = (&l_prep.rel, &r_prep.rel);
         if l_rel.key().dtype() != r_rel.key().dtype() {
             return Err(EngineError::KeyTypeMismatch {
                 left: l_rel.key().dtype().label(),
@@ -431,8 +721,17 @@ impl PhysicalOperator for JoinOp {
             None => {
                 // No optimizer statistics here: sample them (match ratio,
                 // skew) and let the Figure 18 tree decide. The sampling cost
-                // is charged and shows up in this node's "other" time.
-                let (profile, stats) = estimate_profile_with_stats(ctx.dev, &l_rel, &r_rel, 512);
+                // is charged and shows up in this node's "other" time. The
+                // profile is built from the *logical* side shapes, so ticket
+                // inputs pick the same algorithm their materialized twins
+                // would — fusion changes the cost, never the plan.
+                let stats = sample_stats(ctx.dev, l_rel, r_rel, 512);
+                let profile = profile_from_stats(
+                    &stats,
+                    &l_prep.shape,
+                    &r_prep.shape,
+                    ctx.dev.config().l2_bytes,
+                );
                 let e = explain_choose_join(&profile);
                 (
                     e.algorithm,
@@ -448,9 +747,9 @@ impl PhysicalOperator for JoinOp {
         // device's free memory and go out-of-core when the direct join
         // would not fit. `None` (build side alone too big) falls through to
         // the direct path, which reports the OOM.
-        let (joined, detail, chunks) = match chunked::plan_chunks(ctx.dev, &l_rel, &r_rel) {
+        let (joined, detail, chunks) = match chunked::plan_chunks(ctx.dev, l_rel, r_rel) {
             Some(plan) if plan.chunks > 1 => {
-                let (out, plan) = chunked::chunked_join(ctx.dev, alg, &l_rel, &r_rel, &self.config);
+                let (out, plan) = chunked::chunked_join(ctx.dev, alg, l_rel, r_rel, &self.config);
                 (
                     out,
                     format!("{}, chunked x{}", alg.name(), plan.chunks),
@@ -458,7 +757,7 @@ impl PhysicalOperator for JoinOp {
                 )
             }
             _ => (
-                joins::run_join(ctx.dev, alg, &l_rel, &r_rel, &self.config),
+                joins::run_join(ctx.dev, alg, l_rel, r_rel, &self.config),
                 alg.name().to_string(),
                 1,
             ),
@@ -480,7 +779,10 @@ impl PhysicalOperator for JoinOp {
         let phases = joined.stats.phases;
 
         // Reassemble with names: key, build payloads, probe payloads;
-        // colliding names get a `_n` suffix.
+        // ticketed payloads gather from their base now, once; colliding
+        // names get a `_n` suffix.
+        let l_cols = reassemble_side(ctx.dev, &l_prep, joined.r_payloads)?;
+        let r_cols = reassemble_side(ctx.dev, &r_prep, joined.s_payloads)?;
         let mut used: HashMap<String, usize> = HashMap::new();
         let mut unique = |base: &str| -> String {
             let n = used.entry(base.to_string()).or_insert(0);
@@ -493,14 +795,14 @@ impl PhysicalOperator for JoinOp {
         };
         let mut cols = Vec::new();
         cols.push((unique(&self.left_key), joined.keys));
-        for (name, col) in l_names.iter().zip(joined.r_payloads) {
-            cols.push((unique(name), col));
+        for (name, col) in l_cols {
+            cols.push((unique(&name), col));
         }
-        for (name, col) in r_names.iter().zip(joined.s_payloads) {
-            cols.push((unique(name), col));
+        for (name, col) in r_cols {
+            cols.push((unique(&name), col));
         }
         Ok(Evaluated {
-            table: Table::from_columns("joined", cols),
+            out: Value::Table(Table::from_columns("joined", cols)),
             phases: Some(phases),
             detail: Some(detail),
             provenance: Some(provenance),
@@ -533,21 +835,28 @@ impl PhysicalOperator for SortOp {
     fn evaluate(
         &self,
         ctx: &ExecContext<'_>,
-        mut inputs: Vec<Table>,
+        mut inputs: Vec<Value>,
     ) -> Result<Evaluated, EngineError> {
         let child = inputs.pop().expect("Sort takes one input");
         let dev = ctx.dev;
         // SORT-PAIRS on (key, row id), then truncate the id list to the
         // limit *before* gathering the other columns — only the surviving
-        // rows pay materialization.
-        let key = child.column(&self.by)?;
-        let ids = dev.upload(
-            (0..child.num_rows() as u32).collect::<Vec<u32>>(),
-            "sort.ids",
-        );
-        let sorted_ids: Vec<u32> = match key {
-            columnar::Column::I32(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
-            columnar::Column::I64(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
+        // rows pay materialization. A deferred input materializes just the
+        // sort key up front; the permutation then composes with the
+        // selection so every other column is gathered once, at its final
+        // position.
+        let (key, deferred) = match &child {
+            Value::Table(t) => (t.column(&self.by)?.alias(), None),
+            Value::Deferred(d) => {
+                let mut cache = HashMap::new();
+                (d.gather_named(dev, &self.by, &d.sel, &mut cache)?, Some(d))
+            }
+        };
+        let n = key.len();
+        let ids = dev.upload((0..n as u32).collect::<Vec<u32>>(), "sort.ids");
+        let sorted_ids: Vec<u32> = match &key {
+            Column::I32(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
+            Column::I64(k) => primitives::sort_pairs(dev, k, &ids).1.to_vec(),
         };
         let take = self.limit.unwrap_or(sorted_ids.len()).min(sorted_ids.len());
         let map: Vec<u32> = if self.desc {
@@ -556,11 +865,32 @@ impl PhysicalOperator for SortOp {
             sorted_ids[..take].to_vec()
         };
         let map = dev.upload(map, "sort.map");
-        let cols = child
-            .columns()
-            .iter()
-            .map(|(n, c)| (n.clone(), gather_column(dev, c, &map)))
-            .collect();
+        let cols = match deferred {
+            None => {
+                let Value::Table(t) = &child else {
+                    unreachable!("deferred handled below")
+                };
+                t.columns()
+                    .iter()
+                    .map(|(c_n, c)| (c_n.clone(), gather_column(dev, c, &map)))
+                    .collect()
+            }
+            Some(d) => {
+                // Compose permutation ∘ selection on the device (one 4-byte
+                // gather), then gather every logical column through the
+                // composed map — straight from the base, once.
+                let composed = primitives::gather(dev, &d.sel, &map);
+                let mut cache = HashMap::new();
+                let mut cols = Vec::with_capacity(d.cols.len());
+                for (c_n, c) in &d.cols {
+                    cols.push((
+                        c_n.clone(),
+                        d.gather_dcol(dev, c, &composed, false, &mut cache)?,
+                    ));
+                }
+                cols
+            }
+        };
         Ok(Evaluated::plain(Table::from_columns("sorted", cols)))
     }
 }
@@ -583,17 +913,28 @@ impl PhysicalOperator for DistinctOp {
     fn evaluate(
         &self,
         ctx: &ExecContext<'_>,
-        mut inputs: Vec<Table>,
+        mut inputs: Vec<Value>,
     ) -> Result<Evaluated, EngineError> {
         let child = inputs.pop().expect("Distinct takes one input");
-        let key = child.column(&self.column)?.alias();
+        // A deferred input materializes exactly one column — the ticket's
+        // best case: every other column costs nothing.
+        let key = match &child {
+            Value::Table(t) => t.column(&self.column)?.alias(),
+            Value::Deferred(d) => {
+                let mut cache = HashMap::new();
+                d.gather_named(ctx.dev, &self.column, &d.sel, &mut cache)?
+            }
+        };
         let rows = key.len();
         let rel = Relation::new("distinct_input", key, Vec::new());
         let alg = GroupByAlgorithm::SortGftr;
         let grouped = groupby::run_group_by(ctx.dev, alg, &rel, &[], &GroupByConfig::default());
         let phases = grouped.stats.phases;
         Ok(Evaluated {
-            table: Table::from_columns("distinct", vec![(self.column.clone(), grouped.keys)]),
+            out: Value::Table(Table::from_columns(
+                "distinct",
+                vec![(self.column.clone(), grouped.keys)],
+            )),
             phases: Some(phases),
             detail: None,
             provenance: Some(Provenance::GroupBy(GroupByProvenance {
@@ -653,16 +994,33 @@ impl PhysicalOperator for AggregateOp {
     fn evaluate(
         &self,
         ctx: &ExecContext<'_>,
-        mut inputs: Vec<Table>,
+        mut inputs: Vec<Value>,
     ) -> Result<Evaluated, EngineError> {
         let child = inputs.pop().expect("Aggregate takes one input");
-        let key = child.column(&self.group_by)?.alias();
+        // Materialize only what the aggregation touches: the grouping key
+        // and the aggregate inputs. A deferred input's remaining columns
+        // are never gathered (they have no place in the output anyway).
         let mut payloads = Vec::with_capacity(self.aggs.len());
         let mut fns: Vec<AggFn> = Vec::with_capacity(self.aggs.len());
-        for a in &self.aggs {
-            payloads.push(child.column(&a.column)?.alias());
-            fns.push(a.agg);
-        }
+        let key = match &child {
+            Value::Table(t) => {
+                let key = t.column(&self.group_by)?.alias();
+                for a in &self.aggs {
+                    payloads.push(t.column(&a.column)?.alias());
+                    fns.push(a.agg);
+                }
+                key
+            }
+            Value::Deferred(d) => {
+                let mut cache = HashMap::new();
+                let key = d.gather_named(ctx.dev, &self.group_by, &d.sel, &mut cache)?;
+                for a in &self.aggs {
+                    payloads.push(d.gather_named(ctx.dev, &a.column, &d.sel, &mut cache)?);
+                    fns.push(a.agg);
+                }
+                key
+            }
+        };
         let rows = key.len();
         let (alg, profile, sampled, guard, rationale, rejected) = match self.algorithm {
             Some(pinned) => (
@@ -703,7 +1061,7 @@ impl PhysicalOperator for AggregateOp {
             cols.push((spec.output.clone(), col));
         }
         Ok(Evaluated {
-            table: Table::from_columns("aggregated", cols),
+            out: Value::Table(Table::from_columns("aggregated", cols)),
             phases: Some(phases),
             detail: Some(alg.name().to_string()),
             provenance: Some(Provenance::GroupBy(GroupByProvenance {

@@ -6,8 +6,8 @@
 //! sample: one clustered gather of `sample_size` probe keys plus a build-side
 //! membership filter, a few microseconds at any realistic size.
 
-use crate::WorkloadProfile;
-use columnar::{Column, DType, Relation};
+use crate::{profile_from_stats, SideShape, WorkloadProfile};
+use columnar::{Column, Relation};
 use serde::{Deserialize, Serialize};
 use sim::Device;
 use std::collections::HashMap;
@@ -187,17 +187,12 @@ pub fn estimate_profile_with_stats(
     sample_size: usize,
 ) -> (WorkloadProfile, EstimatedStats) {
     let stats = sample_stats(dev, r, s, sample_size);
-    let has_8byte = r.key().dtype() == DType::I64
-        || s.key().dtype() == DType::I64
-        || r.payloads().iter().any(|c| c.dtype() == DType::I64)
-        || s.payloads().iter().any(|c| c.dtype() == DType::I64);
-    let profile = WorkloadProfile {
-        wide: r.num_payloads() > 1 || s.num_payloads() > 1,
-        match_ratio: stats.match_ratio,
-        skewed: stats.skewed(),
-        has_8byte,
-        small_inputs: r.size_bytes().max(s.size_bytes()) < dev.config().l2_bytes / 2,
-    };
+    let profile = profile_from_stats(
+        &stats,
+        &SideShape::of(r),
+        &SideShape::of(s),
+        dev.config().l2_bytes,
+    );
     (profile, stats)
 }
 

@@ -27,7 +27,7 @@ use joins::Algorithm;
 use serde::{Deserialize, Serialize};
 
 /// The workload statistics the decision trees branch on.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadProfile {
     /// More than one payload column on either input ("wide" join).
     pub wide: bool,
@@ -53,6 +53,56 @@ impl WorkloadProfile {
             has_8byte: false,
             small_inputs: false,
         }
+    }
+}
+
+/// The schema facts one join input contributes to a [`WorkloadProfile`] —
+/// kept separable from the physical [`Relation`] so a late-materializing
+/// executor can describe the *logical* input (the columns the query will
+/// eventually materialize) rather than the ticket-carrying physical one it
+/// actually feeds the join. Fused and unfused plans then branch on the same
+/// profile and pick the same algorithm.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SideShape {
+    /// Rows in this input.
+    pub rows: usize,
+    /// Payload (non-key) columns the query materializes from this side.
+    pub num_payloads: usize,
+    /// Any 8-byte key or payload column on this side.
+    pub has_8byte: bool,
+    /// Total bytes of the materialized key + payload columns.
+    pub size_bytes: u64,
+}
+
+impl SideShape {
+    /// The shape of a concrete relation (the eager-materialization case).
+    pub fn of(rel: &Relation) -> SideShape {
+        SideShape {
+            rows: rel.len(),
+            num_payloads: rel.num_payloads(),
+            has_8byte: rel.key().dtype() == DType::I64
+                || rel.payloads().iter().any(|c| c.dtype() == DType::I64),
+            size_bytes: rel.size_bytes(),
+        }
+    }
+}
+
+/// Compose sampled statistics with the two sides' schema facts into the
+/// profile the join tree branches on. [`estimate::estimate_profile_with_stats`]
+/// is this function applied to [`SideShape::of`] the physical relations;
+/// late-materializing callers pass logical shapes instead.
+pub fn profile_from_stats(
+    stats: &EstimatedStats,
+    r: &SideShape,
+    s: &SideShape,
+    l2_bytes: u64,
+) -> WorkloadProfile {
+    WorkloadProfile {
+        wide: r.num_payloads > 1 || s.num_payloads > 1,
+        match_ratio: stats.match_ratio,
+        skewed: stats.skewed(),
+        has_8byte: r.has_8byte || s.has_8byte,
+        small_inputs: r.size_bytes.max(s.size_bytes) < l2_bytes / 2,
     }
 }
 
@@ -397,6 +447,34 @@ pub struct GroupByProvenance {
     pub rejected: Vec<RejectedBranch>,
 }
 
+/// What the plan-rewrite fusion pass did at one fused node: which adjacent
+/// Filter/Project plan nodes it collapsed, how selective the single fused
+/// predicate turned out to be, and whether the node's output left as
+/// materialized columns or as deferred row-id tickets — plus why.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusionProvenance {
+    /// Labels of the collapsed plan nodes, outermost last
+    /// (e.g. `["Filter", "Project", "Filter"]`).
+    pub steps: Vec<String>,
+    /// Filter predicates merged into the single fused evaluation.
+    pub predicates: usize,
+    /// Input rows the fused predicate scanned.
+    pub input_rows: usize,
+    /// Rows surviving the selection (equal to `input_rows` with no filters).
+    pub selected_rows: usize,
+    /// Output columns deferred as tickets (base columns gathered later, at
+    /// the materialization boundary).
+    pub deferred_cols: usize,
+    /// Output columns that are computed expressions (evaluated over the
+    /// selection, not deferrable past a join).
+    pub computed_cols: usize,
+    /// True when this node materialized its output columns itself.
+    pub materialized_here: bool,
+    /// Why the output was deferred or materialized here (the ticket's
+    /// lifetime boundary: plan root, or the consumer that takes tickets).
+    pub boundary: String,
+}
+
 /// Decision provenance attached to an executed operator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Provenance {
@@ -404,6 +482,8 @@ pub enum Provenance {
     Join(JoinProvenance),
     /// A grouped-aggregation planner decision.
     GroupBy(GroupByProvenance),
+    /// An operator-fusion rewrite decision.
+    Fusion(FusionProvenance),
 }
 
 impl Provenance {
@@ -412,6 +492,7 @@ impl Provenance {
         match self {
             Provenance::Join(j) => &j.choice,
             Provenance::GroupBy(g) => &g.choice,
+            Provenance::Fusion(_) => "fused pipeline",
         }
     }
 
@@ -420,6 +501,15 @@ impl Provenance {
         match self {
             Provenance::Join(j) => &j.materialization,
             Provenance::GroupBy(g) => &g.materialization,
+            // Deferred tickets are the plan-wide form of the paper's GFTR
+            // late materialization; materializing in place is the GFUR form.
+            Provenance::Fusion(f) => {
+                if f.materialized_here {
+                    "GFUR"
+                } else {
+                    "GFTR"
+                }
+            }
         }
     }
 }
@@ -560,6 +650,88 @@ mod tests {
             choose_group_by(&narrow).algorithm,
             GroupByAlgorithm::PartitionedGfur
         );
+    }
+
+    #[test]
+    fn logical_shapes_override_physical_ticket_relations() {
+        use columnar::Column;
+        let dev = sim::Device::a100();
+        // The physical relation a late-materializing executor feeds a join:
+        // key + one narrow i32 ticket column.
+        let tickets = Relation::new(
+            "tickets",
+            Column::from_i32(&dev, (0..4096).collect(), "k"),
+            vec![Column::from_i32(&dev, (0..4096).collect(), "ticket")],
+        );
+        let probe = Relation::new(
+            "probe",
+            Column::from_i32(&dev, (0..4096).collect(), "k"),
+            vec![Column::from_i32(&dev, (0..4096).collect(), "p")],
+        );
+        // The logical input it stands for: two payloads, one 8-byte.
+        let logical = SideShape {
+            rows: 4096,
+            num_payloads: 2,
+            has_8byte: true,
+            size_bytes: 4096 * (4 + 4 + 8),
+        };
+        let stats = EstimatedStats {
+            match_ratio: 1.0,
+            top_key_share: 0.0,
+            sample_size: 512,
+        };
+        let physical = profile_from_stats(
+            &stats,
+            &SideShape::of(&tickets),
+            &SideShape::of(&probe),
+            40 << 20,
+        );
+        let shaped = profile_from_stats(&stats, &logical, &SideShape::of(&probe), 40 << 20);
+        assert!(!physical.wide && !physical.has_8byte);
+        assert!(shaped.wide && shaped.has_8byte);
+        // The eagerly materialized twin of the same input: identical tree
+        // inputs, so the ticket relation picks the identical algorithm.
+        let eager = Relation::new(
+            "eager",
+            Column::from_i32(&dev, (0..4096).collect(), "k"),
+            vec![
+                Column::from_i32(&dev, (0..4096).collect(), "p1"),
+                Column::from_i64(&dev, (0..4096i64).collect(), "p2"),
+            ],
+        );
+        let eager_profile = profile_from_stats(
+            &stats,
+            &SideShape::of(&eager),
+            &SideShape::of(&probe),
+            40 << 20,
+        );
+        assert_eq!(shaped, eager_profile, "logical shape == eager twin's shape");
+        assert_eq!(
+            choose_join(&shaped).algorithm,
+            choose_join(&eager_profile).algorithm
+        );
+    }
+
+    #[test]
+    fn fusion_provenance_reports_strategy() {
+        let f = FusionProvenance {
+            steps: vec!["Filter".into(), "Project".into()],
+            predicates: 1,
+            input_rows: 100,
+            selected_rows: 10,
+            deferred_cols: 3,
+            computed_cols: 1,
+            materialized_here: false,
+            boundary: "Join gathers through tickets".into(),
+        };
+        let p = Provenance::Fusion(f);
+        assert_eq!(p.choice(), "fused pipeline");
+        assert_eq!(p.materialization(), "GFTR");
+        let Provenance::Fusion(mut f) = p else {
+            unreachable!()
+        };
+        f.materialized_here = true;
+        assert_eq!(Provenance::Fusion(f).materialization(), "GFUR");
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   baseline's core).
 //! * [`exclusive_scan`], [`run_boundaries`] — support primitives for
 //!   partition offsets and sort-based grouped aggregation.
+//! * [`compact_mask`] — prefix-sum stream compaction of a predicate byte
+//!   mask into a selection vector (CUB `DeviceSelect::Flagged`); the
+//!   device-side half of the engine's fused Filter evaluation.
 
 mod costs;
 mod gather;
@@ -36,5 +39,5 @@ pub use hash::{join_copartitions, CoPartitionCost};
 pub use hash::{GlobalHashTable, MatchResult};
 pub use merge::{merge_join, merge_path_partitions};
 pub use partition::{partition_of, radix_partition, radix_partition_pass, PartitionedPairs};
-pub use scan::{exclusive_scan, run_boundaries};
+pub use scan::{compact_mask, exclusive_scan, run_boundaries};
 pub use sort::{sort_pairs, sort_pairs_bits};

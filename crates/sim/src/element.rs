@@ -4,8 +4,9 @@
 /// A value type storable in a [`crate::DeviceBuffer`].
 ///
 /// The paper's workloads use 4-byte and 8-byte integers (Section 5.2.5);
-/// strings are dictionary-encoded into integers before joining (Section 5.3),
-/// so these are the only widths the device ever sees.
+/// strings are dictionary-encoded into integers before joining (Section 5.3).
+/// Single-byte values exist only as predicate masks (one byte per row,
+/// written by expression kernels and consumed by stream compaction).
 pub trait Element: Copy + Clone + Default + Send + Sync + std::fmt::Debug + 'static {
     /// Size of one element in bytes, as charged to the memory model.
     const SIZE: u64;
@@ -17,6 +18,16 @@ pub trait Element: Copy + Clone + Default + Send + Sync + std::fmt::Debug + 'sta
 
     /// Inverse of [`Element::to_radix`].
     fn from_radix(bits: u64) -> Self;
+}
+
+impl Element for u8 {
+    const SIZE: u64 = 1;
+    fn to_radix(self) -> u64 {
+        self as u64
+    }
+    fn from_radix(bits: u64) -> Self {
+        bits as u8
+    }
 }
 
 impl Element for u32 {
@@ -96,9 +107,17 @@ mod tests {
 
     #[test]
     fn sizes() {
+        assert_eq!(<u8 as Element>::SIZE, 1);
         assert_eq!(<i32 as Element>::SIZE, 4);
         assert_eq!(<u32 as Element>::SIZE, 4);
         assert_eq!(<i64 as Element>::SIZE, 8);
         assert_eq!(<u64 as Element>::SIZE, 8);
+    }
+
+    #[test]
+    fn u8_radix_roundtrip() {
+        for v in [0u8, 1, 127, 255] {
+            assert_eq!(u8::from_radix(v.to_radix()), v);
+        }
     }
 }

@@ -50,6 +50,31 @@ for json in "$smoke_dir"/results/*.json; do
 done
 echo "    $(ls "$smoke_dir/results" | wc -l) result files, all with rows"
 
+# Operator fusion must pay for itself in the smoke run: at every swept
+# selectivity the fused plan launches strictly fewer kernels than the
+# unfused ablation baseline (the DRAM-saving floor is asserted inside the
+# experiment itself).
+fusion_json="$smoke_dir/results/ablation_fusion.json"
+test -s "$fusion_json" || {
+    echo "bench smoke-run produced no ablation_fusion.json"
+    exit 1
+}
+if command -v jq >/dev/null 2>&1; then
+    fusion_bad=$(jq '[.rows[] | select(.fused_launches >= .unfused_launches)] | length' \
+        "$fusion_json")
+else
+    fusion_bad=$(python3 -c "
+import json, sys
+rows = json.load(open(sys.argv[1]))['rows']
+print(sum(1 for r in rows if r['fused_launches'] >= r['unfused_launches']))" \
+        "$fusion_json")
+fi
+[ "$fusion_bad" -eq 0 ] || {
+    echo "ablation_fusion: $fusion_bad row(s) where fusion does not launch fewer kernels"
+    exit 1
+}
+echo "    ablation_fusion: fused plans launch fewer kernels at every selectivity"
+
 # The --trace export must be valid, non-empty Chrome trace JSON (and the
 # JSONL sibling non-empty too).
 test -s "$smoke_dir/trace.json" || {

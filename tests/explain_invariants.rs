@@ -116,6 +116,26 @@ fn check_replay(stats: &NodeStats, seen: &mut usize, rejected_seen: &mut usize) 
                 assert!(g.pinned);
                 assert!(g.rejected.is_empty());
             }
+            Provenance::Fusion(f) => {
+                assert!(
+                    f.selected_rows <= f.input_rows,
+                    "a selection cannot grow its input"
+                );
+                if f.predicates == 0 {
+                    assert_eq!(
+                        f.selected_rows, f.input_rows,
+                        "with no filter there is nothing to select away"
+                    );
+                    assert!(
+                        f.materialized_here,
+                        "projection-only runs have no ticket to defer"
+                    );
+                }
+                assert!(
+                    !f.steps.is_empty(),
+                    "a fused node collapses at least one step"
+                );
+            }
         }
     }
     for child in &stats.children {
