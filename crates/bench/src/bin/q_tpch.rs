@@ -1,0 +1,6 @@
+//! TPC-H Q3/Q18 through the SQL frontend (`--sql` for ad-hoc queries).
+
+fn main() {
+    let args = bench::Args::parse();
+    let _ = bench::exp::q_tpch::run(&args);
+}

@@ -55,6 +55,10 @@ fn pin_joins(plan: Plan, alg: Algorithm) -> Plan {
             desc,
             limit,
         },
+        Plan::Limit { input, count } => Plan::Limit {
+            input: Box::new(pin_joins(*input, alg)),
+            count,
+        },
         Plan::Distinct { input, column } => Plan::Distinct {
             input: Box::new(pin_joins(*input, alg)),
             column,

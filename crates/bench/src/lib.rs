@@ -55,6 +55,9 @@ pub struct Args {
     /// Attributed query reports accumulated by [`Args::record_explain`],
     /// shared across clones like the trace devices.
     explain_queries: Arc<Mutex<Vec<serde_json::Value>>>,
+    /// Optional SQL text (`--sql`): the `q_tpch` binary runs this query
+    /// instead of its built-in Q3/Q18 pair.
+    pub sql: Option<String>,
 }
 
 impl Default for Args {
@@ -68,6 +71,7 @@ impl Default for Args {
             explain: None,
             trace_devices: Arc::new(Mutex::new(Vec::new())),
             explain_queries: Arc::new(Mutex::new(Vec::new())),
+            sql: None,
         }
     }
 }
@@ -108,6 +112,9 @@ impl Args {
                     out.explain = Some(PathBuf::from(
                         it.next().unwrap_or_else(|| usage("--explain needs a path")),
                     ));
+                }
+                "--sql" => {
+                    out.sql = Some(it.next().unwrap_or_else(|| usage("--sql needs a query")));
                 }
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -234,7 +241,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: <bin> [--scale LOG2] [--device a100|rtx3090] [--json PATH] [--reps N] \
-         [--trace PATH] [--explain PATH]"
+         [--trace PATH] [--explain PATH] [--sql QUERY]"
     );
     std::process::exit(2)
 }

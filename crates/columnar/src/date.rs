@@ -1,0 +1,97 @@
+//! Calendar dates as integer day counts.
+//!
+//! Date columns store days since 1970-01-01 (the epoch), so they are
+//! ordinary integer columns on the device: range filters like
+//! `o_orderdate < DATE '1995-03-15'` compile to one integer comparison,
+//! exactly how columnar engines treat SQL dates. The civil-from-days and
+//! days-from-civil conversions are the standard proleptic-Gregorian
+//! era/day-of-era arithmetic (branch-free except for the leap rules).
+
+/// Days since 1970-01-01 for a proleptic-Gregorian calendar date.
+/// `month` is 1-12, `day` 1-31; out-of-range days follow the arithmetic
+/// (no validation — use [`parse_date`] for checked input).
+pub fn days_from_civil(year: i64, month: u32, day: u32) -> i64 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = month as i64;
+    let d = day as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// The `(year, month, day)` a day count stands for — the inverse of
+/// [`days_from_civil`].
+pub fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse a `YYYY-MM-DD` literal into days since the epoch. Returns `None`
+/// for anything that is not a valid calendar date in that exact format.
+pub fn parse_date(s: &str) -> Option<i64> {
+    let mut parts = s.split('-');
+    let year: i64 = parts.next()?.parse().ok()?;
+    let month: u32 = parts.next()?.parse().ok()?;
+    let day: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&month) || day == 0 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    // Round-trip check rejects overflowed days-of-month (e.g. Feb 30).
+    (civil_from_days(days) == (year, month, day)).then_some(days)
+}
+
+/// Render a day count as `YYYY-MM-DD`.
+pub fn format_date(days: i64) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_anchors() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+        // TPC-H date domain endpoints.
+        assert_eq!(days_from_civil(1992, 1, 1), 8035);
+        assert_eq!(days_from_civil(1998, 12, 31), 10591);
+        assert_eq!(days_from_civil(2000, 3, 1), 11017);
+    }
+
+    #[test]
+    fn roundtrip_across_leap_years() {
+        for days in (-200_000..200_000).step_by(97) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "{y}-{m}-{d}");
+        }
+        assert_eq!(civil_from_days(days_from_civil(2000, 2, 29)), (2000, 2, 29));
+        assert_eq!(civil_from_days(days_from_civil(1900, 3, 1)), (1900, 3, 1));
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(parse_date("1995-03-15"), Some(days_from_civil(1995, 3, 15)));
+        assert_eq!(format_date(parse_date("1995-03-15").unwrap()), "1995-03-15");
+        assert_eq!(parse_date("1995-3-15"), Some(days_from_civil(1995, 3, 15)));
+        assert_eq!(parse_date("1995-02-30"), None);
+        assert_eq!(parse_date("1995-13-01"), None);
+        assert_eq!(parse_date("1995-00-01"), None);
+        assert_eq!(parse_date("not-a-date"), None);
+        assert_eq!(parse_date("1995-03"), None);
+        assert_eq!(parse_date("1995-03-15-2"), None);
+    }
+}

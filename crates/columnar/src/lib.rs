@@ -19,6 +19,8 @@
 //! assert!(r.is_wide() == false); // one payload column => narrow
 //! ```
 
+pub mod date;
+
 mod column;
 mod dict;
 mod dtype;

@@ -75,4 +75,5 @@ pub use heuristics;
 pub use joins;
 pub use primitives;
 pub use sim;
+pub use sql;
 pub use workloads;

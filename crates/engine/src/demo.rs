@@ -99,6 +99,223 @@ pub fn tpch_mini(dev: &Device, orders: usize, seed: u64) -> Catalog {
     catalog
 }
 
+/// The five market segments of `c_mktsegment`'s dictionary.
+pub const MKT_SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+
+/// Generate the *full* TPC-H-named star for the SQL frontend:
+///
+/// ```text
+/// customer(c_custkey PK, c_name, c_mktsegment dict, c_nationkey, c_acctbal)
+/// orders(o_orderkey PK, o_custkey FK, o_orderdate, o_totalprice, o_shippriority)
+/// lineitem(l_orderkey FK, l_quantity, l_extendedprice, l_discount, l_shipdate)
+/// ```
+///
+/// `orders` has `lineitems / 4` rows and `customer` a tenth of that. Dates
+/// are epoch days ([`columnar::date`]) spanning 1992-01-01..1998-08-02 like
+/// the benchmark's; `c_mktsegment` is dictionary-encoded over
+/// [`MKT_SEGMENTS`], and the primary keys are declared so the planner's
+/// functional-dependency analysis has something to work with.
+pub fn tpch_full(dev: &Device, lineitems: usize, seed: u64) -> Catalog {
+    use columnar::date::parse_date;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let orders = (lineitems / 4).max(1);
+    let customers = (orders / 10).max(1);
+    let date_lo = parse_date("1992-01-01").expect("anchor date");
+    let date_hi = parse_date("1998-08-02").expect("anchor date");
+
+    let mut catalog = Catalog::new();
+    catalog.insert(Table::new(
+        "customer",
+        vec![
+            (
+                "c_custkey",
+                Column::from_i32(dev, (0..customers as i32).collect(), "c_custkey"),
+            ),
+            (
+                "c_name",
+                Column::from_i64(
+                    dev,
+                    (0..customers as i64).map(|k| 1_000_000 + k).collect(),
+                    "c_name",
+                ),
+            ),
+            (
+                "c_mktsegment",
+                Column::from_i32(
+                    dev,
+                    (0..customers)
+                        .map(|_| rng.gen_range(0..MKT_SEGMENTS.len() as i32))
+                        .collect(),
+                    "c_mktsegment",
+                ),
+            ),
+            (
+                "c_nationkey",
+                Column::from_i32(
+                    dev,
+                    (0..customers).map(|_| rng.gen_range(0..25)).collect(),
+                    "c_nationkey",
+                ),
+            ),
+            (
+                "c_acctbal",
+                Column::from_i64(
+                    dev,
+                    (0..customers)
+                        .map(|_| rng.gen_range(-999..10_000))
+                        .collect(),
+                    "c_acctbal",
+                ),
+            ),
+        ],
+    ));
+    catalog.insert(Table::new(
+        "orders",
+        vec![
+            (
+                "o_orderkey",
+                Column::from_i32(dev, (0..orders as i32).collect(), "o_orderkey"),
+            ),
+            (
+                "o_custkey",
+                Column::from_i32(
+                    dev,
+                    (0..orders)
+                        .map(|_| rng.gen_range(0..customers as i32))
+                        .collect(),
+                    "o_custkey",
+                ),
+            ),
+            (
+                "o_orderdate",
+                Column::from_i64(
+                    dev,
+                    (0..orders)
+                        .map(|_| rng.gen_range(date_lo..=date_hi))
+                        .collect(),
+                    "o_orderdate",
+                ),
+            ),
+            (
+                "o_totalprice",
+                Column::from_i64(
+                    dev,
+                    (0..orders).map(|_| rng.gen_range(1_000..500_000)).collect(),
+                    "o_totalprice",
+                ),
+            ),
+            (
+                "o_shippriority",
+                Column::from_i32(
+                    dev,
+                    (0..orders).map(|_| rng.gen_range(0..3)).collect(),
+                    "o_shippriority",
+                ),
+            ),
+        ],
+    ));
+    catalog.insert(Table::new(
+        "lineitem",
+        vec![
+            (
+                "l_orderkey",
+                Column::from_i32(
+                    dev,
+                    (0..lineitems)
+                        .map(|_| rng.gen_range(0..orders as i32))
+                        .collect(),
+                    "l_orderkey",
+                ),
+            ),
+            (
+                "l_quantity",
+                Column::from_i64(
+                    dev,
+                    (0..lineitems).map(|_| rng.gen_range(1..51)).collect(),
+                    "l_quantity",
+                ),
+            ),
+            (
+                "l_extendedprice",
+                Column::from_i64(
+                    dev,
+                    (0..lineitems)
+                        .map(|_| rng.gen_range(1_000..100_000))
+                        .collect(),
+                    "l_extendedprice",
+                ),
+            ),
+            (
+                "l_discount",
+                Column::from_i64(
+                    dev,
+                    (0..lineitems).map(|_| rng.gen_range(0..11)).collect(),
+                    "l_discount",
+                ),
+            ),
+            (
+                "l_shipdate",
+                Column::from_i64(
+                    dev,
+                    (0..lineitems)
+                        .map(|_| rng.gen_range(date_lo..=date_hi))
+                        .collect(),
+                    "l_shipdate",
+                ),
+            ),
+        ],
+    ));
+    catalog
+        .set_primary_key("customer", "c_custkey")
+        .expect("customer PK");
+    catalog
+        .set_primary_key("orders", "o_orderkey")
+        .expect("orders PK");
+    catalog
+        .set_dictionary(
+            "customer",
+            "c_mktsegment",
+            MKT_SEGMENTS.iter().map(|s| s.to_string()).collect(),
+        )
+        .expect("segment dictionary");
+    catalog
+}
+
+/// TPC-H Q3 (shipping priority), as SQL for the frontend. Revenue uses the
+/// integer domain: `l_extendedprice * (100 - l_discount)` is the paper's
+/// `price * (1 - discount)` scaled by 100.
+pub fn q3_sql() -> &'static str {
+    "SELECT o_orderkey, SUM(l_extendedprice * (100 - l_discount)) AS revenue, \
+            o_orderdate, o_shippriority \
+     FROM customer, orders, lineitem \
+     WHERE c_mktsegment = 'BUILDING' \
+       AND c_custkey = o_custkey \
+       AND l_orderkey = o_orderkey \
+       AND o_orderdate < DATE '1995-03-15' \
+       AND l_shipdate > DATE '1995-03-15' \
+     GROUP BY o_orderkey, o_orderdate, o_shippriority \
+     ORDER BY revenue DESC, o_orderdate \
+     LIMIT 10"
+}
+
+/// TPC-H Q18 (large-volume customers), as SQL for the frontend.
+pub fn q18_sql() -> &'static str {
+    "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, \
+            SUM(l_quantity) AS total_qty \
+     FROM customer, orders, lineitem \
+     WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey \
+     GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+     HAVING SUM(l_quantity) > 150 \
+     ORDER BY o_totalprice DESC, o_orderdate \
+     LIMIT 100"
+}
+
 /// Q1-shaped: filtered scan + grouped aggregation over lineitem.
 ///
 /// ```sql

@@ -2,6 +2,40 @@
 //! they come from user-authored plans, unlike the operator-level invariant
 //! violations below this layer.
 
+/// Where in a SQL source string a problem was found: 1-based line and
+/// column plus the offending fragment, so error messages can point at the
+/// exact token. Carried by every `Sql*` variant of [`EngineError`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SqlSpan {
+    /// 1-based line of the first offending character.
+    pub line: u32,
+    /// 1-based column of the first offending character.
+    pub column: u32,
+    /// The source fragment (token or clause) the error is about.
+    pub fragment: String,
+}
+
+impl SqlSpan {
+    /// Construct a span.
+    pub fn new(line: u32, column: u32, fragment: impl Into<String>) -> Self {
+        SqlSpan {
+            line,
+            column,
+            fragment: fragment.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SqlSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "at {}:{} near '{}'",
+            self.line, self.column, self.fragment
+        )
+    }
+}
+
 /// Errors surfaced while binding or executing a plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
@@ -46,6 +80,59 @@ pub enum EngineError {
         /// Free device bytes when the session started.
         available_bytes: u64,
     },
+    /// SQL text did not lex or parse.
+    SqlParse {
+        /// What the parser expected or found.
+        message: String,
+        /// Source location.
+        span: SqlSpan,
+    },
+    /// A SQL query references a table the catalog does not hold.
+    SqlUnknownTable {
+        /// Referenced name.
+        table: String,
+        /// Source location.
+        span: SqlSpan,
+    },
+    /// A SQL query references a column no in-scope table provides.
+    SqlUnknownColumn {
+        /// Referenced name (qualified form if the query qualified it).
+        column: String,
+        /// Names actually in scope at that clause.
+        available: Vec<String>,
+        /// Source location.
+        span: SqlSpan,
+    },
+    /// An unqualified column name matches columns of several in-scope
+    /// tables.
+    SqlAmbiguousColumn {
+        /// Referenced name.
+        column: String,
+        /// The qualified candidates it could mean.
+        candidates: Vec<String>,
+        /// Source location.
+        span: SqlSpan,
+    },
+    /// An expression has the wrong type for its clause (e.g. an arithmetic
+    /// WHERE, or a comparison used as a value).
+    SqlTypeMismatch {
+        /// The type the clause needs.
+        expected: &'static str,
+        /// What the expression actually is.
+        found: String,
+        /// The clause being checked (WHERE, HAVING, ...).
+        context: &'static str,
+        /// Source location.
+        span: SqlSpan,
+    },
+    /// A query is valid SQL but outside the supported subset (cross joins,
+    /// unpackable composite keys without a functional dependency, ...).
+    SqlUnsupported {
+        /// What is unsupported and why.
+        message: String,
+        /// Source location.
+        span: SqlSpan,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -78,6 +165,40 @@ impl std::fmt::Display for EngineError {
                 "requested budget of {requested_bytes} bytes exceeds the \
                  device's {available_bytes} free bytes"
             ),
+            EngineError::SqlParse { message, span } => {
+                write!(f, "SQL parse error {span}: {message}")
+            }
+            EngineError::SqlUnknownTable { table, span } => {
+                write!(f, "unknown table '{table}' {span}")
+            }
+            EngineError::SqlUnknownColumn {
+                column,
+                available,
+                span,
+            } => write!(
+                f,
+                "unknown column '{column}' {span} (in scope: {available:?})"
+            ),
+            EngineError::SqlAmbiguousColumn {
+                column,
+                candidates,
+                span,
+            } => write!(
+                f,
+                "ambiguous column '{column}' {span}: could be any of {candidates:?}"
+            ),
+            EngineError::SqlTypeMismatch {
+                expected,
+                found,
+                context,
+                span,
+            } => write!(
+                f,
+                "{context} needs a {expected} expression, got {found} {span}"
+            ),
+            EngineError::SqlUnsupported { message, span } => {
+                write!(f, "unsupported SQL {span}: {message}")
+            }
         }
     }
 }
@@ -105,5 +226,25 @@ mod tests {
         }
         .to_string()
         .contains("differ"));
+    }
+
+    #[test]
+    fn sql_errors_point_at_the_source() {
+        let span = SqlSpan::new(2, 7, "o_custkey");
+        let e = EngineError::SqlAmbiguousColumn {
+            column: "o_custkey".into(),
+            candidates: vec!["orders.o_custkey".into(), "o2.o_custkey".into()],
+            span,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("at 2:7"), "{msg}");
+        assert!(msg.contains("orders.o_custkey"), "{msg}");
+        let e = EngineError::SqlTypeMismatch {
+            expected: "boolean",
+            found: "arithmetic".into(),
+            context: "WHERE",
+            span: SqlSpan::new(1, 30, "l_quantity + 1"),
+        };
+        assert!(e.to_string().contains("WHERE needs a boolean"), "{e}");
     }
 }

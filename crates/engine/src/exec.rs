@@ -11,14 +11,63 @@
 
 use crate::op::{compile, compile_unfused, run_operator, ExecContext};
 use crate::{EngineError, Plan, Table};
-use columnar::Relation;
+use columnar::{DType, Relation};
 use sim::{Device, OpStats, SimTime};
 use std::collections::HashMap;
 
-/// The tables a query can scan.
+/// Load-time statistics for one catalog column: the physical type plus the
+/// observed value range. The SQL binder types expressions against `dtype`;
+/// the lowering's composite-key packer sizes its bit fields from
+/// `[min, max]`. `min > max` means the column is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnMeta {
+    /// Physical column type.
+    pub dtype: DType,
+    /// Smallest value present at load time.
+    pub min: i64,
+    /// Largest value present at load time.
+    pub max: i64,
+}
+
+/// What the catalog knows about a table beyond its columns: row count,
+/// per-column statistics in declaration order, an optional declared primary
+/// key (the source of the functional dependencies the lowering exploits
+/// when a composite grouping key will not pack), and dictionaries for
+/// string-encoded columns (the SQL binder folds string literals to codes
+/// through these).
+#[derive(Debug, Clone, Default)]
+pub struct TableSchema {
+    /// Row count at load time.
+    pub rows: usize,
+    /// `(name, statistics)` per column, in declaration order.
+    pub columns: Vec<(String, ColumnMeta)>,
+    /// Declared primary key column, if any.
+    pub primary_key: Option<String>,
+    /// Dictionary per string-encoded column: `codes[i]` is the string the
+    /// stored code `i` stands for.
+    pub dictionaries: HashMap<String, Vec<String>>,
+}
+
+impl TableSchema {
+    /// Statistics of one column, if the table has it.
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        self.columns
+            .iter()
+            .find_map(|(n, m)| (n == name).then_some(m))
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|(n, _)| n.clone()).collect()
+    }
+}
+
+/// The tables a query can scan, with per-table schemas (row counts, column
+/// statistics, keys and dictionaries) for the SQL binder and lowering.
 #[derive(Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
+    schemas: HashMap<String, TableSchema>,
 }
 
 impl Catalog {
@@ -27,11 +76,81 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register a table under its own name. Returns the previously
-    /// registered table of that name, if any — check it when silent
-    /// replacement would be a bug.
+    /// Register a table under its own name, computing its schema (row count
+    /// plus per-column min/max — a host-side pass at load time, the moment
+    /// real loaders collect zone maps). Returns the previously registered
+    /// table of that name, if any — check it when silent replacement would
+    /// be a bug.
     pub fn insert(&mut self, table: Table) -> Option<Table> {
+        let columns = table
+            .columns()
+            .iter()
+            .map(|(n, c)| {
+                let (mut min, mut max) = (i64::MAX, i64::MIN);
+                for v in c.iter_i64() {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                (
+                    n.clone(),
+                    ColumnMeta {
+                        dtype: c.dtype(),
+                        min,
+                        max,
+                    },
+                )
+            })
+            .collect();
+        self.schemas.insert(
+            table.name().to_string(),
+            TableSchema {
+                rows: table.num_rows(),
+                columns,
+                primary_key: None,
+                dictionaries: HashMap::new(),
+            },
+        );
         self.tables.insert(table.name().to_string(), table)
+    }
+
+    /// Declare `column` as `table`'s primary key (unique, one row per
+    /// value). The lowering uses this to derive functional dependencies.
+    pub fn set_primary_key(&mut self, table: &str, column: &str) -> Result<(), EngineError> {
+        let schema = self
+            .schemas
+            .get_mut(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        if schema.column(column).is_none() {
+            return Err(EngineError::UnknownColumn {
+                column: column.to_string(),
+                available: schema.column_names(),
+            });
+        }
+        schema.primary_key = Some(column.to_string());
+        Ok(())
+    }
+
+    /// Attach a string dictionary to `table.column`: the stored integer
+    /// code `i` stands for `values[i]`. The SQL binder folds string
+    /// literals on this column to their codes.
+    pub fn set_dictionary(
+        &mut self,
+        table: &str,
+        column: &str,
+        values: Vec<String>,
+    ) -> Result<(), EngineError> {
+        let schema = self
+            .schemas
+            .get_mut(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        if schema.column(column).is_none() {
+            return Err(EngineError::UnknownColumn {
+                column: column.to_string(),
+                available: schema.column_names(),
+            });
+        }
+        schema.dictionaries.insert(column.to_string(), values);
+        Ok(())
     }
 
     /// Look a table up.
@@ -39,6 +158,20 @@ impl Catalog {
         self.tables
             .get(name)
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Look a table's schema up.
+    pub fn schema(&self, name: &str) -> Result<&TableSchema, EngineError> {
+        self.schemas
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
     }
 }
 
@@ -227,6 +360,71 @@ mod tests {
         ));
         assert_eq!(old.expect("replaced table returned").num_rows(), 2);
         assert_eq!(c.get("t").unwrap().column_names(), vec!["b"]);
+    }
+
+    #[test]
+    fn catalog_schemas_carry_statistics() {
+        let dev = Device::a100();
+        let mut cat = catalog(&dev);
+        let s = cat.schema("lineitem").unwrap();
+        assert_eq!(s.rows, 7);
+        let qty = s.column("l_qty").unwrap();
+        assert_eq!((qty.dtype, qty.min, qty.max), (DType::I64, 1, 99));
+        assert_eq!(s.column("l_oid").unwrap().dtype, DType::I32);
+        assert!(s.column("nope").is_none());
+        cat.set_primary_key("orders", "o_id").unwrap();
+        assert_eq!(
+            cat.schema("orders").unwrap().primary_key.as_deref(),
+            Some("o_id")
+        );
+        assert!(cat.set_primary_key("orders", "nope").is_err());
+        cat.set_dictionary("orders", "o_cust", vec!["a".into(), "b".into()])
+            .unwrap();
+        assert_eq!(
+            cat.schema("orders").unwrap().dictionaries["o_cust"],
+            vec!["a", "b"]
+        );
+        assert!(cat.schema("nope").is_err());
+        assert_eq!(cat.table_names(), vec!["lineitem", "orders"]);
+    }
+
+    #[test]
+    fn limit_keeps_the_first_rows() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        // Bare LIMIT over a materialized scan.
+        let plan = Plan::scan("lineitem").limit(3);
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert_eq!(out.table.num_rows(), 3);
+        assert_eq!(
+            out.table.column("l_qty").unwrap().to_vec_i64(),
+            vec![5, 7, 11]
+        );
+        assert!(
+            out.stats.label.starts_with("Limit(3)"),
+            "{}",
+            out.stats.label
+        );
+        // LIMIT above the input size keeps everything.
+        let plan = Plan::scan("lineitem").limit(100);
+        let out = execute(&dev, &cat, &plan).unwrap();
+        assert_eq!(out.table.num_rows(), 7);
+        // LIMIT over a fused Filter/Project run: the selection truncates,
+        // payloads materialize only for surviving rows, and fused/unfused
+        // agree bit-for-bit.
+        let plan = Plan::scan("lineitem")
+            .filter(Expr::col("l_qty").ge(Expr::lit(4)))
+            .project(vec![
+                ("oid", Expr::col("l_oid")),
+                ("q2", Expr::col("l_qty").mul(Expr::lit(2))),
+            ])
+            .limit(2);
+        let fused = execute(&dev, &cat, &plan).unwrap();
+        let unfused = execute_unfused(&dev, &cat, &plan).unwrap();
+        assert_eq!(fused.table.num_rows(), 2);
+        assert_eq!(fused.table.column("q2").unwrap().to_vec_i64(), vec![10, 14]);
+        assert_eq!(fused.table.rows_sorted(), unfused.table.rows_sorted());
+        assert_eq!(fused.table.column_names(), unfused.table.column_names());
     }
 
     #[test]

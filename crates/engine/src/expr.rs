@@ -54,6 +54,13 @@ pub enum Expr {
     Sub(Box<Expr>, Box<Expr>),
     /// Arithmetic: `lhs * rhs`.
     Mul(Box<Expr>, Box<Expr>),
+    /// Arithmetic: `lhs / rhs` (truncating; division by zero yields 0, the
+    /// GPU-safe convention — no lane ever faults).
+    Div(Box<Expr>, Box<Expr>),
+    /// Arithmetic: `lhs % rhs` (remainder; modulo zero yields 0). Together
+    /// with [`Expr::Div`] this is how packed composite keys unpack:
+    /// `(key / 2^shift) % 2^width`.
+    Mod(Box<Expr>, Box<Expr>),
     /// Comparison producing a predicate.
     Cmp(CmpOp, Box<Expr>, Box<Expr>),
     /// Pack two 32-bit-ranged values into one 64-bit key:
@@ -93,6 +100,16 @@ impl Expr {
     /// `self * rhs`.
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs` (truncating; `x / 0 == 0`).
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs` (remainder; `x % 0 == 0`).
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Mod(Box::new(self), Box::new(rhs))
     }
 
     /// `self < rhs`.
@@ -156,6 +173,8 @@ impl Expr {
             Expr::Add(a, b)
             | Expr::Sub(a, b)
             | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Mod(a, b)
             | Expr::Pack(a, b)
             | Expr::Cmp(_, a, b)
             | Expr::And(a, b)
@@ -246,6 +265,12 @@ impl Expr {
             Expr::Mul(a, b) => {
                 Expr::Mul(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
             }
+            Expr::Div(a, b) => {
+                Expr::Div(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
+            }
+            Expr::Mod(a, b) => {
+                Expr::Mod(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
+            }
             Expr::Pack(a, b) => {
                 Expr::Pack(Box::new(a.substitute(env)?), Box::new(b.substitute(env)?))
             }
@@ -291,6 +316,20 @@ impl Expr {
             }),
             Expr::Mul(a, b) => zip(a.eval_values(input)?, b.eval_values(input)?, |x, y| {
                 x.wrapping_mul(y)
+            }),
+            Expr::Div(a, b) => zip(a.eval_values(input)?, b.eval_values(input)?, |x, y| {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_div(y)
+                }
+            }),
+            Expr::Mod(a, b) => zip(a.eval_values(input)?, b.eval_values(input)?, |x, y| {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_rem(y)
+                }
             }),
             Expr::Pack(a, b) => zip(a.eval_values(input)?, b.eval_values(input)?, |x, y| {
                 (x << 32) | (y & 0xFFFF_FFFF)
@@ -390,6 +429,38 @@ mod tests {
         let vals = packed.to_vec_i64();
         let set: std::collections::HashSet<i64> = vals.iter().copied().collect();
         assert_eq!(set.len(), vals.len());
+    }
+
+    #[test]
+    fn div_mod_unpack_a_packed_key() {
+        let dev = Device::a100();
+        let t = Table::new(
+            "t",
+            vec![("v", Column::from_i64(&dev, vec![7, 0, -9, 100], "v"))],
+        );
+        let q = Expr::col("v").div(Expr::lit(4)).eval(&dev, &t).unwrap();
+        assert_eq!(q.to_vec_i64(), vec![1, 0, -2, 25]);
+        let r = Expr::col("v").rem(Expr::lit(4)).eval(&dev, &t).unwrap();
+        assert_eq!(r.to_vec_i64(), vec![3, 0, -1, 0]);
+        // Division / modulo by zero are total: every lane yields 0.
+        let z = Expr::col("v").div(Expr::lit(0)).eval(&dev, &t).unwrap();
+        assert_eq!(z.to_vec_i64(), vec![0; 4]);
+        let z = Expr::col("v").rem(Expr::lit(0)).eval(&dev, &t).unwrap();
+        assert_eq!(z.to_vec_i64(), vec![0; 4]);
+        // The composite-key identity: c == (pack(c) / 2^s) % 2^w for
+        // in-range values.
+        let packed = Expr::col("v")
+            .add(Expr::lit(9)) // shift into [0, 109]
+            .mul(Expr::lit(1 << 8))
+            .add(Expr::lit(5));
+        let unpacked = packed
+            .div(Expr::lit(1 << 8))
+            .rem(Expr::lit(1 << 7))
+            .sub(Expr::lit(9));
+        assert_eq!(
+            unpacked.eval(&dev, &t).unwrap().to_vec_i64(),
+            t.column("v").unwrap().to_vec_i64()
+        );
     }
 
     #[test]

@@ -53,8 +53,10 @@ mod plan;
 pub mod scheduler;
 mod table;
 
-pub use error::EngineError;
-pub use exec::{execute, execute_unfused, Catalog, NodeStats, QueryOutput};
+pub use error::{EngineError, SqlSpan};
+pub use exec::{
+    execute, execute_unfused, Catalog, ColumnMeta, NodeStats, QueryOutput, TableSchema,
+};
 pub use explain::{ExplainNode, QueryExplain};
 pub use expr::{CmpOp, Expr};
 pub use plan::{AggSpec, Plan};

@@ -211,6 +211,8 @@ const BOUNDARY_JOIN: &str =
     "Join: key and computed columns materialize, base columns ride the ticket through the match";
 const BOUNDARY_AGG: &str = "Aggregate: only the grouping key and aggregated columns materialize";
 const BOUNDARY_SORT: &str = "Sort: the sort permutation composes with the selection";
+const BOUNDARY_LIMIT: &str =
+    "Limit: only the selection truncates, payloads stay deferred past the limit";
 const BOUNDARY_DISTINCT: &str = "Distinct: only the deduplicated column materializes";
 const BOUNDARY_NONE: &str = "not a fused run";
 
@@ -283,6 +285,11 @@ fn compile_mode(plan: &Plan, fuse_runs: bool, materialize: bool, boundary: &'sta
             by: by.clone(),
             desc: *desc,
             limit: *limit,
+        }),
+        Plan::Limit { input, count } => Box::new(LimitOp {
+            children: vec![compile_mode(input, fuse_runs, false, BOUNDARY_LIMIT)],
+            count: *count,
+            materialize,
         }),
         Plan::Distinct { input, column } => Box::new(DistinctOp {
             children: vec![compile_mode(input, fuse_runs, false, BOUNDARY_DISTINCT)],
@@ -864,6 +871,17 @@ impl PhysicalOperator for SortOp {
         } else {
             sorted_ids[..take].to_vec()
         };
+        // Reversal and/or limit truncation rewrite the permutation: one
+        // streaming pass over the surviving 4-byte ids (CUB would fold this
+        // into the sort, but the DRAM traffic is the same). An ascending
+        // full-length sort needs no rewrite — the sort output *is* the map.
+        if self.desc || self.limit.is_some() {
+            dev.kernel("sort.limit")
+                .items(take as u64, STREAM_WARP_INSTR)
+                .seq_read_bytes(take as u64 * 4)
+                .seq_write_bytes(take as u64 * 4)
+                .launch();
+        }
         let map = dev.upload(map, "sort.map");
         let cols = match deferred {
             None => {
@@ -892,6 +910,101 @@ impl PhysicalOperator for SortOp {
             }
         };
         Ok(Evaluated::plain(Table::from_columns("sorted", cols)))
+    }
+}
+
+/// Keep only the first `count` rows of the input, in input order — the
+/// standalone `LIMIT` tail. A materialized input pays one prefix-copy
+/// kernel over the surviving rows; a deferred input truncates just its
+/// 4-byte selection vector and every payload column rides the ticket past
+/// the limit, so only rows that survive are ever materialized.
+struct LimitOp {
+    children: Vec<BoxOp>,
+    count: usize,
+    /// Materialize the output (compiled plan roots); `false` leaves a
+    /// deferred input deferred for the consumer's boundary.
+    materialize: bool,
+}
+
+impl PhysicalOperator for LimitOp {
+    fn label(&self) -> String {
+        format!("Limit({})", self.count)
+    }
+
+    fn children(&self) -> &[BoxOp] {
+        &self.children
+    }
+
+    fn evaluate(
+        &self,
+        ctx: &ExecContext<'_>,
+        mut inputs: Vec<Value>,
+    ) -> Result<Evaluated, EngineError> {
+        let child = inputs.pop().expect("Limit takes one input");
+        let dev = ctx.dev;
+        let rows = child.num_rows();
+        let take = self.count.min(rows);
+        let out = match child {
+            // LIMIT at or above the input size keeps every row: metadata
+            // only, no device work.
+            v if take == rows => v,
+            Value::Table(t) => {
+                // Prefix copy: one streaming kernel over the surviving rows
+                // of every column (contiguous read, contiguous write).
+                let row_bytes: u64 = t.columns().iter().map(|(_, c)| c.dtype().size()).sum();
+                dev.kernel("limit.slice")
+                    .items(take as u64, STREAM_WARP_INSTR)
+                    .seq_read_bytes(take as u64 * row_bytes)
+                    .seq_write_bytes(take as u64 * row_bytes)
+                    .launch();
+                let cols = t
+                    .columns()
+                    .iter()
+                    .map(|(n, c)| {
+                        let sliced = match c {
+                            Column::I32(b) => Column::from_i32(
+                                dev,
+                                b.iter().take(take).copied().collect(),
+                                "limit.out",
+                            ),
+                            Column::I64(b) => Column::from_i64(
+                                dev,
+                                b.iter().take(take).copied().collect(),
+                                "limit.out",
+                            ),
+                        };
+                        (n.clone(), sliced)
+                    })
+                    .collect();
+                Value::Table(Table::from_columns(t.name(), cols))
+            }
+            Value::Deferred(d) => {
+                // Only the selection truncates — a 4-byte prefix copy —
+                // and the payload columns stay deferred past the limit.
+                let sel: Vec<u32> = d.sel.iter().take(take).copied().collect();
+                dev.kernel("limit.sel")
+                    .items(take as u64, STREAM_WARP_INSTR)
+                    .seq_read_bytes(take as u64 * 4)
+                    .seq_write_bytes(take as u64 * 4)
+                    .launch();
+                Value::Deferred(Deferred {
+                    base: d.base,
+                    sel: dev.upload(sel, "limit.sel"),
+                    cols: d.cols,
+                })
+            }
+        };
+        let out = if self.materialize {
+            Value::Table(out.into_table(dev)?)
+        } else {
+            out
+        };
+        Ok(Evaluated {
+            out,
+            phases: None,
+            detail: None,
+            provenance: None,
+        })
     }
 }
 

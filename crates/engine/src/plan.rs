@@ -77,6 +77,14 @@ pub enum Plan {
         /// Keep only the first `limit` rows after sorting.
         limit: Option<usize>,
     },
+    /// Keep only the first `count` rows of the input, in input order — the
+    /// standalone `LIMIT` tail (a `Sort` already folds its own limit in).
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Rows to keep.
+        count: usize,
+    },
     /// Distinct rows of a single column (grouping with no aggregates).
     Distinct {
         /// Input plan.
@@ -158,6 +166,14 @@ impl Plan {
         }
     }
 
+    /// Keep only the first `count` rows of this plan's output.
+    pub fn limit(self, count: usize) -> Plan {
+        Plan::Limit {
+            input: Box::new(self),
+            count,
+        }
+    }
+
     /// Deduplicate one column of this plan's output.
     pub fn distinct(self, column: &str) -> Plan {
         Plan::Distinct {
@@ -204,6 +220,7 @@ impl Plan {
                 if *desc { " desc" } else { "" },
                 limit.map_or(String::new(), |l| format!(", limit {l}"))
             ),
+            Plan::Limit { count, .. } => format!("Limit({count})"),
             Plan::Distinct { column, .. } => format!("Distinct({column})"),
         }
     }

@@ -14,6 +14,7 @@
 //!   (match ratio, skew) by sampling — Section 5.4's "this type of
 //!   information is typically available to an optimizer", made operational.
 
+pub mod composite;
 pub mod estimate;
 
 pub use estimate::{

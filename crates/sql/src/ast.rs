@@ -1,0 +1,377 @@
+//! The SQL abstract syntax tree and its pretty-printer.
+//!
+//! The printer emits fully-parenthesized expressions, so
+//! `parse(pretty(q))` reproduces the same tree regardless of operator
+//! precedence — the identity the property tests in `tests/` lean on.
+
+use engine::SqlSpan;
+use std::fmt::Write;
+
+/// Binary operators, SQL spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Ge => ">=",
+            BinOp::Gt => ">",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+
+    /// Whether the operator produces a boolean.
+    pub fn is_boolean(self) -> bool {
+        !matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+}
+
+/// Aggregate functions the grammar accepts. (`AVG` parses but the binder
+/// rejects it: the engine has no average kernel and integer division would
+/// silently change results.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// `COUNT(*)` / `COUNT(expr)`
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `AVG(expr)` — parsed, rejected at bind time.
+    Avg,
+}
+
+impl AggKind {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggKind::Count => "COUNT",
+            AggKind::Sum => "SUM",
+            AggKind::Min => "MIN",
+            AggKind::Max => "MAX",
+            AggKind::Avg => "AVG",
+        }
+    }
+}
+
+/// A scalar or aggregate expression.
+#[derive(Debug, Clone)]
+pub enum AstExpr {
+    /// Column reference, optionally table-qualified.
+    Column {
+        /// Qualifier (`orders` in `orders.o_custkey`), if written.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+        /// Source position.
+        span: SqlSpan,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// String literal (bound against a column dictionary).
+    Str(String, SqlSpan),
+    /// `DATE 'YYYY-MM-DD'` literal (bound to days since the epoch).
+    Date(String, SqlSpan),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<AstExpr>,
+        /// Right operand.
+        rhs: Box<AstExpr>,
+        /// Source position of the operator.
+        span: SqlSpan,
+    },
+    /// Aggregate call. `arg: None` is `COUNT(*)`.
+    Agg {
+        /// Function.
+        kind: AggKind,
+        /// Argument; `None` only for `COUNT(*)`.
+        arg: Option<Box<AstExpr>>,
+        /// Source position of the function name.
+        span: SqlSpan,
+    },
+}
+
+impl AstExpr {
+    /// Structural equality, ignoring spans — what "same tree" means for
+    /// the print/reparse identity.
+    pub fn same(&self, other: &AstExpr) -> bool {
+        match (self, other) {
+            (
+                AstExpr::Column { table, name, .. },
+                AstExpr::Column {
+                    table: t2,
+                    name: n2,
+                    ..
+                },
+            ) => table == t2 && name == n2,
+            (AstExpr::Int(a), AstExpr::Int(b)) => a == b,
+            (AstExpr::Str(a, _), AstExpr::Str(b, _)) => a == b,
+            (AstExpr::Date(a, _), AstExpr::Date(b, _)) => a == b,
+            (
+                AstExpr::Binary { op, lhs, rhs, .. },
+                AstExpr::Binary {
+                    op: o2,
+                    lhs: l2,
+                    rhs: r2,
+                    ..
+                },
+            ) => op == o2 && lhs.same(l2) && rhs.same(r2),
+            (
+                AstExpr::Agg { kind, arg, .. },
+                AstExpr::Agg {
+                    kind: k2, arg: a2, ..
+                },
+            ) => {
+                kind == k2
+                    && match (arg, a2) {
+                        (None, None) => true,
+                        (Some(a), Some(b)) => a.same(b),
+                        _ => false,
+                    }
+            }
+            _ => false,
+        }
+    }
+
+    /// Fully-parenthesized SQL text.
+    pub fn pretty(&self) -> String {
+        match self {
+            AstExpr::Column { table, name, .. } => match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.clone(),
+            },
+            AstExpr::Int(v) => v.to_string(),
+            AstExpr::Str(s, _) => format!("'{s}'"),
+            AstExpr::Date(s, _) => format!("DATE '{s}'"),
+            AstExpr::Binary { op, lhs, rhs, .. } => {
+                format!("({} {} {})", lhs.pretty(), op.sql(), rhs.pretty())
+            }
+            AstExpr::Agg { kind, arg, .. } => match arg {
+                Some(a) => format!("{}({})", kind.sql(), a.pretty()),
+                None => format!("{}(*)", kind.sql()),
+            },
+        }
+    }
+
+    /// The span nearest this expression's head, for error reporting.
+    pub fn span(&self) -> SqlSpan {
+        match self {
+            AstExpr::Column { span, .. }
+            | AstExpr::Str(_, span)
+            | AstExpr::Date(_, span)
+            | AstExpr::Binary { span, .. }
+            | AstExpr::Agg { span, .. } => span.clone(),
+            AstExpr::Int(v) => SqlSpan::new(0, 0, v.to_string()),
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: AstExpr,
+    /// `AS alias`, if written.
+    pub alias: Option<String>,
+}
+
+/// One explicit `JOIN ... ON a = b` clause.
+#[derive(Debug, Clone)]
+pub struct JoinClause {
+    /// Joined table.
+    pub table: String,
+    /// Left side of the ON equality.
+    pub on_left: AstExpr,
+    /// Right side of the ON equality.
+    pub on_right: AstExpr,
+    /// Source position of the JOIN keyword.
+    pub span: SqlSpan,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone)]
+pub struct OrderItem {
+    /// Sort expression (a column or SELECT-list alias).
+    pub expr: AstExpr,
+    /// `DESC`?
+    pub desc: bool,
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM tables, in order (comma syntax).
+    pub from: Vec<(String, SqlSpan)>,
+    /// Explicit JOIN clauses, in order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE predicate.
+    pub where_: Option<AstExpr>,
+    /// GROUP BY keys.
+    pub group_by: Vec<AstExpr>,
+    /// HAVING predicate.
+    pub having: Option<AstExpr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// Structural equality ignoring spans.
+    pub fn same(&self, other: &Query) -> bool {
+        self.distinct == other.distinct
+            && self.select.len() == other.select.len()
+            && self
+                .select
+                .iter()
+                .zip(&other.select)
+                .all(|(a, b)| a.alias == b.alias && a.expr.same(&b.expr))
+            && self.from.len() == other.from.len()
+            && self
+                .from
+                .iter()
+                .zip(&other.from)
+                .all(|((a, _), (b, _))| a == b)
+            && self.joins.len() == other.joins.len()
+            && self.joins.iter().zip(&other.joins).all(|(a, b)| {
+                a.table == b.table && a.on_left.same(&b.on_left) && a.on_right.same(&b.on_right)
+            })
+            && match (&self.where_, &other.where_) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.same(b),
+                _ => false,
+            }
+            && self.group_by.len() == other.group_by.len()
+            && self
+                .group_by
+                .iter()
+                .zip(&other.group_by)
+                .all(|(a, b)| a.same(b))
+            && match (&self.having, &other.having) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.same(b),
+                _ => false,
+            }
+            && self.order_by.len() == other.order_by.len()
+            && self
+                .order_by
+                .iter()
+                .zip(&other.order_by)
+                .all(|(a, b)| a.desc == b.desc && a.expr.same(&b.expr))
+            && self.limit == other.limit
+    }
+
+    /// Render the query back to SQL (fully-parenthesized expressions).
+    pub fn pretty(&self) -> String {
+        let mut s = String::from("SELECT ");
+        if self.distinct {
+            s.push_str("DISTINCT ");
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&item.expr.pretty());
+            if let Some(a) = &item.alias {
+                let _ = write!(s, " AS {a}");
+            }
+        }
+        s.push_str(" FROM ");
+        for (i, (t, _)) in self.from.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(t);
+        }
+        for j in &self.joins {
+            let _ = write!(
+                s,
+                " JOIN {} ON {} = {}",
+                j.table,
+                j.on_left.pretty(),
+                j.on_right.pretty()
+            );
+        }
+        if let Some(w) = &self.where_ {
+            let _ = write!(s, " WHERE {}", w.pretty());
+        }
+        if !self.group_by.is_empty() {
+            s.push_str(" GROUP BY ");
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&g.pretty());
+            }
+        }
+        if let Some(h) = &self.having {
+            let _ = write!(s, " HAVING {}", h.pretty());
+        }
+        if !self.order_by.is_empty() {
+            s.push_str(" ORDER BY ");
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&o.expr.pretty());
+                if o.desc {
+                    s.push_str(" DESC");
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            let _ = write!(s, " LIMIT {l}");
+        }
+        s
+    }
+}

@@ -1,0 +1,327 @@
+//! Hand-written SQL lexer: source text to a token stream with positions.
+//!
+//! Keywords are matched case-insensitively; identifiers keep their original
+//! spelling (the catalog is case-sensitive, like the rest of the engine).
+//! Every token carries the 1-based line/column where it starts, so binder
+//! and parser errors can point at the exact source location.
+
+use engine::{EngineError, SqlSpan};
+
+/// Token kinds the parser consumes. Keywords get their own kinds so the
+/// parser never string-compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // keyword/punctuation variants are their own doc
+pub enum Tok {
+    /// Unquoted identifier (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    // Keywords.
+    Select,
+    Distinct,
+    From,
+    Where,
+    Join,
+    Inner,
+    On,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    As,
+    And,
+    Or,
+    Asc,
+    Desc,
+    Date,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    // Punctuation and operators.
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl Tok {
+    /// How the token renders in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier '{s}'"),
+            Tok::Int(v) => format!("integer {v}"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("'{}'", other.literal()),
+        }
+    }
+
+    fn literal(&self) -> &'static str {
+        match self {
+            Tok::Select => "SELECT",
+            Tok::Distinct => "DISTINCT",
+            Tok::From => "FROM",
+            Tok::Where => "WHERE",
+            Tok::Join => "JOIN",
+            Tok::Inner => "INNER",
+            Tok::On => "ON",
+            Tok::Group => "GROUP",
+            Tok::By => "BY",
+            Tok::Having => "HAVING",
+            Tok::Order => "ORDER",
+            Tok::Limit => "LIMIT",
+            Tok::As => "AS",
+            Tok::And => "AND",
+            Tok::Or => "OR",
+            Tok::Asc => "ASC",
+            Tok::Desc => "DESC",
+            Tok::Date => "DATE",
+            Tok::Count => "COUNT",
+            Tok::Sum => "SUM",
+            Tok::Min => "MIN",
+            Tok::Max => "MAX",
+            Tok::Avg => "AVG",
+            Tok::Comma => ",",
+            Tok::Dot => ".",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::Star => "*",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Eq => "=",
+            Tok::Ne => "<>",
+            Tok::Ge => ">=",
+            Tok::Gt => ">",
+            Tok::Ident(_) | Tok::Int(_) | Tok::Str(_) | Tok::Eof => unreachable!(),
+        }
+    }
+}
+
+/// A token plus where it starts in the source.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source position of the token's first character.
+    pub span: SqlSpan,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Tok::Select,
+        "DISTINCT" => Tok::Distinct,
+        "FROM" => Tok::From,
+        "WHERE" => Tok::Where,
+        "JOIN" => Tok::Join,
+        "INNER" => Tok::Inner,
+        "ON" => Tok::On,
+        "GROUP" => Tok::Group,
+        "BY" => Tok::By,
+        "HAVING" => Tok::Having,
+        "ORDER" => Tok::Order,
+        "LIMIT" => Tok::Limit,
+        "AS" => Tok::As,
+        "AND" => Tok::And,
+        "OR" => Tok::Or,
+        "ASC" => Tok::Asc,
+        "DESC" => Tok::Desc,
+        "DATE" => Tok::Date,
+        "COUNT" => Tok::Count,
+        "SUM" => Tok::Sum,
+        "MIN" => Tok::Min,
+        "MAX" => Tok::Max,
+        "AVG" => Tok::Avg,
+        _ => return None,
+    })
+}
+
+/// Lex `src` into tokens (ending with [`Tok::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, EngineError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let (mut line, mut col) = (1u32, 1u32);
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        let span = SqlSpan::new(line, col, c.to_string());
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(&mut i, &mut line, &mut col);
+            }
+            '-' if i + 1 < n && chars[i + 1] == '-' => {
+                // Line comment.
+                while i < n && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '\'' => {
+                let (sl, sc) = (line, col);
+                advance(&mut i, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    if i >= n {
+                        return Err(EngineError::SqlParse {
+                            message: "unterminated string literal".to_string(),
+                            span: SqlSpan::new(sl, sc, format!("'{s}")),
+                        });
+                    }
+                    if chars[i] == '\'' {
+                        advance(&mut i, &mut line, &mut col);
+                        break;
+                    }
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                out.push(Token {
+                    tok: Tok::Str(s.clone()),
+                    span: SqlSpan::new(sl, sc, format!("'{s}'")),
+                });
+            }
+            '0'..='9' => {
+                let (sl, sc) = (line, col);
+                let mut s = String::new();
+                while i < n && chars[i].is_ascii_digit() {
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let v: i64 = s.parse().map_err(|_| EngineError::SqlParse {
+                    message: "integer literal out of range".to_string(),
+                    span: SqlSpan::new(sl, sc, s.clone()),
+                })?;
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    span: SqlSpan::new(sl, sc, s),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let (sl, sc) = (line, col);
+                let mut s = String::new();
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let tok = keyword(&s).unwrap_or(Tok::Ident(s.clone()));
+                out.push(Token {
+                    tok,
+                    span: SqlSpan::new(sl, sc, s),
+                });
+            }
+            _ => {
+                let (sl, sc) = (line, col);
+                let two = if i + 1 < n { Some(chars[i + 1]) } else { None };
+                let (tok, len) = match (c, two) {
+                    ('<', Some('=')) => (Tok::Le, 2),
+                    ('<', Some('>')) => (Tok::Ne, 2),
+                    ('>', Some('=')) => (Tok::Ge, 2),
+                    ('!', Some('=')) => (Tok::Ne, 2),
+                    ('<', _) => (Tok::Lt, 1),
+                    ('>', _) => (Tok::Gt, 1),
+                    ('=', _) => (Tok::Eq, 1),
+                    (',', _) => (Tok::Comma, 1),
+                    ('.', _) => (Tok::Dot, 1),
+                    ('(', _) => (Tok::LParen, 1),
+                    (')', _) => (Tok::RParen, 1),
+                    ('*', _) => (Tok::Star, 1),
+                    ('+', _) => (Tok::Plus, 1),
+                    ('-', _) => (Tok::Minus, 1),
+                    ('/', _) => (Tok::Slash, 1),
+                    ('%', _) => (Tok::Percent, 1),
+                    _ => {
+                        return Err(EngineError::SqlParse {
+                            message: format!("unexpected character '{c}'"),
+                            span,
+                        })
+                    }
+                };
+                let fragment: String = chars[i..i + len].iter().collect();
+                for _ in 0..len {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                out.push(Token {
+                    tok,
+                    span: SqlSpan::new(sl, sc, fragment),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: SqlSpan::new(line, col, ""),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_positions() {
+        let toks = lex("SELECT a\nFROM t -- comment\nWHERE a >= 10").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::Select));
+        assert!(matches!(kinds[1], Tok::Ident(s) if s == "a"));
+        assert!(matches!(kinds[2], Tok::From));
+        assert!(matches!(kinds[5], Tok::Ident(s) if s == "a"));
+        assert!(matches!(kinds[6], Tok::Ge));
+        assert_eq!(toks[2].span.line, 2);
+        assert_eq!(toks[4].span.line, 3); // WHERE
+        assert_eq!(toks[4].span.column, 1);
+        assert!(matches!(toks.last().unwrap().tok, Tok::Eof));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_idents_are_not() {
+        let toks = lex("select O_OrderKey FroM Orders").unwrap();
+        assert!(matches!(toks[0].tok, Tok::Select));
+        assert!(matches!(&toks[1].tok, Tok::Ident(s) if s == "O_OrderKey"));
+        assert!(matches!(toks[2].tok, Tok::From));
+        assert!(matches!(&toks[3].tok, Tok::Ident(s) if s == "Orders"));
+    }
+
+    #[test]
+    fn strings_dates_and_errors() {
+        let toks = lex("c_mktsegment = 'BUILDING' AND d < DATE '1995-03-15'").unwrap();
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s == "BUILDING")));
+        assert!(toks.iter().any(|t| matches!(t.tok, Tok::Date)));
+        assert!(matches!(
+            lex("a = 'oops"),
+            Err(EngineError::SqlParse { .. })
+        ));
+        assert!(matches!(lex("a ; b"), Err(EngineError::SqlParse { .. })));
+    }
+}

@@ -1,0 +1,50 @@
+//! SQL frontend for the adaptive GPU query engine.
+//!
+//! A hand-written pipeline from SQL text to an executable [`engine::Plan`]:
+//!
+//! ```text
+//! SQL text ──lexer──▶ tokens ──parser──▶ [`ast::Query`]
+//!      ──binder──▶ [`logical::LogicalPlan`]  (names/types resolved
+//!                                             against the [`Catalog`])
+//!      ──lower───▶ [`engine::Plan`] + decision notes
+//! ```
+//!
+//! The grammar covers the analytical core the engine runs: `SELECT`
+//! (expressions, aggregates, aliases, `DISTINCT`), `FROM` with comma or
+//! `JOIN ... ON` equi-joins, `WHERE`, `GROUP BY`, `HAVING`, `ORDER BY`,
+//! `LIMIT`, plus `DATE 'YYYY-MM-DD'` literals and dictionary-encoded
+//! string comparisons. Everything downstream of [`lower()`] — operator
+//! fusion, algorithm heuristics, scheduling, EXPLAIN — is unchanged: a
+//! query arriving as SQL and the same plan assembled by hand take exactly
+//! the same path through the engine.
+//!
+//! Errors at every stage are typed [`EngineError`] values carrying a
+//! source [`engine::SqlSpan`]; nothing in the pipeline panics on bad
+//! input.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod logical;
+pub mod lower;
+pub mod parser;
+
+pub use ast::Query;
+pub use binder::bind;
+pub use logical::LogicalPlan;
+pub use lower::{lower, Lowered};
+pub use parser::parse;
+
+use engine::{Catalog, EngineError};
+
+/// Parse, bind and lower `sql` against `catalog` in one call.
+///
+/// Returns the executable plan plus the lowering's composite-key decision
+/// notes (one line per multi-column GROUP BY / ORDER BY rewrite).
+pub fn plan_sql(sql: &str, catalog: &Catalog) -> Result<Lowered, EngineError> {
+    let query = parse(sql)?;
+    let logical = bind(&query, catalog)?;
+    lower(&logical, catalog)
+}

@@ -1,0 +1,151 @@
+//! The bound logical plan: names resolved, types checked, expressions
+//! already in engine form — but grouping and ordering still multi-column.
+//!
+//! This is the IR between the binder and [`crate::lower()`]: everything the
+//! AST could get wrong (unknown names, ambiguity, type errors) is gone,
+//! while the two SQL shapes the engine's single-key kernels cannot run
+//! directly — multi-column GROUP BY and multi-key ORDER BY — are still
+//! explicit, for the lowering to rewrite via composite-key packing or
+//! functional-dependency reduction.
+
+use engine::{AggSpec, Expr, SqlSpan};
+
+/// A bound logical plan node.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Read a catalog table.
+    Scan {
+        /// Table name (verified against the catalog).
+        table: String,
+    },
+    /// Keep rows satisfying a (boolean-checked) predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Bound predicate.
+        predicate: Expr,
+    },
+    /// Compute output columns.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(output name, bound expression)` pairs.
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Equi-join; left is the build side, matching the engine convention
+    /// (output = key under the left name, left payloads, right payloads).
+    Join {
+        /// Build side.
+        left: Box<LogicalPlan>,
+        /// Probe side.
+        right: Box<LogicalPlan>,
+        /// Build key column.
+        left_key: String,
+        /// Probe key column.
+        right_key: String,
+    },
+    /// Grouped aggregation over one *or more* key columns; the lowering
+    /// rewrites multi-column keys onto the single-key kernels. Output
+    /// schema: the group columns in order, then the aggregate outputs.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-key columns.
+        group_by: Vec<String>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+        /// Source position of the GROUP BY clause, for lowering errors.
+        span: SqlSpan,
+    },
+    /// Distinct values of one column.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Column to deduplicate.
+        column: String,
+    },
+    /// Order by one or more keys; the lowering packs multi-key sorts.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(column, descending)` keys, major first.
+        keys: Vec<(String, bool)>,
+        /// Source position of the ORDER BY clause, for lowering errors.
+        span: SqlSpan,
+    },
+    /// Keep the first `count` rows.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Rows to keep.
+        count: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Indented one-line-per-node rendering (for tests and debugging).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s, 0);
+        s
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { table } => {
+                let _ = writeln!(out, "{pad}Scan({table})");
+            }
+            LogicalPlan::Filter { input, .. } => {
+                let _ = writeln!(out, "{pad}Filter");
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
+                let _ = writeln!(out, "{pad}Project[{}]", names.join(", "));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let _ = writeln!(out, "{pad}Join({left_key}={right_key})");
+                left.render_into(out, depth + 1);
+                right.render_into(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate(by {}; {} aggs)",
+                    group_by.join(", "),
+                    aggs.len()
+                );
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Distinct { input, column } => {
+                let _ = writeln!(out, "{pad}Distinct({column})");
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys, .. } => {
+                let keys: Vec<String> = keys
+                    .iter()
+                    .map(|(c, d)| format!("{c}{}", if *d { " desc" } else { "" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort(by {})", keys.join(", "));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, count } => {
+                let _ = writeln!(out, "{pad}Limit({count})");
+                input.render_into(out, depth + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! Recursive-descent parser for the supported SELECT subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query     := SELECT [DISTINCT] item (',' item)*
+//!              FROM ident (',' ident)*
+//!              ([INNER] JOIN ident ON expr '=' expr)*
+//!              [WHERE expr] [GROUP BY expr (',' expr)*] [HAVING expr]
+//!              [ORDER BY expr [ASC|DESC] (',' ...)*] [LIMIT int]
+//! item      := expr [AS ident]
+//! expr      := and_expr (OR and_expr)*
+//! and_expr  := cmp_expr (AND cmp_expr)*
+//! cmp_expr  := add_expr [('<'|'<='|'='|'<>'|'>='|'>') add_expr]
+//! add_expr  := mul_expr (('+'|'-') mul_expr)*
+//! mul_expr  := primary (('*'|'/'|'%') primary)*
+//! primary   := int | '-' primary | string | DATE string | '(' expr ')'
+//!            | agg '(' (expr|'*') ')' | ident ['.' ident]
+//! ```
+
+use crate::ast::{AggKind, AstExpr, BinOp, JoinClause, OrderItem, Query, SelectItem};
+use crate::lexer::{lex, Tok, Token};
+use engine::{EngineError, SqlSpan};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse one SELECT query; trailing input is an error.
+pub fn parse(src: &str) -> Result<Query, EngineError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn span(&self) -> SqlSpan {
+        self.toks[self.pos].span.clone()
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> EngineError {
+        EngineError::SqlParse {
+            message: message.into(),
+            span: self.span(),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, EngineError> {
+        if self.peek() == &tok {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                tok.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), EngineError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected end of query, found {}",
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, SqlSpan), EngineError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let t = self.bump();
+                Ok((s, t.span))
+            }
+            other => Err(self.err(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, EngineError> {
+        self.expect(Tok::Select)?;
+        let distinct = self.eat(&Tok::Distinct);
+        let mut select = vec![self.select_item()?];
+        while self.eat(&Tok::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect(Tok::From)?;
+        let mut from = vec![self.ident("a table name")?];
+        while self.eat(&Tok::Comma) {
+            from.push(self.ident("a table name")?);
+        }
+        let mut joins = Vec::new();
+        loop {
+            let span = self.span();
+            if self.eat(&Tok::Inner) {
+                self.expect(Tok::Join)?;
+            } else if !self.eat(&Tok::Join) {
+                break;
+            }
+            let (table, _) = self.ident("a table name")?;
+            self.expect(Tok::On)?;
+            let on_left = self.add_expr()?;
+            self.expect(Tok::Eq)?;
+            let on_right = self.add_expr()?;
+            joins.push(JoinClause {
+                table,
+                on_left,
+                on_right,
+                span,
+            });
+        }
+        let where_ = if self.eat(&Tok::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat(&Tok::Group) {
+            self.expect(Tok::By)?;
+            group_by.push(self.add_expr()?);
+            while self.eat(&Tok::Comma) {
+                group_by.push(self.add_expr()?);
+            }
+        }
+        let having = if self.eat(&Tok::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat(&Tok::Order) {
+            self.expect(Tok::By)?;
+            loop {
+                let expr = self.add_expr()?;
+                let desc = if self.eat(&Tok::Desc) {
+                    true
+                } else {
+                    self.eat(&Tok::Asc);
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat(&Tok::Limit) {
+            match self.peek().clone() {
+                Tok::Int(v) if v >= 0 => {
+                    self.bump();
+                    Some(v as usize)
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "LIMIT needs a non-negative integer, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            joins,
+            where_,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, EngineError> {
+        let expr = self.expr()?;
+        let alias = if self.eat(&Tok::As) {
+            Some(self.ident("an alias")?.0)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn expr(&mut self) -> Result<AstExpr, EngineError> {
+        let mut lhs = self.and_expr()?;
+        loop {
+            let span = self.span();
+            if !self.eat(&Tok::Or) {
+                return Ok(lhs);
+            }
+            let rhs = self.and_expr()?;
+            lhs = AstExpr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, EngineError> {
+        let mut lhs = self.cmp_expr()?;
+        loop {
+            let span = self.span();
+            if !self.eat(&Tok::And) {
+                return Ok(lhs);
+            }
+            let rhs = self.cmp_expr()?;
+            lhs = AstExpr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr, EngineError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Ge => BinOp::Ge,
+            Tok::Gt => BinOp::Gt,
+            _ => return Ok(lhs),
+        };
+        let span = self.span();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(AstExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr, EngineError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = AstExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr, EngineError> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = AstExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, EngineError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(AstExpr::Int(v))
+            }
+            Tok::Minus => {
+                self.bump();
+                // Negation folds into the literal or becomes `0 - expr`.
+                match self.primary()? {
+                    AstExpr::Int(v) => Ok(AstExpr::Int(-v)),
+                    e => Ok(AstExpr::Binary {
+                        op: BinOp::Sub,
+                        lhs: Box::new(AstExpr::Int(0)),
+                        rhs: Box::new(e),
+                        span,
+                    }),
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(AstExpr::Str(s, span))
+            }
+            Tok::Date => {
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Str(s) => {
+                        self.bump();
+                        Ok(AstExpr::Date(s, span))
+                    }
+                    other => Err(self.err(format!(
+                        "DATE needs a 'YYYY-MM-DD' string, found {}",
+                        other.describe()
+                    ))),
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Count | Tok::Sum | Tok::Min | Tok::Max | Tok::Avg => {
+                let kind = match self.peek() {
+                    Tok::Count => AggKind::Count,
+                    Tok::Sum => AggKind::Sum,
+                    Tok::Min => AggKind::Min,
+                    Tok::Max => AggKind::Max,
+                    _ => AggKind::Avg,
+                };
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let arg = if matches!(self.peek(), Tok::Star) {
+                    if kind != AggKind::Count {
+                        return Err(self.err(format!("{}(*) is not valid SQL", kind.sql())));
+                    }
+                    self.bump();
+                    None
+                } else {
+                    Some(Box::new(self.add_expr()?))
+                };
+                self.expect(Tok::RParen)?;
+                Ok(AstExpr::Agg { kind, arg, span })
+            }
+            Tok::Ident(first) => {
+                self.bump();
+                if self.eat(&Tok::Dot) {
+                    let (name, _) = self.ident("a column name")?;
+                    Ok(AstExpr::Column {
+                        table: Some(first),
+                        name,
+                        span,
+                    })
+                } else {
+                    Ok(AstExpr::Column {
+                        table: None,
+                        name: first,
+                        span,
+                    })
+                }
+            }
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_clause_set() {
+        let q = parse(
+            "SELECT o_orderkey, SUM(l_extendedprice * (100 - l_discount)) AS revenue \
+             FROM customer, orders JOIN lineitem ON l_orderkey = o_orderkey \
+             WHERE c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1995-03-15' \
+             GROUP BY o_orderkey, o_orderdate HAVING SUM(l_quantity) > 150 \
+             ORDER BY revenue DESC, o_orderdate LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.select[1].alias.as_deref(), Some("revenue"));
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.group_by.len(), 2);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn precedence_binds_as_expected() {
+        let q = parse("SELECT a + b * c FROM t WHERE a < 1 AND b < 2 OR c < 3").unwrap();
+        // a + (b * c)
+        assert_eq!(q.select[0].expr.pretty(), "(a + (b * c))");
+        // ((a<1 AND b<2) OR c<3)
+        assert_eq!(
+            q.where_.unwrap().pretty(),
+            "(((a < 1) AND (b < 2)) OR (c < 3))"
+        );
+    }
+
+    #[test]
+    fn pretty_reparse_is_identity() {
+        let src = "SELECT t.a AS x, COUNT(*) FROM t GROUP BY t.a \
+                   ORDER BY x DESC LIMIT 5";
+        let q = parse(src).unwrap();
+        let q2 = parse(&q.pretty()).unwrap();
+        assert!(q.same(&q2), "{} != {}", q.pretty(), q2.pretty());
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = parse("SELECT a FROM").unwrap_err();
+        match err {
+            EngineError::SqlParse { span, .. } => assert_eq!(span.line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse("SELECT a FROM t extra").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+    }
+}

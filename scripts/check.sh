@@ -144,6 +144,38 @@ grep -q "budgets hold" "$smoke_dir/m01.log" || {
     echo "m01_multi_query smoke: missing budget finding in output"
     exit 1
 }
+echo "==> SQL frontend smoke (q_tpch --scale 14)"
+(cd "$smoke_dir" \
+    && cargo run --release --quiet --manifest-path "$repo_dir/Cargo.toml" \
+        -p bench --bin q_tpch -- --scale 14 --reps 1 \
+        --explain q_tpch_explain.json >q_tpch.log 2>&1) || {
+    echo "q_tpch smoke failed; tail of log:"
+    tail -40 "$smoke_dir/q_tpch.log"
+    exit 1
+}
+# The lowering must print its composite-key decisions and both queries
+# must execute (fused == unfused is asserted inside the binary).
+grep -q "GROUP BY (o_orderkey, o_orderdate, o_shippriority): PACK" \
+    "$smoke_dir/q_tpch.log" || {
+    echo "q_tpch smoke: Q3 composite GROUP BY decision missing from output"
+    exit 1
+}
+grep -q "ORDER BY (revenue desc, o_orderdate): PACK" "$smoke_dir/q_tpch.log" || {
+    echo "q_tpch smoke: Q3 packed ORDER BY decision missing from output"
+    exit 1
+}
+# Its --explain export must be valid JSON recording both queries.
+python3 - "$smoke_dir/q_tpch_explain.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+names = [q["query"] for q in doc["queries"]]
+assert "q_tpch Q3" in names and "q_tpch Q18" in names, names
+assert doc["kernels"], "no kernel analysis"
+for q in doc["queries"]:
+    assert q["tree"].strip(), f"{q['query']}: empty plan tree"
+PY
+echo "    q_tpch: Q3/Q18 from SQL, composite decisions printed, explain JSON valid"
+
 # Keep the smoke trace, explain report and fresh results where CI can pick
 # them up as artifacts (and where `bench_gate`'s default --fresh finds them).
 mkdir -p "$repo_dir/target/smoke"
