@@ -1,0 +1,6 @@
+//! Thin wrapper around [`bench::exp::m02`].
+
+fn main() {
+    let args = bench::Args::parse();
+    let _ = bench::exp::m02::run(&args);
+}

@@ -316,6 +316,33 @@ mod tests {
     }
 
     #[test]
+    fn nested_class_objects_diff_recursively() {
+        // m02_serving rows nest per-class quantile objects under "classes";
+        // the walker compares those leaf by leaf like any other field.
+        let row = |p99: f64| {
+            json!({"sweep": "offered_load", "rho": 0.5,
+                   "classes": json!({"q18": json!({"count": 8, "p99_s": p99}),
+                                     "q3": json!({"count": 8, "p99_s": 0.25})})})
+        };
+        let b = report(json!([row(1.0)]));
+        let d = diff_reports("m02_serving", &b, &report(json!([row(1.0)])), 0.01);
+        assert!(d.ok());
+        assert_eq!(d.fields, 5, "rho + two counts + two p99s");
+        let d = diff_reports("m02_serving", &b, &report(json!([row(1.2)])), 0.01);
+        assert!(!d.ok());
+        assert_eq!(d.breaches.len(), 1);
+        assert_eq!(d.breaches[0].path, "rows[0].classes.q18.p99_s");
+        // A class going missing is structural, not a tolerance question.
+        let f = report(json!([json!({"sweep": "offered_load", "rho": 0.5,
+                                     "classes": json!({"q18": json!({"count": 8, "p99_s": 1.0})})})]));
+        let d = diff_reports("m02_serving", &b, &f, 0.5);
+        assert!(d
+            .structural
+            .iter()
+            .any(|s| s.contains("classes.q3: missing in fresh")));
+    }
+
+    #[test]
     fn wallclock_fields_get_the_loose_tolerance() {
         let b = report(json!([json!({"CPU": 10.0, "PHJ-OM": 10.0})]));
         let f = report(json!([json!({"CPU": 14.0, "PHJ-OM": 14.0})]));

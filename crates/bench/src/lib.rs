@@ -49,9 +49,19 @@ pub struct Args {
     /// cumulative JSON report (queries + per-kernel roofline analysis)
     /// here. Implies tracing, so the kernel section has data.
     pub explain: Option<PathBuf>,
+    /// Optional service-level metrics output path (`--metrics`). When set,
+    /// every device [`Args::device`] creates records `sim::metrics`
+    /// (counters, latency histograms, sampled utilization time-series on
+    /// the simulated clock), and [`Report::finish`] exports the cumulative
+    /// snapshots here as JSON plus OpenMetrics text at the same path with
+    /// an `.om` extension.
+    pub metrics: Option<PathBuf>,
     /// Devices created while tracing, shared across clones of these args
     /// so a multi-experiment driver (`run_all`) accumulates one trace.
     trace_devices: Arc<Mutex<Vec<Device>>>,
+    /// Devices created while recording metrics, shared like
+    /// [`Args::trace_devices`].
+    metrics_devices: Arc<Mutex<Vec<Device>>>,
     /// Attributed query reports accumulated by [`Args::record_explain`],
     /// shared across clones like the trace devices.
     explain_queries: Arc<Mutex<Vec<serde_json::Value>>>,
@@ -69,7 +79,9 @@ impl Default for Args {
             reps: 3,
             trace: None,
             explain: None,
+            metrics: None,
             trace_devices: Arc::new(Mutex::new(Vec::new())),
+            metrics_devices: Arc::new(Mutex::new(Vec::new())),
             explain_queries: Arc::new(Mutex::new(Vec::new())),
             sql: None,
         }
@@ -113,6 +125,11 @@ impl Args {
                         it.next().unwrap_or_else(|| usage("--explain needs a path")),
                     ));
                 }
+                "--metrics" => {
+                    out.metrics = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--metrics needs a path")),
+                    ));
+                }
                 "--sql" => {
                     out.sql = Some(it.next().unwrap_or_else(|| usage("--sql needs a query")));
                 }
@@ -139,7 +156,21 @@ impl Args {
             dev.enable_tracing();
             self.trace_devices.lock().unwrap().push(dev.clone());
         }
+        if self.metrics.is_some() {
+            dev.enable_metrics(self.metrics_interval());
+            self.metrics_devices.lock().unwrap().push(dev.clone());
+        }
         dev
+    }
+
+    /// The sampling interval metrics-enabled devices use: 100 µs of
+    /// simulated time at the paper's full scale, shrunk by the same
+    /// paper-regime factor as the device itself so the sample density per
+    /// kernel stays comparable across `--scale` settings. (The sampler
+    /// emits at most one point per kernel launch regardless, so this only
+    /// bounds resolution, not cost.)
+    pub fn metrics_interval(&self) -> sim::SimTime {
+        sim::SimTime::from_secs(1e-4 / self.regime_factor())
     }
 
     /// The scaled configuration [`Args::device`] builds devices from.
@@ -215,6 +246,37 @@ impl Args {
         println!("(wrote trace: {})", path.display());
     }
 
+    /// Export the cumulative service-level metrics of every
+    /// metrics-enabled device created so far: JSON at the `--metrics` path
+    /// and OpenMetrics text next to it (same path, `.om` extension). No-op
+    /// without `--metrics`. Called by [`Report::finish`]; re-exports
+    /// overwrite with the (cumulative) superset.
+    pub fn write_metrics(&self) {
+        let Some(path) = &self.metrics else { return };
+        let snaps = self.metrics_snapshots();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, sim::metrics_json(&snaps)).expect("write metrics json");
+        let om_path = path.with_extension("om");
+        std::fs::write(&om_path, sim::openmetrics(&snaps)).expect("write openmetrics");
+        println!(
+            "(wrote metrics: {} + {})",
+            path.display(),
+            om_path.display()
+        );
+    }
+
+    /// Snapshots of every metrics-enabled device, in creation order.
+    pub fn metrics_snapshots(&self) -> Vec<sim::MetricsSnapshot> {
+        self.metrics_devices
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|d| d.metrics_snapshot())
+            .collect()
+    }
+
     /// Snapshots of every traced device's event log, in creation order.
     pub fn trace_snapshots(&self) -> Vec<sim::Trace> {
         self.trace_devices
@@ -241,7 +303,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: <bin> [--scale LOG2] [--device a100|rtx3090] [--json PATH] [--reps N] \
-         [--trace PATH] [--explain PATH] [--sql QUERY]"
+         [--trace PATH] [--explain PATH] [--metrics PATH] [--sql QUERY]"
     );
     std::process::exit(2)
 }
@@ -287,9 +349,24 @@ impl Report {
         self.findings.push(text);
     }
 
-    /// Write to `--json` if requested, and refresh the `--trace` export.
+    /// Write to `--json` if requested, and refresh the `--trace`,
+    /// `--explain` and `--metrics` exports.
+    ///
+    /// Shared export paths are guarded: when two experiments in one
+    /// process (a `run_all` invocation) point the same flag at the same
+    /// path, the write is only allowed if they share the same accumulator
+    /// (cloned [`Args`]) — then later finishes rewrite the file with the
+    /// cumulative superset, exactly like the shared trace devices. Two
+    /// *independent* [`Args`] aiming at one path would silently overwrite
+    /// each other with partial data, so that panics instead.
     pub fn finish(&self, args: &Args) {
         if let Some(path) = &args.json {
+            // Re-finishing the same experiment may rewrite its own file;
+            // a *different* experiment aiming at the path is the bug.
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.experiment.hash(&mut h);
+            claim_export_path(path, h.finish() as usize, "--json");
             if let Some(parent) = path.parent() {
                 let _ = std::fs::create_dir_all(parent);
             }
@@ -297,8 +374,55 @@ impl Report {
             std::fs::write(path, data).expect("write json report");
             println!("(wrote {})", path.display());
         }
+        if let Some(path) = &args.trace {
+            claim_export_path(path, Arc::as_ptr(&args.trace_devices) as usize, "--trace");
+        }
+        if let Some(path) = &args.explain {
+            claim_export_path(
+                path,
+                Arc::as_ptr(&args.explain_queries) as usize,
+                "--explain",
+            );
+        }
+        if let Some(path) = &args.metrics {
+            claim_export_path(
+                path,
+                Arc::as_ptr(&args.metrics_devices) as usize,
+                "--metrics",
+            );
+        }
         args.write_trace();
         args.write_explain();
+        args.write_metrics();
+    }
+}
+
+/// Process-wide registry of export paths and the accumulator (or report)
+/// identity that owns each; see [`Report::finish`].
+static EXPORT_PATHS: std::sync::OnceLock<Mutex<std::collections::HashMap<PathBuf, usize>>> =
+    std::sync::OnceLock::new();
+
+fn claim_export_path(path: &std::path::Path, owner: usize, flag: &str) {
+    // Poison-robust: the panic this function raises on a conflict must not
+    // wedge every later (legitimate) export in the process.
+    let mut map = EXPORT_PATHS
+        .get_or_init(|| Mutex::new(std::collections::HashMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match map.entry(path.to_path_buf()) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            assert!(
+                *e.get() == owner,
+                "two experiments would write {flag} path '{}' through different \
+                 accumulators; the later write would overwrite the earlier one with \
+                 partial data. Share one cloned Args (like run_all does) so the \
+                 exports merge cumulatively, or give each experiment its own path.",
+                path.display()
+            );
+        }
+        std::collections::hash_map::Entry::Vacant(v) => {
+            v.insert(owner);
+        }
     }
 }
 
@@ -337,5 +461,60 @@ mod tests {
     fn mtps_math() {
         let v = mtps(2_000_000, sim::SimTime::from_secs(1.0));
         assert!((v - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_flag_enables_device_metrics() {
+        let dir = std::env::temp_dir().join("bench_metrics_flag_test");
+        let args = Args {
+            metrics: Some(dir.join("metrics.json")),
+            ..Args::default()
+        };
+        let dev = args.device();
+        assert!(dev.metrics_enabled());
+        dev.kernel("k").items(1 << 12, 1.0).launch();
+        let snaps = args.metrics_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].totals.launches, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_export_paths_from_different_accumulators_panic() {
+        let dir = std::env::temp_dir().join("bench_dup_path_test");
+        let path = dir.join("metrics.json");
+
+        // Same Args clone → shared accumulator → merging rewrite allowed.
+        let shared = Args {
+            metrics: Some(path.clone()),
+            ..Args::default()
+        };
+        let r1 = Report::new("dup_a", "t", &shared);
+        r1.finish(&shared);
+        r1.finish(&shared.clone());
+
+        // Fresh Args, same path → different accumulator → must panic
+        // instead of silently overwriting with partial data.
+        let other = Args {
+            metrics: Some(path.clone()),
+            ..Args::default()
+        };
+        let r2 = Report::new("dup_b", "t", &other);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r2.finish(&other)));
+        assert!(err.is_err(), "conflicting --metrics paths must not merge");
+
+        // Same story for --json: one experiment may re-finish, two may not
+        // share a file.
+        let json_path = dir.join("report.json");
+        let jargs = Args {
+            json: Some(json_path.clone()),
+            ..Args::default()
+        };
+        Report::new("dup_j", "t", &jargs).finish(&jargs);
+        Report::new("dup_j", "t", &jargs).finish(&jargs);
+        let clash = Report::new("dup_k", "t", &jargs);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| clash.finish(&jargs)));
+        assert!(err.is_err(), "two experiments must not share a --json path");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -240,6 +240,10 @@ impl PhysicalOperator for FusedOp {
         format!("Fused({})", names.join("+"))
     }
 
+    fn kind(&self) -> &'static str {
+        "fused"
+    }
+
     fn children(&self) -> &[BoxOp] {
         &self.children
     }

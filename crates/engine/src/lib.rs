@@ -60,5 +60,7 @@ pub use exec::{
 pub use explain::{ExplainNode, QueryExplain};
 pub use expr::{CmpOp, Expr};
 pub use plan::{AggSpec, Plan};
-pub use scheduler::{run_queries, OperatorBreakdown, Policy, QueryReport, QuerySpec};
+pub use scheduler::{
+    run_open_loop, run_queries, OpenQuery, OperatorBreakdown, Policy, QueryReport, QuerySpec,
+};
 pub use table::Table;

@@ -134,6 +134,11 @@ impl Evaluated {
 pub trait PhysicalOperator {
     /// One-line description of the node (operator + parameters).
     fn label(&self) -> String;
+    /// Stable operator-kind tag (`"join"`, `"aggregate"`, …) keying the
+    /// per-kind duration and rows/s distributions in the metrics registry.
+    fn kind(&self) -> &'static str {
+        "operator"
+    }
     /// Input operators, in the order their values arrive at `evaluate`.
     fn children(&self) -> &[BoxOp];
     /// Execute on the device, consuming one input value per child.
@@ -182,6 +187,30 @@ fn run_operator_value(
         Some(d) => format!("{} via {}", op.label(), d),
         None => op.label(),
     };
+    // Service-level metrics: per-operator-kind duration and throughput
+    // distributions. Simulated durations are per-query deterministic and
+    // histogram recording commutes, so these families are byte-identical
+    // across host threads and scheduling policies.
+    ctx.dev.with_metrics(|reg| {
+        let rows = op_stats.rows as u64;
+        let secs = op_stats.total_time().secs();
+        let labels = || vec![("op", op.kind().to_string())];
+        reg.hist_record(
+            "operator_seconds",
+            labels(),
+            sim::SECONDS_SCALE,
+            sim::secs_to_ticks(secs),
+        );
+        reg.counter_add("operator_rows_total", labels(), rows);
+        if secs > 0.0 {
+            reg.hist_record(
+                "operator_rows_per_sec",
+                labels(),
+                1.0,
+                (rows as f64 / secs).round() as u64,
+            );
+        }
+    });
     if ctx.dev.tracing_enabled() {
         // Operator covering span: its duration is exactly this node's
         // `OpStats::total_time()` (other = elapsed - phases, so
@@ -316,6 +345,10 @@ struct ScanOp {
 }
 
 impl PhysicalOperator for ScanOp {
+    fn kind(&self) -> &'static str {
+        "scan"
+    }
+
     fn label(&self) -> String {
         format!("Scan({})", self.table)
     }
@@ -357,6 +390,10 @@ impl ValuesOp {
 }
 
 impl PhysicalOperator for ValuesOp {
+    fn kind(&self) -> &'static str {
+        "values"
+    }
+
     fn label(&self) -> String {
         format!("Values({})", self.table.name())
     }
@@ -393,6 +430,10 @@ struct FilterOp {
 }
 
 impl PhysicalOperator for FilterOp {
+    fn kind(&self) -> &'static str {
+        "filter"
+    }
+
     fn label(&self) -> String {
         "Filter".to_string()
     }
@@ -432,6 +473,10 @@ struct ProjectOp {
 }
 
 impl PhysicalOperator for ProjectOp {
+    fn kind(&self) -> &'static str {
+        "project"
+    }
+
     fn label(&self) -> String {
         "Project".to_string()
     }
@@ -680,6 +725,10 @@ impl JoinOp {
 }
 
 impl PhysicalOperator for JoinOp {
+    fn kind(&self) -> &'static str {
+        "join"
+    }
+
     fn label(&self) -> String {
         format!(
             "Join({}={}, {})",
@@ -826,6 +875,10 @@ struct SortOp {
 }
 
 impl PhysicalOperator for SortOp {
+    fn kind(&self) -> &'static str {
+        "sort"
+    }
+
     fn label(&self) -> String {
         format!(
             "Sort(by {}{}{})",
@@ -927,6 +980,10 @@ struct LimitOp {
 }
 
 impl PhysicalOperator for LimitOp {
+    fn kind(&self) -> &'static str {
+        "limit"
+    }
+
     fn label(&self) -> String {
         format!("Limit({})", self.count)
     }
@@ -1015,6 +1072,10 @@ struct DistinctOp {
 }
 
 impl PhysicalOperator for DistinctOp {
+    fn kind(&self) -> &'static str {
+        "distinct"
+    }
+
     fn label(&self) -> String {
         format!("Distinct({})", self.column)
     }
@@ -1096,6 +1157,10 @@ impl AggregateOp {
 }
 
 impl PhysicalOperator for AggregateOp {
+    fn kind(&self) -> &'static str {
+        "aggregate"
+    }
+
     fn label(&self) -> String {
         format!("Aggregate(by {})", self.group_by)
     }

@@ -91,6 +91,31 @@ impl QuerySpec {
     }
 }
 
+/// One open-loop request: a [`QuerySpec`] that *arrives* at a scheduled
+/// simulated time instead of being present at session start. The tenant
+/// `class` labels the request's latency observations in the device's
+/// metrics registry (`query_latency_seconds{class=...}` and friends).
+#[derive(Debug, Clone)]
+pub struct OpenQuery {
+    /// Scheduled arrival on the simulated clock.
+    pub at: SimTime,
+    /// Tenant class for per-class latency accounting (e.g. `"q3"`).
+    pub class: String,
+    /// The query itself.
+    pub spec: QuerySpec,
+}
+
+impl OpenQuery {
+    /// An open-loop request arriving at `at`.
+    pub fn new(at: SimTime, class: impl Into<String>, spec: QuerySpec) -> Self {
+        OpenQuery {
+            at,
+            class: class.into(),
+            spec,
+        }
+    }
+}
+
 /// One operator of a finished query, flattened out of the [`NodeStats`]
 /// tree in pre-order: the display label plus the shared per-operator
 /// report. The flat form is what per-tenant accounting wants — summing
@@ -115,7 +140,8 @@ fn flatten_breakdown(stats: &NodeStats, out: &mut Vec<OperatorBreakdown>) {
     }
 }
 
-/// Outcome of one tenant query in a [`run_queries`] session.
+/// Outcome of one tenant query in a [`run_queries`] or [`run_open_loop`]
+/// session.
 pub struct QueryReport {
     /// Index of the originating spec in the `specs` argument (equal to the
     /// device-side query id when every spec passed registration).
@@ -126,6 +152,12 @@ pub struct QueryReport {
     pub budget_bytes: u64,
     /// Simulated device time the query's kernels received.
     pub busy: SimTime,
+    /// When the query arrived: session start for [`run_queries`] tenants,
+    /// the scheduled arrival for [`run_open_loop`] requests.
+    pub arrival: SimTime,
+    /// Device-clock time at which the query's memory reservation was
+    /// granted; `admitted - arrival` is its admission-queue wait.
+    pub admitted: SimTime,
     /// Device-clock time at which the query retired — its completion time
     /// on the shared timeline, the metric the fairness suite bounds.
     pub completion: SimTime,
@@ -165,11 +197,86 @@ pub fn run_queries(
     specs: Vec<QuerySpec>,
     policy: Policy,
 ) -> Vec<QueryReport> {
+    let n = specs.len().max(1) as u64;
+    let entries: Vec<SessionEntry> = specs
+        .into_iter()
+        .map(|spec| SessionEntry {
+            spec,
+            arrival: None,
+            class: None,
+        })
+        .collect();
+    // Equal shares of the free capacity: every tenant is present at
+    // session start, so all budgets can be live at once.
+    run_session(dev, catalog, entries, policy, |free| free / n)
+}
+
+/// Execute an open-loop arrival schedule on `dev` under `policy`; returns
+/// one [`QueryReport`] per request, in request order.
+///
+/// Unlike [`run_queries`] (a *closed* system: all tenants present at start,
+/// load adapts to service), `arrivals` scheds each request onto the
+/// simulated clock at its own `at` time, independent of how the service
+/// keeps up — the open-loop model a latency-throughput curve requires.
+/// Arrival times must be non-decreasing (FIFO admission is in registration
+/// order, and registration order must equal arrival order for that to mean
+/// FIFO-by-arrival). When the device drains idle before the next arrival,
+/// the simulated clock jumps forward to it.
+///
+/// Per-request latency decomposes as `completion - arrival =
+/// (admitted - arrival) + (completion - admitted)`: admission-queue wait
+/// plus service. With metrics enabled on `dev`, each request's wait,
+/// service and total latency are recorded into per-class histograms
+/// (`query_queue_wait_seconds`, `query_exec_seconds`,
+/// `query_latency_seconds`, labelled `class=...`) — `m02_serving` derives
+/// its whole curve from those.
+///
+/// Requests default to a quarter of the free capacity as memory budget
+/// (set explicit budgets with [`QuerySpec::with_budget`]): an open-loop
+/// queue has no meaningful "equal share", and a quarter keeps a few
+/// requests admissible concurrently while still exercising admission
+/// queueing under load.
+pub fn run_open_loop(
+    dev: &Device,
+    catalog: &Catalog,
+    arrivals: Vec<OpenQuery>,
+    policy: Policy,
+) -> Vec<QueryReport> {
+    assert!(
+        arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+        "open-loop arrivals must be scheduled in non-decreasing time order"
+    );
+    let entries: Vec<SessionEntry> = arrivals
+        .into_iter()
+        .map(|oq| SessionEntry {
+            spec: oq.spec,
+            arrival: Some(oq.at),
+            class: Some(oq.class),
+        })
+        .collect();
+    run_session(dev, catalog, entries, policy, |free| free / 4)
+}
+
+struct SessionEntry {
+    spec: QuerySpec,
+    /// `None`: present at session start (closed loop).
+    arrival: Option<SimTime>,
+    /// Tenant class for latency metrics; `None` uses `"default"`.
+    class: Option<String>,
+}
+
+fn run_session(
+    dev: &Device,
+    catalog: &Catalog,
+    entries: Vec<SessionEntry>,
+    policy: Policy,
+    default_budget: impl Fn(u64) -> u64,
+) -> Vec<QueryReport> {
     assert!(
         dev.query_id().is_none(),
-        "run_queries must be called on the base device handle"
+        "scheduling sessions must start on the base device handle"
     );
-    if specs.is_empty() {
+    if entries.is_empty() {
         return Vec::new();
     }
     let was_tracing = dev.tracing_enabled();
@@ -177,7 +284,7 @@ pub fn run_queries(
     let free = dev
         .mem_capacity()
         .saturating_sub(dev.mem_report().current_bytes);
-    let fair_share = free / specs.len() as u64;
+    let fallback_budget = default_budget(free);
 
     // Register every spec on this thread, in spec order: device query ids
     // are assigned in call order, and the id order is what the policies'
@@ -186,18 +293,23 @@ pub fn run_queries(
         Query { qdev: Device, plan: Plan },
         Rejected { budget: u64, err: EngineError },
     }
-    let registered: Vec<Registered> = specs
-        .into_iter()
-        .map(|spec| {
-            let budget = spec.budget_bytes.unwrap_or(fair_share);
-            match dev.sched_register(spec.weight, budget) {
+    let registered: Vec<Registered> = entries
+        .iter()
+        .map(|entry| {
+            let spec = &entry.spec;
+            let budget = spec.budget_bytes.unwrap_or(fallback_budget);
+            let handle = match entry.arrival {
+                Some(at) => dev.sched_register_at(spec.weight, budget, at),
+                None => dev.sched_register(spec.weight, budget),
+            };
+            match handle {
                 Ok(qdev) => {
                     if was_tracing {
                         qdev.enable_tracing();
                     }
                     Registered::Query {
                         qdev,
-                        plan: spec.plan,
+                        plan: spec.plan.clone(),
                     }
                 }
                 Err(e) => Registered::Rejected {
@@ -250,7 +362,7 @@ pub fn run_queries(
             .collect()
     });
 
-    let reports = registered
+    let reports: Vec<QueryReport> = registered
         .into_iter()
         .zip(outcomes)
         .enumerate()
@@ -260,6 +372,8 @@ pub fn run_queries(
                 result: Err(err),
                 budget_bytes: budget,
                 busy: SimTime::ZERO,
+                arrival: SimTime::ZERO,
+                admitted: SimTime::ZERO,
                 completion: SimTime::ZERO,
                 peak_mem_bytes: 0,
                 trace: None,
@@ -292,6 +406,8 @@ pub fn run_queries(
                     result,
                     budget_bytes: sched.budget_bytes,
                     busy: SimTime::from_secs(sched.busy_secs),
+                    arrival: SimTime::from_secs(sched.arrival_secs),
+                    admitted: SimTime::from_secs(sched.admitted_secs),
                     completion: SimTime::from_secs(sched.completion_secs),
                     peak_mem_bytes: qdev.mem_report().peak_bytes,
                     trace: qdev.take_trace(),
@@ -302,5 +418,46 @@ pub fn run_queries(
         })
         .collect();
     dev.sched_finish();
+    record_latency_metrics(dev, &entries, &reports);
     reports
+}
+
+/// Record per-class service-level latency observations into the device's
+/// metrics registry (no-op when metrics are disabled). Runs on the driver
+/// thread, in spec order, *after* the session — recording order and values
+/// are both deterministic, so exports stay byte-identical across runs.
+fn record_latency_metrics(dev: &Device, entries: &[SessionEntry], reports: &[QueryReport]) {
+    dev.with_metrics(|reg| {
+        for (entry, report) in entries.iter().zip(reports) {
+            let class = entry.class.as_deref().unwrap_or("default");
+            let labels = || vec![("class", class.to_string())];
+            match &report.result {
+                Ok(_) => {
+                    let wait = (report.admitted - report.arrival).secs();
+                    let exec = (report.completion - report.admitted).secs();
+                    let latency = (report.completion - report.arrival).secs();
+                    reg.hist_record(
+                        "query_queue_wait_seconds",
+                        labels(),
+                        sim::SECONDS_SCALE,
+                        sim::secs_to_ticks(wait),
+                    );
+                    reg.hist_record(
+                        "query_exec_seconds",
+                        labels(),
+                        sim::SECONDS_SCALE,
+                        sim::secs_to_ticks(exec),
+                    );
+                    reg.hist_record(
+                        "query_latency_seconds",
+                        labels(),
+                        sim::SECONDS_SCALE,
+                        sim::secs_to_ticks(latency),
+                    );
+                    reg.counter_add("query_completed_total", labels(), 1);
+                }
+                Err(_) => reg.counter_add("query_failed_total", labels(), 1),
+            }
+        }
+    });
 }

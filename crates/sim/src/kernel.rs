@@ -416,6 +416,27 @@ impl<'d> KernelBuilder<'d> {
                 tr.push_kernel(self.event(q_start, t, query));
             }
         }
+        let clock_after = st.clock;
+        if let Some(m) = st.metrics.as_deref_mut() {
+            // Same arithmetic as bump(): metrics totals cross-check against
+            // Counters deltas and trace sums exactly.
+            m.on_kernel(
+                clock_after,
+                query,
+                t,
+                &crate::metrics::KernelDelta {
+                    warp_instructions: self.warp_instructions,
+                    dram_read_bytes: self.seq_read_bytes + self.dram_gather_sectors * SECTOR_BYTES,
+                    dram_write_bytes: self.seq_write_bytes
+                        + self.store_writeback_sectors * SECTOR_BYTES,
+                    load_requests: self.load_requests,
+                    sectors_requested: self.sectors_requested,
+                    l2_hits: self.l2_hit_sectors,
+                    l2_misses: self.dram_gather_sectors,
+                    atomics: self.atomics_total,
+                },
+            );
+        }
         drop(st);
         if gated {
             self.dev.complete_turn(query.unwrap(), t);

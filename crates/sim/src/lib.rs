@@ -71,6 +71,7 @@ mod element;
 mod kernel;
 mod l2;
 mod memory;
+pub mod metrics;
 pub mod sched;
 mod stats;
 mod time;
@@ -85,6 +86,10 @@ pub use element::Element;
 pub use kernel::KernelBuilder;
 pub use l2::L2Cache;
 pub use memory::{DeviceBuffer, MemReport};
+pub use metrics::{
+    metrics_json, openmetrics, secs_to_ticks, HdrHistogram, MetricsRegistry, MetricsSnapshot,
+    QueryLifecycle, SECONDS_SCALE,
+};
 pub use sched::{AdmissionError, BudgetError, QueryId, QuerySchedStats, SchedPolicy};
 pub use stats::OpStats;
 pub use time::{PhaseTimes, SimTime};
@@ -144,6 +149,9 @@ pub(crate) struct DeviceState {
     pub(crate) clock: f64,
     /// Opt-in event recorder (see [`trace`]); `None` costs nothing.
     pub(crate) trace: Option<Box<Trace>>,
+    /// Opt-in service-level metrics recorder (see [`metrics`]); like the
+    /// trace, `None` costs one branch per launch.
+    pub(crate) metrics: Option<Box<metrics::DeviceMetrics>>,
     /// Virtual state of the current scheduling session's queries, indexed by
     /// [`QueryId`]. Cleared by the next [`Device::sched_start`].
     pub(crate) queries: Vec<QueryState>,
@@ -211,6 +219,7 @@ impl Device {
                     mem: memory::MemLedger::default(),
                     clock: 0.0,
                     trace: None,
+                    metrics: None,
                     queries: Vec::new(),
                 }),
                 sched: std::sync::Mutex::new(sched::SchedState::default()),
@@ -326,6 +335,11 @@ impl Device {
                 st.counters = Counters::default();
                 st.clock = 0.0;
                 st.mem.reset_peak();
+                if let Some(m) = st.metrics.as_deref_mut() {
+                    // Cumulative metrics totals stay monotone across the
+                    // reset; only the sample grid rebases to the new clock.
+                    m.on_reset();
+                }
             }
         }
     }
@@ -396,6 +410,58 @@ impl Device {
         }
     }
 
+    /// Start recording service-level metrics (see the [`metrics`] module):
+    /// a registry of counters/gauges/histograms plus time-series sampled
+    /// every `interval` of *simulated* time. Call on the base handle; query
+    /// handles feed the same recorder with per-tenant labels (dual
+    /// accounting, like counters and traces). Idempotent: enabling an
+    /// already-recording device keeps the existing recorder and interval.
+    pub fn enable_metrics(&self, interval: SimTime) {
+        assert!(self.query.is_none(), "enable_metrics on a query handle");
+        let mut st = self.inner.state.lock();
+        if st.metrics.is_none() {
+            let clock = st.clock;
+            let current = st.mem.report().current_bytes;
+            let mut m =
+                metrics::DeviceMetrics::new(self.inner.config.name.clone(), interval.secs(), clock);
+            m.on_mem(current);
+            st.metrics = Some(Box::new(m));
+        }
+    }
+
+    /// Whether this device is currently recording service-level metrics.
+    pub fn metrics_enabled(&self) -> bool {
+        self.inner.state.lock().metrics.is_some()
+    }
+
+    /// Snapshot the metrics recorded so far without stopping the recorder.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.inner
+            .state
+            .lock()
+            .metrics
+            .as_deref()
+            .map(|m| m.snapshot())
+    }
+
+    /// Stop recording metrics and return the final snapshot, if enabled.
+    pub fn take_metrics(&self) -> Option<MetricsSnapshot> {
+        self.inner.state.lock().metrics.take().map(|m| m.snapshot())
+    }
+
+    /// Run `f` against the open metrics registry (no-op when metrics are
+    /// disabled — callers can record unconditionally). Engine layers use
+    /// this for their own instruments: per-operator duration histograms,
+    /// per-tenant latency histograms. Only integer instruments (counters,
+    /// histograms) may be recorded from concurrent workers; see the
+    /// [`metrics`] module docs for the determinism rules.
+    pub fn with_metrics(&self, f: impl FnOnce(&mut MetricsRegistry)) {
+        let mut st = self.inner.state.lock();
+        if let Some(m) = st.metrics.as_deref_mut() {
+            f(&mut m.registry);
+        }
+    }
+
     /// Invalidate the modeled L2 (the query's private image on a query
     /// handle), e.g. to measure a cold run.
     pub fn flush_l2(&self) {
@@ -425,13 +491,13 @@ impl Device {
     /// a session is already active.
     pub fn sched_start(&self, policy: SchedPolicy) {
         assert!(self.query.is_none(), "sched_start on a query handle");
-        let used = {
+        let (used, clock) = {
             let mut st = self.inner.state.lock();
             st.queries.clear();
-            st.mem.report().current_bytes
+            (st.mem.report().current_bytes, st.clock)
         };
         let available = self.inner.config.global_mem_bytes.saturating_sub(used);
-        self.inner.sched_lock().start(policy, available);
+        self.inner.sched_lock().start(policy, available, clock);
     }
 
     /// Register a query with the active session, reserving it a memory
@@ -446,6 +512,33 @@ impl Device {
     pub fn sched_register(&self, weight: f64, budget_bytes: u64) -> Result<Device, AdmissionError> {
         assert!(self.query.is_none(), "sched_register on a query handle");
         let qid = self.inner.sched_lock().register(weight, budget_bytes)?;
+        self.finish_register(qid, budget_bytes)
+    }
+
+    /// Register a query that *arrives in the future*: open-loop load
+    /// generation. The query behaves exactly like a [`Device::sched_register`]
+    /// query except that admission and scheduling ignore it until the
+    /// simulated clock reaches `arrival`; if the device drains idle while
+    /// only future arrivals remain, the clock jumps forward to the earliest
+    /// one (an open-loop service sees real inter-arrival gaps, not a
+    /// back-to-back batch). Register arrivals in non-decreasing time order —
+    /// admission is FIFO in id order, and id order must equal arrival order
+    /// for that to mean FIFO-by-arrival.
+    pub fn sched_register_at(
+        &self,
+        weight: f64,
+        budget_bytes: u64,
+        arrival: SimTime,
+    ) -> Result<Device, AdmissionError> {
+        assert!(self.query.is_none(), "sched_register_at on a query handle");
+        let qid = self
+            .inner
+            .sched_lock()
+            .register_at(weight, budget_bytes, arrival.secs())?;
+        self.finish_register(qid, budget_bytes)
+    }
+
+    fn finish_register(&self, qid: QueryId, budget_bytes: u64) -> Result<Device, AdmissionError> {
         let clock = {
             let mut st = self.inner.state.lock();
             debug_assert_eq!(
@@ -468,17 +561,41 @@ impl Device {
     }
 
     /// Block until this query's budget reservation has been granted. Call on
-    /// the query handle, before running the query's plan.
+    /// the query handle, before running the query's plan. If the device
+    /// drains idle while this query's (open-loop) arrival is still in the
+    /// future, the waiting thread itself jumps the clock forward.
     pub fn sched_admit(&self) {
         let qid = self.query.expect("sched_admit on a non-query handle");
         let mut sched = self.inner.sched_lock();
-        while !sched.is_admitted(qid) {
+        loop {
+            if sched.is_admitted(qid) {
+                return;
+            }
+            if let Some(delta) = sched.begin_idle_advance() {
+                drop(sched);
+                self.apply_idle_advance(delta);
+                sched = self.inner.sched_lock();
+                continue;
+            }
             sched = self
                 .inner
                 .sched_cv
                 .wait(sched)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+    }
+
+    /// Second phase of an idle advance: the calling thread holds the
+    /// exclusive `advancing` claim (designation is `None`, so no kernel can
+    /// race the clock), moves the device clock with the sched lock released
+    /// (the two locks are never held together), then commits.
+    fn apply_idle_advance(&self, delta: f64) {
+        {
+            let mut st = self.inner.state.lock();
+            st.clock += delta;
+        }
+        self.inner.sched_lock().finish_idle_advance(delta);
+        self.inner.sched_cv.notify_all();
     }
 
     /// Retire this query: record its completion time on the device clock,
@@ -488,8 +605,25 @@ impl Device {
     pub fn sched_retire(&self) {
         let qid = self.query.expect("sched_retire on a non-query handle");
         let clock = self.inner.state.lock().clock;
-        self.inner.sched_lock().retire(qid, clock);
+        let stats = {
+            let mut sched = self.inner.sched_lock();
+            sched.retire(qid, clock);
+            sched.stats(qid)
+        };
         self.inner.sched_cv.notify_all();
+        let mut st = self.inner.state.lock();
+        if let Some(m) = st.metrics.as_deref_mut() {
+            // Deterministic simulated timestamps; host-racy *recording*
+            // order is neutralized by sorting lifecycles at snapshot time.
+            m.push_lifecycle(QueryLifecycle {
+                query: qid,
+                arrival_secs: stats.arrival_secs,
+                admitted_secs: stats.admitted_secs,
+                completion_secs: stats.completion_secs,
+                busy_secs: stats.busy_secs,
+                budget_bytes: stats.budget_bytes,
+            });
+        }
     }
 
     /// End the session. Call on the base handle after every query retired.
@@ -514,14 +648,22 @@ impl Device {
         if !sched.active() {
             return false;
         }
-        while !sched.is_designated(qid) {
+        loop {
+            if sched.is_designated(qid) {
+                return true;
+            }
+            if let Some(delta) = sched.begin_idle_advance() {
+                drop(sched);
+                self.apply_idle_advance(delta);
+                sched = self.inner.sched_lock();
+                continue;
+            }
             sched = self
                 .inner
                 .sched_cv
                 .wait(sched)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        true
     }
 
     /// Account a finished kernel turn and pass the turn to the next query.

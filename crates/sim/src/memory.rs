@@ -137,8 +137,16 @@ impl<T: Element> DeviceBuffer<T> {
                 let st = &mut *guard;
                 let cap = dev.inner.config.global_mem_bytes;
                 let addr = st.mem.alloc(bytes, cap, label);
+                let current = st.mem.report().current_bytes;
                 if let Some(tr) = st.trace.as_deref_mut() {
-                    tr.push_mem(st.clock, st.mem.report().current_bytes);
+                    tr.push_mem(st.clock, current);
+                }
+                // Only the base ledger feeds the metrics occupancy series:
+                // base allocations are program-ordered, while query-handle
+                // allocations race co-tenant sample points (their peaks are
+                // reported per query instead).
+                if let Some(m) = st.metrics.as_deref_mut() {
+                    m.on_mem(current);
                 }
                 addr
             }
@@ -278,8 +286,12 @@ impl<T: Element> Drop for DeviceBuffer<T> {
                 // Zero-charged drops (aliases, empty buffers) never moved
                 // the ledger, so they produce no timeline sample either.
                 if self.charged_bytes > 0 {
+                    let current = st.mem.report().current_bytes;
                     if let Some(tr) = st.trace.as_deref_mut() {
-                        tr.push_mem(st.clock, st.mem.report().current_bytes);
+                        tr.push_mem(st.clock, current);
+                    }
+                    if let Some(m) = st.metrics.as_deref_mut() {
+                        m.on_mem(current);
                     }
                 }
             }

@@ -122,6 +122,9 @@ pub struct QuerySchedStats {
     pub completion_secs: f64,
     /// Device clock when the query's budget reservation was granted.
     pub admitted_secs: f64,
+    /// Device clock when the query arrived — registration time for
+    /// closed-loop queries, the scheduled open-loop arrival otherwise.
+    pub arrival_secs: f64,
     /// The reservation the query ran under, bytes.
     pub budget_bytes: u64,
 }
@@ -135,6 +138,10 @@ pub(crate) struct QuerySched {
     busy_secs: f64,
     admitted_secs: f64,
     completion_secs: f64,
+    /// Simulated time at which the query enters the system. Until then it
+    /// is invisible to admission and designation.
+    arrival_secs: f64,
+    arrived: bool,
 }
 
 /// The state behind the turn gate. Guarded by a dedicated `std` mutex (and
@@ -151,10 +158,19 @@ pub(crate) struct SchedState {
     reserved_bytes: u64,
     /// Free device bytes at session start (capacity minus base residents).
     available_bytes: u64,
+    /// Mirror of the device clock, maintained without ever touching the
+    /// state lock: seeded at `start`, advanced by each completed turn and
+    /// each committed idle advance, resynced at every retire. Open-loop
+    /// arrival gating reads simulated time from here.
+    clock: f64,
+    /// An idle advance is in flight: one thread is applying a clock jump to
+    /// the device state with the sched lock released. Until it commits via
+    /// [`SchedState::finish_idle_advance`], no other thread may start one.
+    advancing: bool,
 }
 
 impl SchedState {
-    pub(crate) fn start(&mut self, policy: SchedPolicy, available_bytes: u64) {
+    pub(crate) fn start(&mut self, policy: SchedPolicy, available_bytes: u64, device_clock: f64) {
         assert!(
             self.policy.is_none(),
             "a scheduling session is already active on this device"
@@ -165,6 +181,8 @@ impl SchedState {
         self.rr_cursor = 0;
         self.reserved_bytes = 0;
         self.available_bytes = available_bytes;
+        self.clock = device_clock;
+        self.advancing = false;
     }
 
     pub(crate) fn finish(&mut self) {
@@ -187,8 +205,28 @@ impl SchedState {
         weight: f64,
         budget_bytes: u64,
     ) -> Result<QueryId, AdmissionError> {
+        let clock = self.clock;
+        self.register_at(weight, budget_bytes, clock)
+    }
+
+    /// Register a query that arrives at `arrival_secs` on the simulated
+    /// clock (possibly in the future: open-loop load generation). Until the
+    /// clock reaches its arrival the query is invisible to admission and
+    /// designation; when every in-system query has drained and only future
+    /// arrivals remain, the clock jumps forward (see
+    /// [`SchedState::begin_idle_advance`]).
+    pub(crate) fn register_at(
+        &mut self,
+        weight: f64,
+        budget_bytes: u64,
+        arrival_secs: f64,
+    ) -> Result<QueryId, AdmissionError> {
         assert!(self.active(), "sched_register outside a session");
         assert!(weight > 0.0, "query weight must be positive");
+        assert!(
+            arrival_secs.is_finite(),
+            "query arrival time must be finite"
+        );
         if budget_bytes > self.available_bytes {
             return Err(AdmissionError {
                 requested_bytes: budget_bytes,
@@ -204,16 +242,30 @@ impl SchedState {
             busy_secs: 0.0,
             admitted_secs: 0.0,
             completion_secs: 0.0,
+            arrival_secs,
+            arrived: arrival_secs <= self.clock,
         });
         Ok(id)
     }
 
+    /// Flip queries whose arrival time the clock has reached to arrived.
+    fn mark_arrivals(&mut self) {
+        for q in self.queries.iter_mut() {
+            if !q.arrived && q.arrival_secs <= self.clock {
+                q.arrived = true;
+            }
+        }
+    }
+
     /// Grant reservations in id (FIFO) order until one does not fit; the
     /// head of the line blocks everyone behind it, which keeps admission
-    /// order — and therefore everything downstream — deterministic.
+    /// order — and therefore everything downstream — deterministic. Queries
+    /// that have not yet *arrived* are skipped rather than blocking: ids
+    /// are assigned in arrival order, so skipping the not-yet-arrived tail
+    /// preserves arrival-order FIFO.
     pub(crate) fn admit_fifo(&mut self, device_clock: f64) {
         for q in self.queries.iter_mut() {
-            if q.finished || q.admitted {
+            if q.finished || q.admitted || !q.arrived {
                 continue;
             }
             if self.reserved_bytes + q.budget_bytes > self.available_bytes {
@@ -228,6 +280,42 @@ impl SchedState {
         }
     }
 
+    /// If the device is idle (no runnable query) but future arrivals exist,
+    /// claim the right to jump the clock to the earliest one. Returns the
+    /// jump delta; the caller must release the sched lock, advance the
+    /// *device* clock by the delta, then commit with
+    /// [`SchedState::finish_idle_advance`]. The `advancing` flag keeps the
+    /// jump exclusive; designation stays `None` until the commit, so no
+    /// kernel can read the device clock mid-jump (any admitted unfinished
+    /// query would be designated and therefore block the advance).
+    pub(crate) fn begin_idle_advance(&mut self) -> Option<f64> {
+        if !self.active() || self.advancing || self.designated.is_some() {
+            return None;
+        }
+        let next = self
+            .queries
+            .iter()
+            .filter(|q| !q.arrived && !q.finished && q.arrival_secs > self.clock)
+            .map(|q| q.arrival_secs)
+            .fold(f64::INFINITY, f64::min);
+        if !next.is_finite() {
+            return None;
+        }
+        self.advancing = true;
+        Some(next - self.clock)
+    }
+
+    /// Commit an idle advance after the device clock has been moved.
+    pub(crate) fn finish_idle_advance(&mut self, delta: f64) {
+        debug_assert!(self.advancing, "finish_idle_advance without begin");
+        self.advancing = false;
+        self.clock += delta;
+        self.mark_arrivals();
+        let clock = self.clock;
+        self.admit_fifo(clock);
+        self.redesignate();
+    }
+
     pub(crate) fn is_admitted(&self, id: QueryId) -> bool {
         self.queries[id as usize].admitted
     }
@@ -236,10 +324,16 @@ impl SchedState {
         self.designated == Some(id)
     }
 
-    /// Account a completed kernel turn and pass the turn on.
+    /// Account a completed kernel turn and pass the turn on. The clock
+    /// mirror advances with the kernel (the device clock already did, under
+    /// the state lock), which may let new arrivals into the system.
     pub(crate) fn complete_turn(&mut self, id: QueryId, kernel_secs: f64) {
         debug_assert_eq!(self.designated, Some(id), "turn completed out of order");
         self.queries[id as usize].busy_secs += kernel_secs;
+        self.clock += kernel_secs;
+        self.mark_arrivals();
+        let clock = self.clock;
+        self.admit_fifo(clock);
         if self.policy == Some(SchedPolicy::RoundRobin) {
             self.rr_cursor = id + 1;
         }
@@ -247,8 +341,10 @@ impl SchedState {
     }
 
     /// Mark a query finished, release its reservation, and re-run FIFO
-    /// admission for queued queries.
+    /// admission for queued queries. `device_clock` resyncs the mirror (it
+    /// can drift only by float-add ordering; the device clock is the truth).
     pub(crate) fn retire(&mut self, id: QueryId, device_clock: f64) {
+        self.clock = device_clock;
         let q = &mut self.queries[id as usize];
         assert!(!q.finished, "query retired twice");
         q.finished = true;
@@ -256,6 +352,7 @@ impl SchedState {
         if q.admitted {
             self.reserved_bytes -= q.budget_bytes;
         }
+        self.mark_arrivals();
         self.admit_fifo(device_clock);
         self.redesignate();
     }
@@ -266,13 +363,14 @@ impl SchedState {
             busy_secs: q.busy_secs,
             completion_secs: q.completion_secs,
             admitted_secs: q.admitted_secs,
+            arrival_secs: q.arrival_secs,
             budget_bytes: q.budget_bytes,
         }
     }
 
     /// Recompute the designated query from simulated state only.
     fn redesignate(&mut self) {
-        let runnable = |q: &QuerySched| q.admitted && !q.finished;
+        let runnable = |q: &QuerySched| q.arrived && q.admitted && !q.finished;
         let n = self.queries.len() as u32;
         self.designated = match self.policy {
             None => None,
@@ -303,7 +401,7 @@ mod tests {
 
     fn session(policy: SchedPolicy, budgets: &[u64], available: u64) -> SchedState {
         let mut st = SchedState::default();
-        st.start(policy, available);
+        st.start(policy, available, 0.0);
         for &b in budgets {
             st.register(1.0, b).unwrap();
         }
@@ -342,7 +440,7 @@ mod tests {
     #[test]
     fn weighted_fair_shares_busy_time_by_weight() {
         let mut st = SchedState::default();
-        st.start(SchedPolicy::WeightedFair, 100);
+        st.start(SchedPolicy::WeightedFair, 100, 0.0);
         st.register(3.0, 10).unwrap();
         st.register(1.0, 10).unwrap();
         st.admit_fifo(0.0);
@@ -370,9 +468,59 @@ mod tests {
     }
 
     #[test]
+    fn future_arrivals_are_invisible_until_the_clock_reaches_them() {
+        let mut st = SchedState::default();
+        st.start(SchedPolicy::Serial, 100, 0.0);
+        st.register_at(1.0, 10, 5.0).unwrap();
+        st.admit_fifo(0.0);
+        assert!(!st.is_admitted(0), "query 0 has not arrived yet");
+        assert_eq!(st.designated, None);
+
+        // The device is idle with one future arrival: jump to it.
+        let delta = st.begin_idle_advance().expect("idle advance available");
+        assert_eq!(delta, 5.0);
+        assert_eq!(
+            st.begin_idle_advance(),
+            None,
+            "advance is exclusive while in flight"
+        );
+        st.finish_idle_advance(delta);
+        assert!(st.is_admitted(0));
+        assert_eq!(st.designated, Some(0));
+        assert_eq!(st.stats(0).arrival_secs, 5.0);
+        assert_eq!(st.stats(0).admitted_secs, 5.0);
+    }
+
+    #[test]
+    fn kernel_turns_advance_the_clock_mirror_and_admit_arrivals() {
+        let mut st = SchedState::default();
+        st.start(SchedPolicy::Serial, 100, 0.0);
+        st.register_at(1.0, 10, 0.0).unwrap();
+        st.register_at(1.0, 10, 2.5).unwrap();
+        st.admit_fifo(0.0);
+        assert_eq!(st.designated, Some(0));
+        assert!(!st.is_admitted(1));
+
+        st.complete_turn(0, 1.0);
+        assert!(!st.is_admitted(1), "clock at 1.0 < arrival 2.5");
+        st.complete_turn(0, 2.0);
+        assert!(st.is_admitted(1), "clock at 3.0 >= arrival 2.5");
+        assert_eq!(st.stats(1).admitted_secs, 3.0);
+        assert_eq!(st.designated, Some(0), "serial still runs query 0");
+
+        st.retire(0, 3.0);
+        assert_eq!(st.designated, Some(1));
+        assert_eq!(
+            st.begin_idle_advance(),
+            None,
+            "no advance while a query is runnable"
+        );
+    }
+
+    #[test]
     fn oversized_budget_is_rejected_at_registration() {
         let mut st = SchedState::default();
-        st.start(SchedPolicy::Serial, 100);
+        st.start(SchedPolicy::Serial, 100, 0.0);
         let err = st.register(1.0, 101).unwrap_err();
         assert_eq!(err.requested_bytes, 101);
         assert_eq!(err.available_bytes, 100);

@@ -23,7 +23,7 @@ echo "==> multi-query scheduler suite"
 # regression fails loudly under its own heading.
 cargo test -q -p gpu-join \
     --test scheduler_equivalence --test scheduler_fairness \
-    --test failure_injection --test trace_invariants
+    --test failure_injection --test trace_invariants --test metrics_invariants
 
 echo "==> bench smoke-run (run_all --scale 14)"
 # run_all writes results/ into the cwd; run from a scratch dir so the
@@ -176,10 +176,70 @@ for q in doc["queries"]:
 PY
 echo "    q_tpch: Q3/Q18 from SQL, composite decisions printed, explain JSON valid"
 
+echo "==> serving smoke (m02_serving --scale 14 --metrics)"
+(cd "$smoke_dir" \
+    && cargo run --release --quiet --manifest-path "$repo_dir/Cargo.toml" \
+        -p bench --bin m02_serving -- --scale 14 --reps 1 \
+        --metrics metrics.json >m02.log 2>&1) || {
+    echo "m02_serving smoke failed; tail of log:"
+    tail -40 "$smoke_dir/m02.log"
+    exit 1
+}
+grep -q "saturates at the calibrated capacity" "$smoke_dir/m02.log" || {
+    echo "m02_serving smoke: missing saturation finding in output"
+    exit 1
+}
+# The --metrics exports must parse (JSON and OpenMetrics), and every
+# cumulative series/counter must be monotone: totals never decrease across
+# samples, and histogram bucket counts are cumulative in `le`.
+test -s "$smoke_dir/metrics.json" || {
+    echo "m02_serving smoke produced no metrics.json"
+    exit 1
+}
+test -s "$smoke_dir/metrics.om" || {
+    echo "m02_serving smoke produced no metrics.om"
+    exit 1
+}
+python3 - "$smoke_dir/metrics.json" "$smoke_dir/metrics.om" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["devices"], "metrics.json records no devices"
+for dev in doc["devices"]:
+    for s in dev["series"]:
+        ts = [p[0] for p in s["points"]]
+        assert ts == sorted(ts), f"{s['name']}: unsorted timestamps"
+        if s["name"].endswith("_total"):
+            vs = [p[1] for p in s["points"]]
+            assert vs == sorted(vs), f"{s['name']}: cumulative series decreased"
+    for h in dev["histograms"]:
+        counts = [b["count"] for b in h["buckets"]]
+        assert sum(counts) == h["count"], f"{h['name']}: bucket counts != count"
+om = open(sys.argv[2]).read()
+assert om.endswith("# EOF\n"), "OpenMetrics export must end with # EOF"
+lines = [l for l in om.splitlines() if l and not l.startswith("#")]
+assert lines, "OpenMetrics export has no samples"
+for l in lines:
+    float(l.rsplit(" ", 1)[1])  # every sample line ends with a number
+# Cumulative _bucket counts must be non-decreasing within each labelset.
+from collections import defaultdict
+buckets = defaultdict(list)
+for l in lines:
+    name_labels, value = l.rsplit(" ", 1)
+    if "_bucket{" in name_labels:
+        key = name_labels.split(",le=")[0]
+        buckets[key].append(float(value))
+assert buckets, "no histogram bucket samples"
+for key, vs in buckets.items():
+    assert vs == sorted(vs), f"{key}: non-cumulative bucket counts"
+print(f"    metrics exports valid: {len(doc['devices'])} devices, "
+      f"{len(lines)} OpenMetrics samples, cumulative series monotone")
+PY
+
 # Keep the smoke trace, explain report and fresh results where CI can pick
 # them up as artifacts (and where `bench_gate`'s default --fresh finds them).
 mkdir -p "$repo_dir/target/smoke"
 cp "$smoke_dir/trace.json" "$smoke_dir/trace.jsonl" "$smoke_dir/explain.json" \
+    "$smoke_dir/metrics.json" "$smoke_dir/metrics.om" \
     "$repo_dir/target/smoke/"
 rm -rf "$repo_dir/target/smoke/results"
 cp -r "$smoke_dir/results" "$repo_dir/target/smoke/results"

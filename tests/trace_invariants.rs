@@ -366,6 +366,56 @@ mod multi_query {
     }
 
     #[test]
+    fn metrics_totals_agree_with_the_tagged_base_trace() {
+        // Run the session with the metrics recorder on as well: the
+        // cumulative totals and the per-tenant dual-accounted counters
+        // must reproduce what the tagged trace says, launch for launch.
+        let dev = traced_device();
+        dev.enable_metrics(gpu_join::sim::SimTime::from_secs(1e-6));
+        let cat = catalog(&dev);
+        let specs = tenant_plans()
+            .into_iter()
+            .map(|p| QuerySpec::new(p).with_budget(BUDGET))
+            .collect();
+        let reports = engine::run_queries(&dev, &cat, specs, Policy::RoundRobin);
+        assert!(reports.iter().all(|r| r.result.is_ok()));
+        let base = dev.take_trace().expect("tracing was enabled");
+        let snap = dev.metrics_snapshot().expect("metrics recorder is on");
+
+        assert_eq!(snap.totals.launches, base.kernels().count() as u64);
+        let trace_ns: u64 = base
+            .kernels()
+            .map(|k| gpu_join::sim::secs_to_ticks(k.dur))
+            .sum();
+        assert_eq!(snap.totals.busy_ns, trace_ns);
+        for r in &reports {
+            let tenant = r.query.to_string();
+            let labels = [("tenant", tenant.as_str())];
+            let tagged: Vec<_> = base
+                .kernels()
+                .filter(|k| k.query == Some(r.query))
+                .collect();
+            assert_eq!(
+                snap.registry
+                    .counter("tenant_kernel_launches_total", &labels),
+                tagged.len() as u64,
+                "q{}: dual-accounted launch count",
+                r.query
+            );
+            let tagged_ns: u64 = tagged
+                .iter()
+                .map(|k| gpu_join::sim::secs_to_ticks(k.dur))
+                .sum();
+            assert_eq!(
+                snap.registry.counter("tenant_busy_ns_total", &labels),
+                tagged_ns,
+                "q{}: dual-accounted busy time",
+                r.query
+            );
+        }
+    }
+
+    #[test]
     fn base_trace_tags_every_session_kernel_with_its_query() {
         let (reports, base) = run_session();
         // Kernels launched inside the session carry their owner's id; the
