@@ -145,7 +145,7 @@ pub fn join_then_group_by(
         spec.group_config.clone(),
         Some(spec.group_algorithm),
     );
-    let ctx = ExecContext { dev, catalog: None };
+    let ctx = ExecContext::new(dev, None);
     let (table, stats) =
         run_operator(&ctx, &root).expect("pipeline operators bind by construction");
 

@@ -1,0 +1,243 @@
+//! A coarse plan-cost model for admission control and cost-ordered
+//! queueing.
+//!
+//! The serving layer needs two numbers *before* a query runs: a predicted
+//! execution time (the Shortest-Job-First rank) and a predicted peak
+//! device-memory footprint (the admission gate — a tenant whose floor
+//! already exceeds its budget is rejected up front instead of unwinding
+//! mid-flight on `BudgetExceeded`).
+//!
+//! The model is a single catalog-statistics walk over the logical
+//! [`Plan`]: row counts come from [`Catalog`] schemas, widths are the flat
+//! 8 bytes/column the columnar layer stores, and time is bytes-moved over
+//! the device's effective bandwidth plus a per-node launch overhead. It
+//! deliberately ignores everything the adaptive planner samples at run
+//! time (match ratios, skew, L2 residency) — those need the data; this
+//! needs only the catalog. Absolute accuracy is not the point: SJF only
+//! needs the *relative* order of predicted times to be consistent, and the
+//! property suite (`tests/admission_invariants.rs`) holds the scheduler to
+//! exactly that contract.
+
+use crate::exec::Catalog;
+use crate::{EngineError, Plan};
+use sim::DeviceConfig;
+
+/// Bytes per stored column value (the columnar layer is fixed-width).
+const COL_BYTES: u64 = 8;
+
+/// Assumed filter selectivity when no statistics say otherwise.
+const FILTER_SELECTIVITY: f64 = 0.33;
+
+/// What the cost model predicts for one plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Predicted execution time, seconds. Drives SJF ordering; only the
+    /// relative ranking across plans is meaningful.
+    pub secs: f64,
+    /// Predicted peak device-memory footprint, bytes: the largest single
+    /// materialization the plan will hold (a floor, not a ceiling — the
+    /// admission gate rejects only queries that cannot possibly fit).
+    pub peak_bytes: u64,
+}
+
+/// Rows and column count flowing out of a subplan, plus accumulated cost.
+struct Walk {
+    rows: f64,
+    cols: u64,
+}
+
+/// Estimate `plan`'s execution time and peak memory from catalog
+/// statistics alone. Fails only on unknown tables/columns, mirroring what
+/// binding would report anyway.
+pub fn estimate(
+    cfg: &DeviceConfig,
+    catalog: &Catalog,
+    plan: &Plan,
+) -> Result<CostEstimate, EngineError> {
+    let mut acc = Acc {
+        bytes_moved: 0.0,
+        nodes: 0,
+        peak_bytes: 0,
+    };
+    walk(catalog, plan, &mut acc)?;
+    let bw = (cfg.mem_bandwidth * cfg.bandwidth_efficiency).max(1.0);
+    let secs = acc.bytes_moved / bw + acc.nodes as f64 * cfg.kernel_launch_overhead;
+    Ok(CostEstimate {
+        secs,
+        peak_bytes: acc.peak_bytes,
+    })
+}
+
+struct Acc {
+    bytes_moved: f64,
+    nodes: usize,
+    peak_bytes: u64,
+}
+
+impl Acc {
+    /// Charge one node: `traffic` bytes of DRAM movement and a
+    /// materialization of `rows x cols` values held at once.
+    fn charge(&mut self, traffic: f64, rows: f64, cols: u64) {
+        self.bytes_moved += traffic;
+        self.nodes += 1;
+        let held = (rows.max(0.0) * cols as f64 * COL_BYTES as f64) as u64;
+        self.peak_bytes = self.peak_bytes.max(held);
+    }
+}
+
+fn walk(catalog: &Catalog, plan: &Plan, acc: &mut Acc) -> Result<Walk, EngineError> {
+    match plan {
+        Plan::Scan { table } => {
+            let schema = catalog.schema(table)?;
+            let rows = schema.rows as f64;
+            let cols = schema.columns.len().max(1) as u64;
+            // Scans alias catalog columns; the first consumer pays the
+            // read. Charge a nominal touch so an all-scan plan still
+            // orders by table size.
+            acc.charge(rows * cols as f64 * COL_BYTES as f64, rows, cols);
+            Ok(Walk { rows, cols })
+        }
+        Plan::Filter { input, .. } => {
+            let w = walk(catalog, input, acc)?;
+            let out = w.rows * FILTER_SELECTIVITY;
+            // Read the predicate column, write the selection, gather
+            // survivors.
+            acc.charge(
+                (w.rows + out * w.cols as f64) * COL_BYTES as f64,
+                out,
+                w.cols,
+            );
+            Ok(Walk { rows: out, ..w })
+        }
+        Plan::Project { input, exprs, .. } => {
+            let w = walk(catalog, input, acc)?;
+            let cols = exprs.len().max(1) as u64;
+            acc.charge(w.rows * cols as f64 * COL_BYTES as f64, w.rows, cols);
+            Ok(Walk { rows: w.rows, cols })
+        }
+        Plan::Join { left, right, .. } => {
+            let l = walk(catalog, left, acc)?;
+            let r = walk(catalog, right, acc)?;
+            // FK-join default: one build match per probe row. Peak holds
+            // the build table (hash table ≈ 2x the key column) plus the
+            // widest output materialization.
+            let out_rows = r.rows;
+            let out_cols = l.cols + r.cols;
+            let build = l.rows * 2.0 * COL_BYTES as f64;
+            let probe = r.rows * COL_BYTES as f64;
+            let emit = out_rows * out_cols as f64 * COL_BYTES as f64;
+            acc.charge(build + probe + emit, l.rows * 2.0 + out_rows, out_cols);
+            Ok(Walk {
+                rows: out_rows,
+                cols: out_cols,
+            })
+        }
+        Plan::Sort { input, limit, .. } => {
+            let w = walk(catalog, input, acc)?;
+            // Key sort + permutation apply: roughly three passes over the
+            // relation.
+            acc.charge(
+                3.0 * w.rows * w.cols as f64 * COL_BYTES as f64,
+                w.rows,
+                w.cols,
+            );
+            let rows = match limit {
+                Some(n) => w.rows.min(*n as f64),
+                None => w.rows,
+            };
+            Ok(Walk { rows, ..w })
+        }
+        Plan::Limit { input, count } => {
+            let w = walk(catalog, input, acc)?;
+            let rows = w.rows.min(*count as f64);
+            acc.charge(rows * w.cols as f64 * COL_BYTES as f64, rows, w.cols);
+            Ok(Walk { rows, ..w })
+        }
+        Plan::Distinct { input, .. } => {
+            let w = walk(catalog, input, acc)?;
+            let groups = est_groups(w.rows);
+            acc.charge((w.rows + groups) * COL_BYTES as f64, w.rows + groups, 1);
+            Ok(Walk {
+                rows: groups,
+                cols: 1,
+            })
+        }
+        Plan::Aggregate { input, aggs, .. } => {
+            let w = walk(catalog, input, acc)?;
+            let groups = est_groups(w.rows);
+            let cols = (1 + aggs.len()) as u64;
+            // Read key + payloads once, write one row per group.
+            acc.charge(
+                (w.rows * cols as f64 + groups * cols as f64) * COL_BYTES as f64,
+                w.rows + groups,
+                cols,
+            );
+            Ok(Walk { rows: groups, cols })
+        }
+    }
+}
+
+/// Distinct-group estimate with no statistics: sub-linear in the input so
+/// aggregation-heavy plans still rank by input size.
+fn est_groups(rows: f64) -> f64 {
+    rows.max(0.0).sqrt().max(1.0).min(rows.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggSpec, Expr, Table};
+    use columnar::Column;
+    use groupby::AggFn;
+    use sim::Device;
+
+    fn catalog(dev: &Device) -> Catalog {
+        let mut c = Catalog::new();
+        let small: Vec<i64> = (0..100).collect();
+        let big: Vec<i64> = (0..100_000).map(|i| i % 100).collect();
+        c.insert(Table::new(
+            "small",
+            vec![("k", Column::from_i64(dev, small, "k"))],
+        ));
+        c.insert(Table::new(
+            "big",
+            vec![
+                ("fk", Column::from_i64(dev, big.clone(), "fk")),
+                ("v", Column::from_i64(dev, big, "v")),
+            ],
+        ));
+        c
+    }
+
+    #[test]
+    fn bigger_inputs_predict_longer_times() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        let small = estimate(dev.config(), &cat, &Plan::scan("small")).unwrap();
+        let big = estimate(dev.config(), &cat, &Plan::scan("big")).unwrap();
+        assert!(big.secs > small.secs);
+        assert!(big.peak_bytes > small.peak_bytes);
+    }
+
+    #[test]
+    fn deeper_plans_cost_more_than_their_inputs() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        let scan = estimate(dev.config(), &cat, &Plan::scan("big")).unwrap();
+        let plan = Plan::scan("big")
+            .filter(Expr::col("v").lt(Expr::lit(50)))
+            .join(Plan::scan("small"), "fk", "k")
+            .aggregate("k", vec![AggSpec::new(AggFn::Sum, "v", "s")]);
+        let full = estimate(dev.config(), &cat, &plan).unwrap();
+        assert!(full.secs > scan.secs);
+        assert!(full.peak_bytes >= scan.peak_bytes);
+    }
+
+    #[test]
+    fn unknown_tables_are_reported() {
+        let dev = Device::a100();
+        let cat = catalog(&dev);
+        let err = estimate(dev.config(), &cat, &Plan::scan("missing")).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTable(_)));
+    }
+}

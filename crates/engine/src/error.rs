@@ -80,6 +80,26 @@ pub enum EngineError {
         /// Free device bytes when the session started.
         available_bytes: u64,
     },
+    /// The admission controller rejected the query before registration:
+    /// the cost model's predicted peak memory floor already exceeds the
+    /// budget the query would run under, so admitting it could only end
+    /// in a mid-flight `BudgetExceeded` unwind. Distinct from
+    /// [`EngineError::QueueShed`]: rejection happens at the front door on
+    /// predicted cost, shedding happens at the queue on occupancy.
+    AdmissionRejected {
+        /// Predicted peak device memory, bytes (a floor).
+        predicted_peak_bytes: u64,
+        /// The budget the query would have been granted, bytes.
+        budget_bytes: u64,
+    },
+    /// The bounded admission queue was full when the query arrived, so it
+    /// was shed: never admitted, never executed, co-tenant observables
+    /// untouched. Distinct from [`EngineError::AdmissionRejected`]: the
+    /// query itself was viable; there was simply no queue capacity.
+    QueueShed {
+        /// The shed query's id within its session.
+        query: u32,
+    },
     /// SQL text did not lex or parse.
     SqlParse {
         /// What the parser expected or found.
@@ -165,6 +185,17 @@ impl std::fmt::Display for EngineError {
                 "requested budget of {requested_bytes} bytes exceeds the \
                  device's {available_bytes} free bytes"
             ),
+            EngineError::AdmissionRejected {
+                predicted_peak_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "rejected at admission: predicted peak of {predicted_peak_bytes} \
+                 bytes exceeds the {budget_bytes} byte budget"
+            ),
+            EngineError::QueueShed { query } => {
+                write!(f, "query {query} shed: admission queue full on arrival")
+            }
             EngineError::SqlParse { message, span } => {
                 write!(f, "SQL parse error {span}: {message}")
             }

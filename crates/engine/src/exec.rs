@@ -68,12 +68,23 @@ impl TableSchema {
 pub struct Catalog {
     tables: HashMap<String, Table>,
     schemas: HashMap<String, TableSchema>,
+    /// Bumped on every mutation (insert, key/dictionary declarations).
+    /// The plan cache keys entries on this, so a statistics refresh or
+    /// reload invalidates every cached plan compiled against the old
+    /// catalog.
+    version: u64,
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// The mutation counter: changes whenever the catalog's contents or
+    /// declarations change. Plan-cache keys include this.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Register a table under its own name, computing its schema (row count
@@ -110,6 +121,7 @@ impl Catalog {
                 dictionaries: HashMap::new(),
             },
         );
+        self.version = self.version.wrapping_add(1);
         self.tables.insert(table.name().to_string(), table)
     }
 
@@ -127,6 +139,7 @@ impl Catalog {
             });
         }
         schema.primary_key = Some(column.to_string());
+        self.version = self.version.wrapping_add(1);
         Ok(())
     }
 
@@ -150,6 +163,7 @@ impl Catalog {
             });
         }
         schema.dictionaries.insert(column.to_string(), values);
+        self.version = self.version.wrapping_add(1);
         Ok(())
     }
 
@@ -280,10 +294,7 @@ fn run_compiled(
     catalog: &Catalog,
     op: crate::op::BoxOp,
 ) -> Result<QueryOutput, EngineError> {
-    let ctx = ExecContext {
-        dev,
-        catalog: Some(catalog),
-    };
+    let ctx = ExecContext::new(dev, Some(catalog));
     let (table, stats) = run_operator(&ctx, op.as_ref())?;
     Ok(QueryOutput { table, stats })
 }

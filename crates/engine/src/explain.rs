@@ -63,6 +63,10 @@ pub struct ExplainNode {
 pub struct QueryExplain {
     /// Device name the configuration peaks came from.
     pub device: String,
+    /// Plan-cache provenance, when the execution went through a
+    /// [`crate::plan_cache::PlanCache`] (attach with
+    /// [`QueryExplain::with_cache`]); `None` for uncached executions.
+    pub cache: Option<crate::plan_cache::PlanCacheInfo>,
     /// The attributed plan tree.
     pub root: ExplainNode,
 }
@@ -252,13 +256,32 @@ impl QueryExplain {
     pub fn from_stats(cfg: &DeviceConfig, stats: &NodeStats) -> QueryExplain {
         QueryExplain {
             device: cfg.name.clone(),
+            cache: None,
             root: ExplainNode::from_node(cfg, stats),
         }
+    }
+
+    /// Attach plan-cache provenance (hit/miss, fingerprint, catalog
+    /// version) to the report. Rendering and serialization stay unchanged
+    /// when no provenance is attached.
+    pub fn with_cache(mut self, info: crate::plan_cache::PlanCacheInfo) -> Self {
+        self.cache = Some(info);
+        self
     }
 
     /// Render the annotated plan tree.
     pub fn render(&self) -> String {
         let mut out = format!("EXPLAIN ANALYZE ({})\n", self.device);
+        if let Some(cache) = &self.cache {
+            let outcome = match cache.outcome {
+                crate::plan_cache::CacheOutcome::Hit => "hit",
+                crate::plan_cache::CacheOutcome::Miss => "miss",
+            };
+            out.push_str(&format!(
+                "plan cache: {outcome} (shape {:#018x}, catalog v{})\n",
+                cache.fingerprint, cache.catalog_version
+            ));
+        }
         self.root.render_into(&mut out, 0);
         out
     }

@@ -42,6 +42,7 @@
 //! assert_eq!(out.table.num_rows(), 2);
 //! ```
 
+pub mod cost;
 pub mod demo;
 mod error;
 mod exec;
@@ -50,9 +51,11 @@ mod expr;
 pub mod fuse;
 pub mod op;
 mod plan;
+pub mod plan_cache;
 pub mod scheduler;
 mod table;
 
+pub use cost::CostEstimate;
 pub use error::{EngineError, SqlSpan};
 pub use exec::{
     execute, execute_unfused, Catalog, ColumnMeta, NodeStats, QueryOutput, TableSchema,
@@ -60,7 +63,9 @@ pub use exec::{
 pub use explain::{ExplainNode, QueryExplain};
 pub use expr::{CmpOp, Expr};
 pub use plan::{AggSpec, Plan};
+pub use plan_cache::{CacheOutcome, PlanCache, PlanCacheInfo};
 pub use scheduler::{
-    run_open_loop, run_queries, OpenQuery, OperatorBreakdown, Policy, QueryReport, QuerySpec,
+    run_open_loop, run_open_loop_with, run_queries, OpenQuery, OperatorBreakdown, Policy,
+    QueryReport, QuerySpec, ServingConfig,
 };
 pub use table::Table;

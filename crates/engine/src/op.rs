@@ -44,7 +44,36 @@ use heuristics::{
 use joins::{chunked, Algorithm, JoinConfig};
 use primitives::{gather_column, gather_column_or_null, NULL_ID, STREAM_WARP_INSTR};
 use sim::{Device, OpStats, PhaseTimes};
+use std::cell::RefCell;
 use std::collections::HashMap;
+
+/// One sampled-statistics observation from an adaptive decision site,
+/// recorded in plan order so a cached plan can replay the exact same
+/// planner inputs without re-running the sampling kernels.
+#[derive(Debug, Clone, Copy)]
+pub enum SiteSample {
+    /// A join site's sampled match/skew statistics.
+    Join(heuristics::EstimatedStats),
+    /// A group-by site's sampled distinct-count/skew statistics.
+    Group(heuristics::EstimatedGroupStats),
+}
+
+/// How the execution treats adaptive sampling sites.
+enum PlanningMode {
+    /// Normal execution: sampling kernels charge the query like any other.
+    Off,
+    /// First (cold) run through a cacheable plan: sampling kernels run in
+    /// the device's planning scope (charged to the device/session, not the
+    /// query's private clock) and every observation is recorded in order.
+    Record(Vec<SiteSample>),
+    /// Cached run: serve recorded observations positionally instead of
+    /// sampling. A shape mismatch falls back to live sampling inside the
+    /// planning scope, preserving byte-identity with the recorded run.
+    Replay {
+        samples: Vec<SiteSample>,
+        cursor: usize,
+    },
+}
 
 /// What an operator needs to execute: the device, and (for scans) the
 /// catalog. Operator trees built from materialized tables ([`ValuesOp`])
@@ -54,6 +83,136 @@ pub struct ExecContext<'a> {
     pub dev: &'a Device,
     /// Table source for scans; `None` outside `engine::execute`.
     pub catalog: Option<&'a Catalog>,
+    /// Sampling-site policy for plan caching; private so every
+    /// construction goes through [`ExecContext::new`].
+    planning: RefCell<PlanningMode>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context with planning off: sampling charges the query as usual.
+    pub fn new(dev: &'a Device, catalog: Option<&'a Catalog>) -> Self {
+        ExecContext {
+            dev,
+            catalog,
+            planning: RefCell::new(PlanningMode::Off),
+        }
+    }
+
+    /// A context that records every sampling-site observation (cold run of
+    /// a cacheable plan). Sampling runs in the device planning scope.
+    pub(crate) fn with_recording(dev: &'a Device, catalog: Option<&'a Catalog>) -> Self {
+        ExecContext {
+            dev,
+            catalog,
+            planning: RefCell::new(PlanningMode::Record(Vec::new())),
+        }
+    }
+
+    /// A context that replays recorded observations positionally (cache
+    /// hit), skipping the sampling kernels entirely.
+    pub(crate) fn with_replay(
+        dev: &'a Device,
+        catalog: Option<&'a Catalog>,
+        samples: Vec<SiteSample>,
+    ) -> Self {
+        ExecContext {
+            dev,
+            catalog,
+            planning: RefCell::new(PlanningMode::Replay { samples, cursor: 0 }),
+        }
+    }
+
+    /// The observations recorded by a `with_recording` context, in site
+    /// order. Empty unless recording was on.
+    pub(crate) fn take_samples(&self) -> Vec<SiteSample> {
+        match &mut *self.planning.borrow_mut() {
+            PlanningMode::Record(samples) => std::mem::take(samples),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Resolve a join sampling site under the current planning mode. The
+    /// `sample` closure must not touch `self.planning` (it launches
+    /// kernels; the borrow is released before it runs).
+    fn join_sample(
+        &self,
+        sample: impl FnOnce() -> heuristics::EstimatedStats,
+    ) -> heuristics::EstimatedStats {
+        enum Action {
+            Live,
+            Planned,
+            Serve(heuristics::EstimatedStats),
+        }
+        let action = {
+            let mut mode = self.planning.borrow_mut();
+            match &mut *mode {
+                PlanningMode::Off => Action::Live,
+                PlanningMode::Record(_) => Action::Planned,
+                PlanningMode::Replay { samples, cursor } => match samples.get(*cursor) {
+                    Some(SiteSample::Join(s)) => {
+                        let s = *s;
+                        *cursor += 1;
+                        Action::Serve(s)
+                    }
+                    // Shape mismatch: the cached trace does not line up
+                    // with this plan's sites. Fall back to live sampling
+                    // in the planning scope so the query-private clock
+                    // still matches the recorded run.
+                    _ => Action::Planned,
+                },
+            }
+        };
+        match action {
+            Action::Live => sample(),
+            Action::Serve(s) => s,
+            Action::Planned => {
+                let s = self.dev.with_planning(sample);
+                if let PlanningMode::Record(samples) = &mut *self.planning.borrow_mut() {
+                    samples.push(SiteSample::Join(s));
+                }
+                s
+            }
+        }
+    }
+
+    /// Resolve a group-by sampling site under the current planning mode.
+    /// Same contract as [`Self::join_sample`].
+    fn group_sample(
+        &self,
+        sample: impl FnOnce() -> heuristics::EstimatedGroupStats,
+    ) -> heuristics::EstimatedGroupStats {
+        enum Action {
+            Live,
+            Planned,
+            Serve(heuristics::EstimatedGroupStats),
+        }
+        let action = {
+            let mut mode = self.planning.borrow_mut();
+            match &mut *mode {
+                PlanningMode::Off => Action::Live,
+                PlanningMode::Record(_) => Action::Planned,
+                PlanningMode::Replay { samples, cursor } => match samples.get(*cursor) {
+                    Some(SiteSample::Group(s)) => {
+                        let s = *s;
+                        *cursor += 1;
+                        Action::Serve(s)
+                    }
+                    _ => Action::Planned,
+                },
+            }
+        };
+        match action {
+            Action::Live => sample(),
+            Action::Serve(s) => s,
+            Action::Planned => {
+                let s = self.dev.with_planning(sample);
+                if let PlanningMode::Record(samples) = &mut *self.planning.borrow_mut() {
+                    samples.push(SiteSample::Group(s));
+                }
+                s
+            }
+        }
+    }
 }
 
 /// A boxed operator — the node type of physical plans.
@@ -781,7 +940,7 @@ impl PhysicalOperator for JoinOp {
                 // profile is built from the *logical* side shapes, so ticket
                 // inputs pick the same algorithm their materialized twins
                 // would — fusion changes the cost, never the plan.
-                let stats = sample_stats(ctx.dev, l_rel, r_rel, 512);
+                let stats = ctx.join_sample(|| sample_stats(ctx.dev, l_rel, r_rel, 512));
                 let profile = profile_from_stats(
                     &stats,
                     &l_prep.shape,
@@ -1212,7 +1371,7 @@ impl PhysicalOperator for AggregateOp {
             None => {
                 // Sample the grouping key for a distinct-count and skew
                 // estimate, then let the aggregation decision tree pick.
-                let sampled = sample_group_stats(ctx.dev, &key, 512);
+                let sampled = ctx.group_sample(|| sample_group_stats(ctx.dev, &key, 512));
                 let profile = AggProfile {
                     rows,
                     est_groups: sampled.est_groups,

@@ -19,11 +19,24 @@
 //!    which is caught here and converted to
 //!    [`EngineError::BudgetExceeded`] — co-tenants keep running.
 //! 3. **Deterministic interleaving** — kernel launches pass the session's
-//!    turn gate ([`Policy::RoundRobin`] or [`Policy::WeightedFair`]),
-//!    whose designation is a pure function of simulated state. Per-query
-//!    outputs, `OpStats` and traces are therefore *byte-identical* to
-//!    running the same specs under [`Policy::Serial`] — the property
-//!    `tests/scheduler_equivalence.rs` proves.
+//!    turn gate ([`Policy::RoundRobin`], [`Policy::WeightedFair`],
+//!    [`Policy::Sjf`] or [`Policy::SjfAging`]), whose designation is a
+//!    pure function of simulated state, and completion times come from
+//!    the turn-gated completion stamp (the scheduler mirror's clock at
+//!    the query's last kernel), never from a racy retire-time clock read.
+//!    Per-query outputs, `OpStats` and traces are therefore
+//!    *byte-identical* to running the same specs under
+//!    [`Policy::Serial`], and full metrics exports are byte-identical
+//!    across host threads under *every* policy — the properties
+//!    `tests/scheduler_equivalence.rs` and `tests/admission_invariants.rs`
+//!    prove.
+//! 4. **Admission control** — [`run_open_loop_with`] takes a
+//!    [`ServingConfig`]: a bounded admission queue (total and per-class
+//!    depth) that sheds overflow arrivals with a typed
+//!    [`EngineError::QueueShed`], and a predicted-memory gate that
+//!    rejects queries whose [`cost::estimate`] memory floor exceeds their
+//!    budget ([`EngineError::AdmissionRejected`]) before they ever
+//!    register.
 //!
 //! ```
 //! use engine::{scheduler, Catalog, Plan, Table};
@@ -46,14 +59,63 @@
 //! ```
 
 use crate::explain::QueryExplain;
-use crate::{execute, Catalog, EngineError, NodeStats, Plan, QueryOutput};
+use crate::{cost, execute, Catalog, EngineError, NodeStats, Plan, QueryOutput};
 use serde::Serialize;
-use sim::{Device, OpStats, SimTime, Trace};
+use sim::{AdmitOutcome, Device, OpStats, QueueLimits, SimTime, Trace};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// The scheduling policies a session can run under (re-exported from
-/// [`sim::SchedPolicy`]): `Serial`, `RoundRobin`, or `WeightedFair`.
+/// [`sim::SchedPolicy`]): `Serial`, `RoundRobin`, `WeightedFair`, `Sjf`
+/// (shortest predicted job first, by the cost model's predicted time), or
+/// `SjfAging` (SJF with waiting-time decay, so long jobs cannot starve).
 pub type Policy = sim::SchedPolicy;
+
+/// Admission-control configuration for a serving session: how deep the
+/// admission queue may grow (in total and per tenant class) before
+/// arrivals are shed, and whether the predicted-memory gate rejects
+/// queries whose cost-model memory floor already exceeds their budget.
+///
+/// The default is the PR-8 behavior: unbounded queue, no gate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingConfig {
+    /// Maximum queries in the system (waiting + running) across all
+    /// classes; an arrival that would exceed it is shed with
+    /// [`EngineError::QueueShed`]. `None` is unbounded.
+    pub total_depth: Option<usize>,
+    /// Per-class depth limits, by class name. Classes not listed are
+    /// unbounded (up to `total_depth`).
+    pub per_class_depth: Vec<(String, usize)>,
+    /// When set, a query whose predicted peak memory
+    /// ([`cost::estimate`]) exceeds its budget is rejected before
+    /// registration with [`EngineError::AdmissionRejected`] instead of
+    /// admitting it and unwinding mid-flight on `BudgetExceeded`.
+    pub memory_gate: bool,
+}
+
+impl ServingConfig {
+    /// The default: unbounded queue, no memory gate.
+    pub fn new() -> Self {
+        ServingConfig::default()
+    }
+
+    /// Bound the total number of queries in the system.
+    pub fn with_total_depth(mut self, depth: usize) -> Self {
+        self.total_depth = Some(depth);
+        self
+    }
+
+    /// Bound one class's queries in the system.
+    pub fn with_class_depth(mut self, class: impl Into<String>, depth: usize) -> Self {
+        self.per_class_depth.push((class.into(), depth));
+        self
+    }
+
+    /// Reject queries whose predicted peak memory exceeds their budget.
+    pub fn with_memory_gate(mut self) -> Self {
+        self.memory_gate = true;
+        self
+    }
+}
 
 /// One tenant query: a plan plus its scheduling parameters.
 #[derive(Debug, Clone)]
@@ -208,7 +270,14 @@ pub fn run_queries(
         .collect();
     // Equal shares of the free capacity: every tenant is present at
     // session start, so all budgets can be live at once.
-    run_session(dev, catalog, entries, policy, |free| free / n)
+    run_session(
+        dev,
+        catalog,
+        entries,
+        policy,
+        &ServingConfig::default(),
+        |free| free / n,
+    )
 }
 
 /// Execute an open-loop arrival schedule on `dev` under `policy`; returns
@@ -242,6 +311,25 @@ pub fn run_open_loop(
     arrivals: Vec<OpenQuery>,
     policy: Policy,
 ) -> Vec<QueryReport> {
+    run_open_loop_with(dev, catalog, arrivals, policy, &ServingConfig::default())
+}
+
+/// [`run_open_loop`] with admission control: a bounded queue (total and
+/// per-class depth limits) that sheds arrivals with
+/// [`EngineError::QueueShed`] when full, and an optional predicted-memory
+/// gate that rejects doomed queries with
+/// [`EngineError::AdmissionRejected`] before they register. Shed and
+/// rejected queries never execute, never hold a reservation, and leave
+/// co-tenant observables untouched; they count into the per-class
+/// `query_shed_total` / `query_rejected_total` metrics instead of the
+/// latency histograms.
+pub fn run_open_loop_with(
+    dev: &Device,
+    catalog: &Catalog,
+    arrivals: Vec<OpenQuery>,
+    policy: Policy,
+    serving: &ServingConfig,
+) -> Vec<QueryReport> {
     assert!(
         arrivals.windows(2).all(|w| w[0].at <= w[1].at),
         "open-loop arrivals must be scheduled in non-decreasing time order"
@@ -254,7 +342,7 @@ pub fn run_open_loop(
             class: Some(oq.class),
         })
         .collect();
-    run_session(dev, catalog, entries, policy, |free| free / 4)
+    run_session(dev, catalog, entries, policy, serving, |free| free / 4)
 }
 
 struct SessionEntry {
@@ -270,6 +358,7 @@ fn run_session(
     catalog: &Catalog,
     entries: Vec<SessionEntry>,
     policy: Policy,
+    serving: &ServingConfig,
     default_budget: impl Fn(u64) -> u64,
 ) -> Vec<QueryReport> {
     assert!(
@@ -280,7 +369,39 @@ fn run_session(
         return Vec::new();
     }
     let was_tracing = dev.tracing_enabled();
-    dev.sched_start(policy);
+
+    // Tenant classes index the device-side per-class queue limits. The
+    // mapping is deterministic (first appearance in spec order), so limit
+    // checks — like everything else in the session — are functions of the
+    // specs alone.
+    let mut classes: Vec<&str> = Vec::new();
+    let class_ids: Vec<u32> = entries
+        .iter()
+        .map(|entry| {
+            let name = entry.class.as_deref().unwrap_or("default");
+            match classes.iter().position(|c| *c == name) {
+                Some(i) => i as u32,
+                None => {
+                    classes.push(name);
+                    (classes.len() - 1) as u32
+                }
+            }
+        })
+        .collect();
+    let mut per_class_depth: Vec<Option<usize>> = vec![None; classes.len()];
+    for (name, depth) in &serving.per_class_depth {
+        if let Some(i) = classes.iter().position(|c| c == name) {
+            let slot = &mut per_class_depth[i];
+            *slot = Some(slot.map_or(*depth, |d| d.min(*depth)));
+        }
+    }
+    dev.sched_start_with(
+        policy,
+        QueueLimits {
+            total_depth: serving.total_depth,
+            per_class_depth,
+        },
+    );
     let free = dev
         .mem_capacity()
         .saturating_sub(dev.mem_report().current_bytes);
@@ -295,13 +416,35 @@ fn run_session(
     }
     let registered: Vec<Registered> = entries
         .iter()
-        .map(|entry| {
+        .zip(&class_ids)
+        .map(|(entry, &class_id)| {
             let spec = &entry.spec;
             let budget = spec.budget_bytes.unwrap_or(fallback_budget);
-            let handle = match entry.arrival {
-                Some(at) => dev.sched_register_at(spec.weight, budget, at),
-                None => dev.sched_register(spec.weight, budget),
-            };
+            // The cost model's prediction drives SJF ordering and the
+            // memory gate. An estimation error (unknown table) predicts
+            // zero and gates nothing — execution will surface the real
+            // error.
+            let predicted =
+                cost::estimate(dev.config(), catalog, &spec.plan).unwrap_or(cost::CostEstimate {
+                    secs: 0.0,
+                    peak_bytes: 0,
+                });
+            if serving.memory_gate && predicted.peak_bytes > budget {
+                return Registered::Rejected {
+                    budget,
+                    err: EngineError::AdmissionRejected {
+                        predicted_peak_bytes: predicted.peak_bytes,
+                        budget_bytes: budget,
+                    },
+                };
+            }
+            let handle = dev.sched_register_spec(
+                spec.weight,
+                budget,
+                entry.arrival,
+                SimTime::from_secs(predicted.secs),
+                Some(class_id),
+            );
             match handle {
                 Ok(qdev) => {
                     if was_tracing {
@@ -333,7 +476,14 @@ fn run_session(
             .map(|reg| match reg {
                 Registered::Rejected { .. } => None,
                 Registered::Query { qdev, plan } => Some(scope.spawn(move || {
-                    qdev.sched_admit();
+                    if let AdmitOutcome::Shed = qdev.sched_admit() {
+                        // Shed at the queue: never admitted, never run,
+                        // never retired (the device already finalized it
+                        // with completion = arrival). Co-tenants see
+                        // nothing.
+                        let qid = qdev.query_id().expect("query handle");
+                        return Ok(Err(EngineError::QueueShed { query: qid }));
+                    }
                     let result = catch_unwind(AssertUnwindSafe(|| execute(qdev, catalog, plan)));
                     // Retire unconditionally — success, engine error or
                     // unwind — so the reservation is released, queued
@@ -455,6 +605,16 @@ fn record_latency_metrics(dev: &Device, entries: &[SessionEntry], reports: &[Que
                         sim::secs_to_ticks(latency),
                     );
                     reg.counter_add("query_completed_total", labels(), 1);
+                }
+                // Shed and rejected queries never ran: count them in
+                // their own families and keep them out of the latency
+                // histograms (a zero-latency observation would corrupt
+                // the percentiles the serving bench reports).
+                Err(EngineError::QueueShed { .. }) => {
+                    reg.counter_add("query_shed_total", labels(), 1)
+                }
+                Err(EngineError::AdmissionRejected { .. }) => {
+                    reg.counter_add("query_rejected_total", labels(), 1)
                 }
                 Err(_) => reg.counter_add("query_failed_total", labels(), 1),
             }

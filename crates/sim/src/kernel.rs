@@ -394,6 +394,17 @@ impl<'d> KernelBuilder<'d> {
         let t_atomic = self.atomics_hottest as f64 * cfg.atomic_serialize_cycles / cfg.clock_hz;
         let t = t_comp.max(t_mem) + t_atomic + cfg.kernel_launch_overhead;
 
+        // Planning-scope launches (the planner's statistics samplers, see
+        // `Device::with_planning`) charge nothing — no clock, counters,
+        // trace, metrics or scheduling turn. They model work a cached plan
+        // skips, so a recorded (cold) run and its cached replay must
+        // observe identical bytes on every clock. Safe because sampling
+        // kernels stream charges only (no `warp_loads`): they never mutate
+        // the shared L2 image or the memory ledger.
+        if crate::planning_active() {
+            return SimTime::from_secs(t);
+        }
+
         let query = self.dev.query;
         let gated = match query {
             Some(qid) => self.dev.acquire_turn(qid),

@@ -90,13 +90,37 @@ pub use metrics::{
     metrics_json, openmetrics, secs_to_ticks, HdrHistogram, MetricsRegistry, MetricsSnapshot,
     QueryLifecycle, SECONDS_SCALE,
 };
-pub use sched::{AdmissionError, BudgetError, QueryId, QuerySchedStats, SchedPolicy};
+pub use sched::{
+    AdmissionError, AdmitOutcome, BudgetError, QueryId, QuerySchedStats, QueueLimits, SchedPolicy,
+};
 pub use stats::OpStats;
 pub use time::{PhaseTimes, SimTime};
 pub use trace::{SpanCat, Trace, TraceEvent};
 
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+thread_local! {
+    /// Set while the current thread executes a planning-phase closure (see
+    /// [`Device::with_planning`]).
+    static PLANNING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is inside [`Device::with_planning`]. Read by
+/// the kernel launch path to make planning work charge-free.
+pub(crate) fn planning_active() -> bool {
+    PLANNING.with(|p| p.get())
+}
+
+/// Restores the thread's planning flag even if the closure unwinds (a
+/// budget OOM can fire inside a planning kernel).
+struct PlanningGuard(bool);
+
+impl Drop for PlanningGuard {
+    fn drop(&mut self) {
+        PLANNING.with(|p| p.set(self.0));
+    }
+}
 
 /// Number of 32-bit lanes in a warp. Fixed across all NVIDIA architectures
 /// the paper evaluates.
@@ -462,6 +486,20 @@ impl Device {
         }
     }
 
+    /// Run `f` with this thread marked as *planning*: kernels launched
+    /// inside `f` (the planner's statistics-sampling kernels) charge
+    /// nothing — no clock, counters, trace, metrics or scheduling turn, on
+    /// either the device or a query handle. Planning work models what a
+    /// plan-cache hit skips, so a recording (cold) run and its cached
+    /// replay observe identical bytes on every clock. Only valid for
+    /// kernels that stream charges without touching shared state (no
+    /// `warp_loads`, no allocations) — the sampling estimators qualify.
+    pub fn with_planning<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = PLANNING.with(|p| p.replace(true));
+        let _restore = PlanningGuard(prev);
+        f()
+    }
+
     /// Invalidate the modeled L2 (the query's private image on a query
     /// handle), e.g. to measure a cold run.
     pub fn flush_l2(&self) {
@@ -490,6 +528,14 @@ impl Device {
     /// from, and discards any previous session's per-query state. Panics if
     /// a session is already active.
     pub fn sched_start(&self, policy: SchedPolicy) {
+        self.sched_start_with(policy, QueueLimits::default());
+    }
+
+    /// [`Device::sched_start`] with explicit waiting-room bounds: an
+    /// arrival that cannot be admitted immediately and finds the (total or
+    /// per-class) queue full is *shed* — its [`Device::sched_admit`]
+    /// resolves to [`AdmitOutcome::Shed`] and it must not run.
+    pub fn sched_start_with(&self, policy: SchedPolicy, limits: QueueLimits) {
         assert!(self.query.is_none(), "sched_start on a query handle");
         let (used, clock) = {
             let mut st = self.inner.state.lock();
@@ -497,7 +543,9 @@ impl Device {
             (st.mem.report().current_bytes, st.clock)
         };
         let available = self.inner.config.global_mem_bytes.saturating_sub(used);
-        self.inner.sched_lock().start(policy, available, clock);
+        self.inner
+            .sched_lock()
+            .start(policy, available, clock, limits);
     }
 
     /// Register a query with the active session, reserving it a memory
@@ -538,8 +586,44 @@ impl Device {
         self.finish_register(qid, budget_bytes)
     }
 
+    /// Register a query with its full serving spec: an optional future
+    /// arrival time (`None` = arrives now), the cost model's predicted
+    /// execution time (the ranking key of the shortest-job policies) and an
+    /// admission class index (matched against
+    /// [`QueueLimits::per_class_depth`]). Like the other registrations,
+    /// call from one thread in arrival order.
+    pub fn sched_register_spec(
+        &self,
+        weight: f64,
+        budget_bytes: u64,
+        arrival: Option<SimTime>,
+        predicted: SimTime,
+        class: Option<u32>,
+    ) -> Result<Device, AdmissionError> {
+        assert!(
+            self.query.is_none(),
+            "sched_register_spec on a query handle"
+        );
+        // Resolve "arrives now" against the device clock *before* taking
+        // the sched lock (the two locks are never held together). The
+        // engine registers before any worker runs, so the sched clock
+        // mirror equals the device clock here.
+        let arrival_secs = match arrival {
+            Some(a) => a.secs(),
+            None => self.inner.state.lock().clock,
+        };
+        let qid = self.inner.sched_lock().register_spec(
+            weight,
+            budget_bytes,
+            arrival_secs,
+            predicted.secs(),
+            class,
+        )?;
+        self.finish_register(qid, budget_bytes)
+    }
+
     fn finish_register(&self, qid: QueryId, budget_bytes: u64) -> Result<Device, AdmissionError> {
-        let clock = {
+        {
             let mut st = self.inner.state.lock();
             debug_assert_eq!(
                 st.queries.len(),
@@ -548,11 +632,8 @@ impl Device {
             );
             st.queries
                 .push(QueryState::new(&self.inner.config, budget_bytes));
-            st.clock
-        };
-        let mut sched = self.inner.sched_lock();
-        sched.admit_fifo(clock);
-        drop(sched);
+        }
+        self.inner.sched_lock().on_register(qid);
         self.inner.sched_cv.notify_all();
         Ok(Device {
             inner: Arc::clone(&self.inner),
@@ -560,16 +641,21 @@ impl Device {
         })
     }
 
-    /// Block until this query's budget reservation has been granted. Call on
-    /// the query handle, before running the query's plan. If the device
-    /// drains idle while this query's (open-loop) arrival is still in the
-    /// future, the waiting thread itself jumps the clock forward.
-    pub fn sched_admit(&self) {
+    /// Block until this query's budget reservation has been granted — or,
+    /// under a bounded queue, until it is shed. Call on the query handle,
+    /// before running the query's plan; on [`AdmitOutcome::Shed`] the query
+    /// must not launch kernels and must not retire. If the device drains
+    /// idle while this query's (open-loop) arrival is still in the future,
+    /// the waiting thread itself jumps the clock forward.
+    pub fn sched_admit(&self) -> AdmitOutcome {
         let qid = self.query.expect("sched_admit on a non-query handle");
         let mut sched = self.inner.sched_lock();
         loop {
             if sched.is_admitted(qid) {
-                return;
+                return AdmitOutcome::Admitted;
+            }
+            if sched.is_shed(qid) {
+                return AdmitOutcome::Shed;
             }
             if let Some(delta) = sched.begin_idle_advance() {
                 drop(sched);
@@ -598,16 +684,18 @@ impl Device {
         self.inner.sched_cv.notify_all();
     }
 
-    /// Retire this query: record its completion time on the device clock,
-    /// release its budget reservation (possibly admitting queued queries),
-    /// and remove it from scheduling. Call on the query handle exactly once,
-    /// whether the query succeeded or failed.
+    /// Retire this query: record its completion time from its turn-gated
+    /// stamp (the simulated clock right after its last kernel — *not* the
+    /// live device clock, which would encode host-thread timing under
+    /// concurrent policies), release its budget reservation (possibly
+    /// admitting queued queries), and remove it from scheduling. Call on
+    /// the query handle exactly once, whether the query succeeded or
+    /// failed — but never for a shed query, which finished at arrival.
     pub fn sched_retire(&self) {
         let qid = self.query.expect("sched_retire on a non-query handle");
-        let clock = self.inner.state.lock().clock;
         let stats = {
             let mut sched = self.inner.sched_lock();
-            sched.retire(qid, clock);
+            sched.retire(qid);
             sched.stats(qid)
         };
         self.inner.sched_cv.notify_all();

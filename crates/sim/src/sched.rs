@@ -6,17 +6,29 @@
 //!
 //! * **Admission control** — each query reserves a fixed memory budget out
 //!   of the device's free capacity before it runs. Reservations are granted
-//!   in query-id (FIFO) order; a query whose budget does not fit queues
-//!   behind the head of the line until earlier queries retire and release
-//!   theirs. Because the sum of granted budgets never exceeds the free
-//!   capacity, no tenant can OOM a co-tenant.
+//!   in policy order (query-id FIFO for the fair-share policies, predicted
+//!   cost for the shortest-job policies); a query whose budget does not fit
+//!   queues behind the head of that line until earlier queries retire and
+//!   release theirs. Because the sum of granted budgets never exceeds the
+//!   free capacity, no tenant can OOM a co-tenant. Sessions may also bound
+//!   the waiting room ([`QueueLimits`]): an arrival that cannot be admitted
+//!   immediately and finds the queue full is *shed* — marked finished
+//!   without ever holding a reservation — rather than waiting forever.
 //! * **Kernel-granular interleaving** — a query's kernel launches pass
 //!   through a turn gate: the launch blocks until the scheduling policy
 //!   designates that query, performs its accounting, then hands the turn
 //!   on. The designation is a pure function of *simulated* state (query
-//!   ids, per-query busy time, weights), so the interleaving — and with it
-//!   every counter, clock and trace byte — is deterministic regardless of
-//!   host thread timing.
+//!   ids, per-query busy time, weights, predicted costs), so the
+//!   interleaving — and with it every counter, clock and trace byte — is
+//!   deterministic regardless of host thread timing.
+//! * **Turn-gated completion stamp** — every completed turn stamps the
+//!   owning query with the post-kernel simulated clock; retire reads the
+//!   stamp instead of the live device clock. A query's completion time is
+//!   therefore the clock right after its last kernel — a pure function of
+//!   the (deterministic) turn sequence — rather than whatever the clock
+//!   happened to read when its host thread got around to retiring. That is
+//!   what makes latency metrics and full exports byte-identical across
+//!   *all* policies and host-thread counts, not just `Serial`.
 //! * **Virtualized device state** — each query gets its own counters,
 //!   clock, L2 image, trace and budget-capped memory sub-ledger (see
 //!   `lib.rs`), so a query's observable execution is touched only by its
@@ -45,6 +57,17 @@ pub enum SchedPolicy {
     /// (lowest id on ties): long-run device time is shared in proportion
     /// to the configured weights.
     WeightedFair,
+    /// Shortest job first: designate the runnable query with the smallest
+    /// *predicted* execution time (lowest id on ties), and grant budget
+    /// reservations in the same order. Preemptive at kernel granularity: a
+    /// newly arrived shorter job takes the turn at the next kernel
+    /// boundary.
+    Sjf,
+    /// Shortest job first with aging: rank by
+    /// `predicted / (1 + wait_time)`, so a long job's effective rank decays
+    /// toward zero the longer it waits and it cannot starve behind an
+    /// endless stream of short arrivals.
+    SjfAging,
 }
 
 impl SchedPolicy {
@@ -54,8 +77,45 @@ impl SchedPolicy {
             SchedPolicy::Serial => "serial",
             SchedPolicy::RoundRobin => "round_robin",
             SchedPolicy::WeightedFair => "weighted_fair",
+            SchedPolicy::Sjf => "sjf",
+            SchedPolicy::SjfAging => "sjf_aging",
         }
     }
+
+    /// Whether admission and designation rank by predicted cost rather
+    /// than id order.
+    fn cost_ordered(self) -> bool {
+        matches!(self, SchedPolicy::Sjf | SchedPolicy::SjfAging)
+    }
+}
+
+/// Bounds on the waiting room (arrived but not yet admitted queries) of a
+/// scheduling session. The default is unbounded — the pre-existing
+/// behaviour. With `total_depth: Some(0)` nothing ever waits: a query is
+/// admitted the instant it arrives or shed on the spot, which degrades the
+/// bounded queue to pure admission control.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueueLimits {
+    /// Maximum queries that may wait for admission at once, across all
+    /// classes. `None` = unbounded.
+    pub total_depth: Option<usize>,
+    /// Per-class waiting caps, indexed by the class index a query was
+    /// registered with. Classes beyond the vector (or `None` entries) are
+    /// uncapped.
+    pub per_class_depth: Vec<Option<usize>>,
+}
+
+/// What [`crate::Device::sched_admit`] resolved to: the query either holds
+/// its reservation and may launch kernels, or it was shed by the bounded
+/// queue and must not touch the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// The reservation was granted; run the query.
+    Admitted,
+    /// The waiting room was full when the query arrived; it was dropped
+    /// without ever holding a reservation and its completion time is its
+    /// arrival time.
+    Shed,
 }
 
 /// Typed payload carried by the panic a budget-capped allocation raises
@@ -117,8 +177,9 @@ impl std::fmt::Display for AdmissionError {
 pub struct QuerySchedStats {
     /// Simulated seconds of kernel time this query received.
     pub busy_secs: f64,
-    /// Device clock (seconds) when the query retired — its completion time
-    /// on the shared timeline.
+    /// The query's turn-gated completion stamp (seconds): the simulated
+    /// clock right after its last kernel turn (its admission time if it
+    /// ran no kernels; its arrival time if it was shed).
     pub completion_secs: f64,
     /// Device clock when the query's budget reservation was granted.
     pub admitted_secs: f64,
@@ -127,17 +188,32 @@ pub struct QuerySchedStats {
     pub arrival_secs: f64,
     /// The reservation the query ran under, bytes.
     pub budget_bytes: u64,
+    /// The query was shed by the bounded queue: it never held a
+    /// reservation and ran nothing.
+    pub shed: bool,
 }
 
 /// Per-query scheduling bookkeeping.
 pub(crate) struct QuerySched {
     weight: f64,
     budget_bytes: u64,
+    /// Predicted execution time (seconds) from the engine's cost model;
+    /// the ranking key of the shortest-job policies. Zero when the caller
+    /// has no estimate.
+    predicted_secs: f64,
+    /// Admission class index, for per-class queue depth limits.
+    class: Option<u32>,
     admitted: bool,
     finished: bool,
+    shed: bool,
     busy_secs: f64,
     admitted_secs: f64,
     completion_secs: f64,
+    /// Turn-gated completion stamp: the clock right after this query's
+    /// most recent kernel turn (seeded with the admission time). Retire
+    /// copies it into `completion_secs` instead of reading the live device
+    /// clock, which keeps completion times independent of host timing.
+    stamp_secs: f64,
     /// Simulated time at which the query enters the system. Until then it
     /// is invisible to admission and designation.
     arrival_secs: f64,
@@ -150,6 +226,7 @@ pub(crate) struct QuerySched {
 #[derive(Default)]
 pub(crate) struct SchedState {
     policy: Option<SchedPolicy>,
+    limits: QueueLimits,
     queries: Vec<QuerySched>,
     designated: Option<QueryId>,
     /// Round-robin resume point: the first id considered for the next turn.
@@ -160,8 +237,10 @@ pub(crate) struct SchedState {
     available_bytes: u64,
     /// Mirror of the device clock, maintained without ever touching the
     /// state lock: seeded at `start`, advanced by each completed turn and
-    /// each committed idle advance, resynced at every retire. Open-loop
-    /// arrival gating reads simulated time from here.
+    /// each committed idle advance. During a session those are the only
+    /// ways the device clock moves, and the mirror applies the identical
+    /// float additions in identical order, so the two are *exactly* equal —
+    /// every timestamp in this module reads simulated time from here.
     clock: f64,
     /// An idle advance is in flight: one thread is applying a clock jump to
     /// the device state with the sched lock released. Until it commits via
@@ -170,12 +249,19 @@ pub(crate) struct SchedState {
 }
 
 impl SchedState {
-    pub(crate) fn start(&mut self, policy: SchedPolicy, available_bytes: u64, device_clock: f64) {
+    pub(crate) fn start(
+        &mut self,
+        policy: SchedPolicy,
+        available_bytes: u64,
+        device_clock: f64,
+        limits: QueueLimits,
+    ) {
         assert!(
             self.policy.is_none(),
             "a scheduling session is already active on this device"
         );
         self.policy = Some(policy);
+        self.limits = limits;
         self.queries.clear();
         self.designated = None;
         self.rr_cursor = 0;
@@ -199,33 +285,51 @@ impl SchedState {
     }
 
     /// Register a query with the session; returns its id. Admission (the
-    /// actual reservation) happens separately, in id order.
+    /// actual reservation) happens separately, in policy order.
     pub(crate) fn register(
         &mut self,
         weight: f64,
         budget_bytes: u64,
     ) -> Result<QueryId, AdmissionError> {
         let clock = self.clock;
-        self.register_at(weight, budget_bytes, clock)
+        self.register_spec(weight, budget_bytes, clock, 0.0, None)
     }
 
     /// Register a query that arrives at `arrival_secs` on the simulated
-    /// clock (possibly in the future: open-loop load generation). Until the
-    /// clock reaches its arrival the query is invisible to admission and
-    /// designation; when every in-system query has drained and only future
-    /// arrivals remain, the clock jumps forward (see
-    /// [`SchedState::begin_idle_advance`]).
+    /// clock (possibly in the future: open-loop load generation).
     pub(crate) fn register_at(
         &mut self,
         weight: f64,
         budget_bytes: u64,
         arrival_secs: f64,
     ) -> Result<QueryId, AdmissionError> {
+        self.register_spec(weight, budget_bytes, arrival_secs, 0.0, None)
+    }
+
+    /// Register a query with its full serving spec: arrival time (possibly
+    /// in the future), predicted execution time (the shortest-job ranking
+    /// key) and admission class (for per-class queue limits). Until the
+    /// clock reaches its arrival the query is invisible to admission and
+    /// designation; when every in-system query has drained and only future
+    /// arrivals remain, the clock jumps forward (see
+    /// [`SchedState::begin_idle_advance`]).
+    pub(crate) fn register_spec(
+        &mut self,
+        weight: f64,
+        budget_bytes: u64,
+        arrival_secs: f64,
+        predicted_secs: f64,
+        class: Option<u32>,
+    ) -> Result<QueryId, AdmissionError> {
         assert!(self.active(), "sched_register outside a session");
         assert!(weight > 0.0, "query weight must be positive");
         assert!(
             arrival_secs.is_finite(),
             "query arrival time must be finite"
+        );
+        assert!(
+            predicted_secs.is_finite() && predicted_secs >= 0.0,
+            "predicted time must be finite and non-negative"
         );
         if budget_bytes > self.available_bytes {
             return Err(AdmissionError {
@@ -237,47 +341,137 @@ impl SchedState {
         self.queries.push(QuerySched {
             weight,
             budget_bytes,
+            predicted_secs,
+            class,
             admitted: false,
             finished: false,
+            shed: false,
             busy_secs: 0.0,
             admitted_secs: 0.0,
             completion_secs: 0.0,
+            stamp_secs: arrival_secs,
             arrival_secs,
             arrived: arrival_secs <= self.clock,
         });
         Ok(id)
     }
 
-    /// Flip queries whose arrival time the clock has reached to arrived.
-    fn mark_arrivals(&mut self) {
-        for q in self.queries.iter_mut() {
+    /// Flip queries whose arrival time the clock has reached to arrived;
+    /// returns the newly arrived ids in id order (the shed check runs over
+    /// exactly these).
+    fn mark_arrivals(&mut self) -> Vec<QueryId> {
+        let mut newly = Vec::new();
+        for (i, q) in self.queries.iter_mut().enumerate() {
             if !q.arrived && q.arrival_secs <= self.clock {
                 q.arrived = true;
+                newly.push(i as QueryId);
             }
+        }
+        newly
+    }
+
+    /// A query occupying the waiting room: in the system but not yet
+    /// holding a reservation.
+    fn waiting(q: &QuerySched) -> bool {
+        q.arrived && !q.admitted && !q.finished
+    }
+
+    /// The policy's ranking key for a waiting or runnable query. Lower
+    /// runs (or is admitted) first; ties break toward the lower id at the
+    /// call sites.
+    fn rank(&self, q: &QuerySched) -> f64 {
+        match self.policy {
+            Some(SchedPolicy::SjfAging) => {
+                // A job's rank decays with its time in system, so waiting
+                // long jobs eventually outrank fresh short ones.
+                q.predicted_secs / (1.0 + (self.clock - q.arrival_secs).max(0.0))
+            }
+            _ => q.predicted_secs,
         }
     }
 
-    /// Grant reservations in id (FIFO) order until one does not fit; the
-    /// head of the line blocks everyone behind it, which keeps admission
-    /// order — and therefore everything downstream — deterministic. Queries
-    /// that have not yet *arrived* are skipped rather than blocking: ids
-    /// are assigned in arrival order, so skipping the not-yet-arrived tail
-    /// preserves arrival-order FIFO.
-    pub(crate) fn admit_fifo(&mut self, device_clock: f64) {
-        for q in self.queries.iter_mut() {
-            if q.finished || q.admitted || !q.arrived {
-                continue;
-            }
+    /// Grant reservations in policy order until one does not fit: id
+    /// (FIFO) order for the fair-share policies, predicted-cost order for
+    /// the shortest-job policies. The head of the chosen line blocks
+    /// everyone behind it, which keeps admission order — and therefore
+    /// everything downstream — deterministic. Queries that have not yet
+    /// *arrived* are skipped rather than blocking.
+    pub(crate) fn admit_pass(&mut self) {
+        let cost_ordered = self.policy.is_some_and(|p| p.cost_ordered());
+        let mut order: Vec<QueryId> = (0..self.queries.len() as QueryId)
+            .filter(|&id| Self::waiting(&self.queries[id as usize]))
+            .collect();
+        if cost_ordered {
+            order.sort_by(|&a, &b| {
+                let (qa, qb) = (&self.queries[a as usize], &self.queries[b as usize]);
+                self.rank(qa)
+                    .partial_cmp(&self.rank(qb))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+        }
+        for id in order {
+            let q = &mut self.queries[id as usize];
             if self.reserved_bytes + q.budget_bytes > self.available_bytes {
                 break;
             }
             self.reserved_bytes += q.budget_bytes;
             q.admitted = true;
-            q.admitted_secs = device_clock;
+            q.admitted_secs = self.clock;
+            // A query that never launches a kernel completes the moment it
+            // is admitted; every completed turn advances this stamp.
+            q.stamp_secs = self.clock;
         }
         if self.designated.is_none() {
             self.redesignate();
         }
+    }
+
+    /// Shed newly arrived queries that were not admitted on arrival and
+    /// find the waiting room full. `candidates` are processed in id order;
+    /// a shed query finishes immediately (completion = arrival) without
+    /// ever holding a reservation. With unbounded limits this is a no-op.
+    pub(crate) fn shed_overflow(&mut self, candidates: &[QueryId]) {
+        for &id in candidates {
+            if !Self::waiting(&self.queries[id as usize]) {
+                continue;
+            }
+            let class = self.queries[id as usize].class;
+            let others = |st: &SchedState, same_class: bool| {
+                st.queries
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, q)| {
+                        *i as QueryId != id && Self::waiting(q) && (!same_class || q.class == class)
+                    })
+                    .count()
+            };
+            let mut shed = self
+                .limits
+                .total_depth
+                .is_some_and(|cap| others(self, false) >= cap);
+            if !shed {
+                if let Some(c) = class {
+                    if let Some(&Some(cap)) = self.limits.per_class_depth.get(c as usize) {
+                        shed = others(self, true) >= cap;
+                    }
+                }
+            }
+            if shed {
+                let q = &mut self.queries[id as usize];
+                q.finished = true;
+                q.shed = true;
+                q.completion_secs = q.arrival_secs;
+                q.stamp_secs = q.arrival_secs;
+            }
+        }
+    }
+
+    /// Run the arrival pipeline after a registration: admission pass, then
+    /// the shed check for the new query if it arrived unadmitted.
+    pub(crate) fn on_register(&mut self, id: QueryId) {
+        self.admit_pass();
+        self.shed_overflow(&[id]);
     }
 
     /// If the device is idle (no runnable query) but future arrivals exist,
@@ -310,14 +504,18 @@ impl SchedState {
         debug_assert!(self.advancing, "finish_idle_advance without begin");
         self.advancing = false;
         self.clock += delta;
-        self.mark_arrivals();
-        let clock = self.clock;
-        self.admit_fifo(clock);
+        let newly = self.mark_arrivals();
+        self.admit_pass();
+        self.shed_overflow(&newly);
         self.redesignate();
     }
 
     pub(crate) fn is_admitted(&self, id: QueryId) -> bool {
         self.queries[id as usize].admitted
+    }
+
+    pub(crate) fn is_shed(&self, id: QueryId) -> bool {
+        self.queries[id as usize].shed
     }
 
     pub(crate) fn is_designated(&self, id: QueryId) -> bool {
@@ -326,34 +524,36 @@ impl SchedState {
 
     /// Account a completed kernel turn and pass the turn on. The clock
     /// mirror advances with the kernel (the device clock already did, under
-    /// the state lock), which may let new arrivals into the system.
+    /// the state lock), the owning query's completion stamp moves to the
+    /// post-kernel clock, and new arrivals may enter the system.
     pub(crate) fn complete_turn(&mut self, id: QueryId, kernel_secs: f64) {
         debug_assert_eq!(self.designated, Some(id), "turn completed out of order");
         self.queries[id as usize].busy_secs += kernel_secs;
         self.clock += kernel_secs;
-        self.mark_arrivals();
-        let clock = self.clock;
-        self.admit_fifo(clock);
+        self.queries[id as usize].stamp_secs = self.clock;
+        let newly = self.mark_arrivals();
+        self.admit_pass();
+        self.shed_overflow(&newly);
         if self.policy == Some(SchedPolicy::RoundRobin) {
             self.rr_cursor = id + 1;
         }
         self.redesignate();
     }
 
-    /// Mark a query finished, release its reservation, and re-run FIFO
-    /// admission for queued queries. `device_clock` resyncs the mirror (it
-    /// can drift only by float-add ordering; the device clock is the truth).
-    pub(crate) fn retire(&mut self, id: QueryId, device_clock: f64) {
-        self.clock = device_clock;
+    /// Mark a query finished, release its reservation, and re-run the
+    /// admission pass for queued queries. Completion time comes from the
+    /// query's turn-gated stamp — the clock right after its last kernel —
+    /// never from the live device clock, so it is identical under every
+    /// policy and host-thread count.
+    pub(crate) fn retire(&mut self, id: QueryId) {
         let q = &mut self.queries[id as usize];
         assert!(!q.finished, "query retired twice");
         q.finished = true;
-        q.completion_secs = device_clock;
+        q.completion_secs = q.stamp_secs;
         if q.admitted {
             self.reserved_bytes -= q.budget_bytes;
         }
-        self.mark_arrivals();
-        self.admit_fifo(device_clock);
+        self.admit_pass();
         self.redesignate();
     }
 
@@ -365,6 +565,7 @@ impl SchedState {
             admitted_secs: q.admitted_secs,
             arrival_secs: q.arrival_secs,
             budget_bytes: q.budget_bytes,
+            shed: q.shed,
         }
     }
 
@@ -391,6 +592,18 @@ impl SchedState {
                         .unwrap()
                 })
                 .map(|(i, _)| i as QueryId),
+            Some(SchedPolicy::Sjf) | Some(SchedPolicy::SjfAging) => self
+                .queries
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| runnable(q))
+                .min_by(|(ia, a), (ib, b)| {
+                    self.rank(a)
+                        .partial_cmp(&self.rank(b))
+                        .unwrap()
+                        .then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i as QueryId),
         };
     }
 }
@@ -401,11 +614,11 @@ mod tests {
 
     fn session(policy: SchedPolicy, budgets: &[u64], available: u64) -> SchedState {
         let mut st = SchedState::default();
-        st.start(policy, available, 0.0);
+        st.start(policy, available, 0.0, QueueLimits::default());
         for &b in budgets {
             st.register(1.0, b).unwrap();
         }
-        st.admit_fifo(0.0);
+        st.admit_pass();
         st
     }
 
@@ -419,7 +632,7 @@ mod tests {
             st.complete_turn(id, 1.0);
         }
         assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
-        st.retire(1, 6.0);
+        st.retire(1);
         let id = st.designated.unwrap();
         assert_eq!(id, 0, "cursor wraps past the retired query");
         st.complete_turn(id, 1.0);
@@ -433,17 +646,22 @@ mod tests {
             assert_eq!(st.designated, Some(0));
             st.complete_turn(0, 1.0);
         }
-        st.retire(0, 5.0);
+        st.retire(0);
         assert_eq!(st.designated, Some(1));
+        assert_eq!(
+            st.stats(0).completion_secs,
+            5.0,
+            "completion is the post-kernel stamp"
+        );
     }
 
     #[test]
     fn weighted_fair_shares_busy_time_by_weight() {
         let mut st = SchedState::default();
-        st.start(SchedPolicy::WeightedFair, 100, 0.0);
+        st.start(SchedPolicy::WeightedFair, 100, 0.0, QueueLimits::default());
         st.register(3.0, 10).unwrap();
         st.register(1.0, 10).unwrap();
-        st.admit_fifo(0.0);
+        st.admit_pass();
         let mut turns = [0u32; 2];
         for _ in 0..8 {
             let id = st.designated.unwrap();
@@ -462,7 +680,7 @@ mod tests {
         assert!(!st.is_admitted(1));
         assert!(!st.is_admitted(2), "FIFO: 2 queues behind 1");
         assert_eq!(st.designated, Some(0));
-        st.retire(0, 1.0);
+        st.retire(0);
         assert!(st.is_admitted(1));
         assert!(st.is_admitted(2), "both fit after 0 released its budget");
     }
@@ -470,9 +688,9 @@ mod tests {
     #[test]
     fn future_arrivals_are_invisible_until_the_clock_reaches_them() {
         let mut st = SchedState::default();
-        st.start(SchedPolicy::Serial, 100, 0.0);
+        st.start(SchedPolicy::Serial, 100, 0.0, QueueLimits::default());
         st.register_at(1.0, 10, 5.0).unwrap();
-        st.admit_fifo(0.0);
+        st.admit_pass();
         assert!(!st.is_admitted(0), "query 0 has not arrived yet");
         assert_eq!(st.designated, None);
 
@@ -494,10 +712,10 @@ mod tests {
     #[test]
     fn kernel_turns_advance_the_clock_mirror_and_admit_arrivals() {
         let mut st = SchedState::default();
-        st.start(SchedPolicy::Serial, 100, 0.0);
+        st.start(SchedPolicy::Serial, 100, 0.0, QueueLimits::default());
         st.register_at(1.0, 10, 0.0).unwrap();
         st.register_at(1.0, 10, 2.5).unwrap();
-        st.admit_fifo(0.0);
+        st.admit_pass();
         assert_eq!(st.designated, Some(0));
         assert!(!st.is_admitted(1));
 
@@ -508,8 +726,13 @@ mod tests {
         assert_eq!(st.stats(1).admitted_secs, 3.0);
         assert_eq!(st.designated, Some(0), "serial still runs query 0");
 
-        st.retire(0, 3.0);
+        st.retire(0);
         assert_eq!(st.designated, Some(1));
+        assert_eq!(
+            st.stats(0).completion_secs,
+            3.0,
+            "stamp tracks the last completed turn"
+        );
         assert_eq!(
             st.begin_idle_advance(),
             None,
@@ -518,9 +741,173 @@ mod tests {
     }
 
     #[test]
+    fn sjf_designates_by_predicted_time() {
+        let mut st = SchedState::default();
+        st.start(SchedPolicy::Sjf, 100, 0.0, QueueLimits::default());
+        st.register_spec(1.0, 10, 0.0, 5.0, None).unwrap();
+        st.register_spec(1.0, 10, 0.0, 1.0, None).unwrap();
+        st.register_spec(1.0, 10, 0.0, 3.0, None).unwrap();
+        st.admit_pass();
+        assert_eq!(st.designated, Some(1), "smallest predicted time first");
+        st.complete_turn(1, 1.0);
+        st.retire(1);
+        assert_eq!(st.designated, Some(2));
+        st.retire(2);
+        assert_eq!(st.designated, Some(0));
+        st.retire(0);
+    }
+
+    #[test]
+    fn sjf_preempts_at_kernel_boundaries() {
+        let mut st = SchedState::default();
+        st.start(SchedPolicy::Sjf, 100, 0.0, QueueLimits::default());
+        st.register_spec(1.0, 10, 0.0, 10.0, None).unwrap();
+        st.register_spec(1.0, 10, 0.5, 1.0, None).unwrap();
+        st.admit_pass();
+        assert_eq!(st.designated, Some(0), "only job in the system");
+        st.complete_turn(0, 1.0);
+        assert_eq!(
+            st.designated,
+            Some(1),
+            "shorter arrival takes the next turn"
+        );
+    }
+
+    #[test]
+    fn sjf_admits_reservations_in_cost_order() {
+        let mut st = SchedState::default();
+        st.start(SchedPolicy::Sjf, 100, 0.0, QueueLimits::default());
+        st.register_spec(1.0, 80, 0.0, 9.0, None).unwrap();
+        st.register_spec(1.0, 80, 0.0, 2.0, None).unwrap();
+        st.admit_pass();
+        assert!(
+            !st.is_admitted(0) && st.is_admitted(1),
+            "the shorter job gets the reservation even with a higher id"
+        );
+        st.retire(1);
+        assert!(st.is_admitted(0));
+        st.retire(0);
+    }
+
+    #[test]
+    fn aging_decays_rank_with_waiting_time() {
+        let mut st = SchedState::default();
+        st.start(SchedPolicy::SjfAging, 100, 0.0, QueueLimits::default());
+        // A long job arrives first; short jobs keep arriving behind it.
+        // Pure SJF would hand every turn to the freshest short job; aging
+        // divides a job's rank by its time in system, so the long job's
+        // effective rank decays below a fresh short job's.
+        st.register_spec(1.0, 10, 0.0, 8.0, None).unwrap(); // long
+        st.register_spec(1.0, 10, 1.0, 1.0, None).unwrap(); // short @ 1s
+        st.register_spec(1.0, 10, 8.0, 1.0, None).unwrap(); // short @ 8s
+        st.admit_pass();
+        assert_eq!(st.designated, Some(0), "only arrival so far");
+        st.complete_turn(0, 1.0);
+        // Clock 1: the fresh short job (rank 1/1) outranks the barely aged
+        // long one (rank 8/2) and preempts it.
+        assert_eq!(st.designated, Some(1));
+        st.complete_turn(1, 1.0);
+        st.retire(1);
+        assert_eq!(st.designated, Some(0));
+        for _ in 0..6 {
+            st.complete_turn(0, 1.0);
+        }
+        // Clock 8: a brand-new short job arrives (rank 1/1 = 1), but the
+        // long job has aged to rank 8/9 < 1 and keeps the device — no
+        // starvation.
+        assert_eq!(st.designated, Some(0), "aged long job outranks fresh short");
+        st.complete_turn(0, 1.0);
+        st.retire(0);
+        st.retire(2);
+    }
+
+    #[test]
+    fn full_queue_sheds_on_arrival() {
+        let mut st = SchedState::default();
+        st.start(
+            SchedPolicy::Serial,
+            100,
+            0.0,
+            QueueLimits {
+                total_depth: Some(1),
+                per_class_depth: Vec::new(),
+            },
+        );
+        // 0 takes the whole device; 1 waits (depth 1); 2 finds the waiting
+        // room full and is shed.
+        st.register(1.0, 100).unwrap();
+        st.on_register(0);
+        st.register(1.0, 10).unwrap();
+        st.on_register(1);
+        st.register(1.0, 10).unwrap();
+        st.on_register(2);
+        assert!(st.is_admitted(0) && !st.is_shed(0));
+        assert!(!st.is_admitted(1) && !st.is_shed(1), "within depth: waits");
+        assert!(st.is_shed(2), "overflow arrival is shed");
+        let s = st.stats(2);
+        assert!(s.shed);
+        assert_eq!(s.completion_secs, s.arrival_secs);
+        st.retire(0);
+        assert!(st.is_admitted(1), "the queued query still runs");
+        st.retire(1);
+        st.finish();
+    }
+
+    #[test]
+    fn per_class_depth_sheds_only_that_class() {
+        let mut st = SchedState::default();
+        st.start(
+            SchedPolicy::Serial,
+            100,
+            0.0,
+            QueueLimits {
+                total_depth: None,
+                per_class_depth: vec![Some(0), None],
+            },
+        );
+        st.register(1.0, 100).unwrap();
+        st.on_register(0);
+        // Class 0 may never wait; class 1 may queue freely.
+        st.register_spec(1.0, 10, 0.0, 0.0, Some(0)).unwrap();
+        st.on_register(1);
+        st.register_spec(1.0, 10, 0.0, 0.0, Some(1)).unwrap();
+        st.on_register(2);
+        assert!(st.is_shed(1), "class 0 has a zero-depth queue");
+        assert!(!st.is_shed(2), "class 1 is uncapped and waits");
+        st.retire(0);
+        assert!(st.is_admitted(2));
+        st.retire(2);
+        st.finish();
+    }
+
+    #[test]
+    fn zero_capacity_queue_admits_immediately_or_sheds() {
+        let mut st = SchedState::default();
+        st.start(
+            SchedPolicy::Serial,
+            100,
+            0.0,
+            QueueLimits {
+                total_depth: Some(0),
+                per_class_depth: Vec::new(),
+            },
+        );
+        // Fits right away: admitted, never waited, never shed.
+        st.register(1.0, 60).unwrap();
+        st.on_register(0);
+        assert!(st.is_admitted(0) && !st.is_shed(0));
+        // Would have to wait: shed on the spot.
+        st.register(1.0, 60).unwrap();
+        st.on_register(1);
+        assert!(st.is_shed(1));
+        st.retire(0);
+        st.finish();
+    }
+
+    #[test]
     fn oversized_budget_is_rejected_at_registration() {
         let mut st = SchedState::default();
-        st.start(SchedPolicy::Serial, 100, 0.0);
+        st.start(SchedPolicy::Serial, 100, 0.0, QueueLimits::default());
         let err = st.register(1.0, 101).unwrap_err();
         assert_eq!(err.requested_bytes, 101);
         assert_eq!(err.available_bytes, 100);

@@ -48,3 +48,65 @@ pub fn plan_sql(sql: &str, catalog: &Catalog) -> Result<Lowered, EngineError> {
     let logical = bind(&query, catalog)?;
     lower(&logical, catalog)
 }
+
+/// Normalized shape fingerprint of a SQL text: FNV-1a 64 over the lexed
+/// token stream. The lexer already normalizes everything that should not
+/// distinguish two queries — whitespace, line comments, and keyword case
+/// all vanish, while identifier spelling and literal values survive (the
+/// catalog is case-sensitive and different constants are different
+/// plans). Textual variants of one query therefore share a
+/// [`engine::PlanCache`] entry without being re-planned; pass this to
+/// [`engine::PlanCache::execute_keyed`].
+pub fn fingerprint(sql: &str) -> Result<u64, EngineError> {
+    let tokens = lexer::lex(sql)?;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for token in &tokens {
+        // Hash the token's debug form (kind + payload), never its span:
+        // source positions are exactly the formatting noise the
+        // fingerprint exists to erase.
+        for b in format!("{:?}\u{0}", token.tok).bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fingerprint;
+
+    #[test]
+    fn formatting_noise_does_not_change_the_fingerprint() {
+        let canonical = fingerprint("SELECT a FROM t WHERE a >= 10").unwrap();
+        for variant in [
+            "select a from t where a >= 10",
+            "SELECT a\n  FROM t -- push the filter\n  WHERE a >= 10",
+            "  SELECT   a FROM t WHERE a >= 10  ",
+        ] {
+            assert_eq!(fingerprint(variant).unwrap(), canonical, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn semantic_differences_change_the_fingerprint() {
+        let base = fingerprint("SELECT a FROM t WHERE a >= 10").unwrap();
+        for variant in [
+            "SELECT a FROM t WHERE a >= 11", // different constant
+            "SELECT b FROM t WHERE a >= 10", // different column
+            "SELECT A FROM t WHERE a >= 10", // identifiers are case-sensitive
+            "SELECT a FROM t WHERE a > 10",  // different operator
+        ] {
+            assert_ne!(fingerprint(variant).unwrap(), base, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn token_boundaries_are_not_ambiguous() {
+        // Adjacent tokens must not concatenate into the same byte stream.
+        assert_ne!(
+            fingerprint("SELECT ab FROM t").unwrap(),
+            fingerprint("SELECT a FROM t").unwrap()
+        );
+    }
+}

@@ -25,6 +25,12 @@ cargo test -q -p gpu-join \
     --test scheduler_equivalence --test scheduler_fairness \
     --test failure_injection --test trace_invariants --test metrics_invariants
 
+echo "==> serving-control property suite (admission, queueing, plan cache)"
+# The scheduling-policy property suite: work conservation, shed-only-when-
+# full, SJF ordering, plan-cache byte-identity, export byte-identity across
+# host threads under every policy.
+cargo test -q -p gpu-join --test admission_invariants
+
 echo "==> bench smoke-run (run_all --scale 14)"
 # run_all writes results/ into the cwd; run from a scratch dir so the
 # checked-in results/ stays untouched.
@@ -233,6 +239,68 @@ for key, vs in buckets.items():
     assert vs == sorted(vs), f"{key}: non-cumulative bucket counts"
 print(f"    metrics exports valid: {len(doc['devices'])} devices, "
       f"{len(lines)} OpenMetrics samples, cumulative series monotone")
+PY
+
+echo "==> admission smoke (m03_admission --scale 14 --metrics --explain)"
+(cd "$smoke_dir" \
+    && cargo run --release --quiet --manifest-path "$repo_dir/Cargo.toml" \
+        -p bench --bin m03_admission -- --scale 14 --reps 1 \
+        --metrics metrics_m03.json --explain explain_m03.json \
+        >m03.log 2>&1) || {
+    echo "m03_admission smoke failed; tail of log:"
+    tail -40 "$smoke_dir/m03.log"
+    exit 1
+}
+# The three headline findings: the SJF p99 win at equal goodput, the
+# shed/reject accounting, and the plan-cache hit rates.
+grep -q "SJF cuts the short class's p99" "$smoke_dir/m03.log" || {
+    echo "m03_admission smoke: missing SJF-vs-FIFO finding in output"
+    exit 1
+}
+grep -q "rejects both doomed arrivals" "$smoke_dir/m03.log" || {
+    echo "m03_admission smoke: missing admission-control finding in output"
+    exit 1
+}
+grep -q "plan cache sized for the mix" "$smoke_dir/m03.log" || {
+    echo "m03_admission smoke: missing plan-cache finding in output"
+    exit 1
+}
+# The --metrics export must carry the admission and plan-cache counter
+# families with the exact totals the experiment asserts on its reports.
+test -s "$smoke_dir/metrics_m03.json" || {
+    echo "m03_admission smoke produced no metrics_m03.json"
+    exit 1
+}
+python3 - "$smoke_dir/metrics_m03.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+totals = {}
+for dev in doc["devices"]:
+    for c in dev["counters"]:
+        key = (c["name"], tuple(sorted(c.get("labels", {}).items())))
+        totals[key] = totals.get(key, 0) + c["value"]
+def total(name, **labels):
+    return totals.get((name, tuple(sorted(labels.items()))), 0)
+assert total("query_shed_total", **{"class": "burst"}) == 7, totals
+assert total("query_rejected_total", **{"class": "doomed"}) == 2, totals
+assert total("query_completed_total", **{"class": "burst"}) == 3, totals
+hits = total("plan_cache_hits_total")
+misses = total("plan_cache_misses_total")
+evictions = total("plan_cache_evictions_total")
+assert (hits, misses, evictions) == (9, 15, 10), (hits, misses, evictions)
+print(f"    metrics_m03 valid: shed 7 / rejected 2 / completed 3, "
+      f"cache {hits} hits / {misses} misses / {evictions} evictions")
+PY
+# The --explain export must record the cache-hit query with its cache
+# provenance line.
+python3 - "$smoke_dir/explain_m03.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+hit = [q for q in doc["queries"] if q["query"] == "m03 q18 (plan cache hit)"]
+assert hit, [q["query"] for q in doc["queries"]]
+assert "plan cache: hit" in hit[0]["tree"], hit[0]["tree"]
+assert doc["kernels"], "no kernel analysis"
+print("    explain_m03 valid: cache-hit EXPLAIN carries its provenance line")
 PY
 
 # Keep the smoke trace, explain report and fresh results where CI can pick

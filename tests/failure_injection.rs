@@ -110,7 +110,7 @@ fn ledger_balances_after_oom_unwind() {
 // peak-memory ledgers are identical to running them single-query.
 // ---------------------------------------------------------------------------
 
-use gpu_join::engine::scheduler::{Policy, QuerySpec};
+use gpu_join::engine::scheduler::{OpenQuery, Policy, QuerySpec, ServingConfig};
 use gpu_join::engine::{self, AggSpec, Catalog, EngineError, Expr, NodeStats, Plan, Table};
 
 /// Catalog with one join pair plus a table wide enough that materializing a
@@ -313,5 +313,200 @@ fn budget_capped_tenant_spills_out_of_core_and_stays_correct() {
     assert!(
         all.iter().any(|l| l.contains("chunked x")),
         "expected a chunked join node, got labels: {all:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Admission-control failure edges: the serving path distinguishes two typed
+// rejections — shed at a full queue vs rejected by the predicted-memory gate
+// — and neither perturbs a co-tenant by a single byte.
+// ---------------------------------------------------------------------------
+
+/// A plan the predicted-memory gate must refuse under a tiny budget: its
+/// materialized filter output alone is ~512 KiB.
+fn doomed_plan() -> Plan {
+    Plan::scan("big").filter(Expr::col("v").gt(Expr::lit(-1)))
+}
+
+#[test]
+fn shed_and_reject_are_distinct_typed_errors_in_one_session() {
+    const TINY: u64 = 16 << 10;
+    let dev = Device::a100();
+    let cat = sched_catalog(&dev);
+    let free = dev.mem_capacity() - dev.mem_report().current_bytes;
+    let budget = free * 2 / 5; // two reservations fit, a third cannot
+    let t0 = dev.elapsed().secs();
+    let at = SimTime::from_secs(t0);
+
+    // Zero queue depth plus the memory gate: q0/q1 admit on arrival, q2
+    // finds both reservations taken and nowhere to wait, q3 is refused by
+    // the gate before it ever registers.
+    let serving = ServingConfig::new().with_total_depth(0).with_memory_gate();
+    let arrivals = vec![
+        OpenQuery::new(at, "ok", QuerySpec::new(join_plan()).with_budget(budget)),
+        OpenQuery::new(at, "ok", QuerySpec::new(agg_plan()).with_budget(budget)),
+        OpenQuery::new(at, "ok", QuerySpec::new(join_plan()).with_budget(budget)),
+        OpenQuery::new(
+            at,
+            "doomed",
+            QuerySpec::new(doomed_plan()).with_budget(TINY),
+        ),
+    ];
+    let reports = engine::run_open_loop_with(&dev, &cat, arrivals, Policy::Serial, &serving);
+
+    assert!(
+        reports[0].result.is_ok(),
+        "{:?}",
+        reports[0].result.as_ref().err()
+    );
+    assert!(
+        reports[1].result.is_ok(),
+        "{:?}",
+        reports[1].result.as_ref().err()
+    );
+
+    // Shed at the full queue: the error names the query, and the query
+    // observably never ran — no kernel time, completion at arrival.
+    match &reports[2].result {
+        Err(EngineError::QueueShed { query }) => assert_eq!(*query, 2),
+        other => panic!("expected QueueShed, got {:?}", other.as_ref().err()),
+    }
+    assert_eq!(reports[2].busy.secs().to_bits(), 0f64.to_bits());
+    assert_eq!(
+        reports[2].completion.secs().to_bits(),
+        reports[2].arrival.secs().to_bits()
+    );
+
+    // Rejected by the gate: a different variant, carrying the prediction
+    // that doomed it — and the query never even registered.
+    match &reports[3].result {
+        Err(EngineError::AdmissionRejected {
+            predicted_peak_bytes,
+            budget_bytes,
+        }) => {
+            assert_eq!(*budget_bytes, TINY);
+            assert!(
+                *predicted_peak_bytes > TINY,
+                "the rejection must carry the oversized prediction ({predicted_peak_bytes})"
+            );
+        }
+        other => panic!("expected AdmissionRejected, got {:?}", other.as_ref().err()),
+    }
+    assert_eq!(reports[3].busy.secs().to_bits(), 0f64.to_bits());
+    assert_eq!(
+        reports[3].peak_mem_bytes, 0,
+        "rejected queries never allocate"
+    );
+}
+
+#[test]
+fn cotenant_observables_are_unchanged_by_a_shed_coarrival() {
+    // The same two-tenant session, with and without a third arrival that
+    // gets shed: every co-tenant observable — rows, ledger peak, kernel
+    // time, completion stamp — must be byte-identical.
+    let serving = ServingConfig::new().with_total_depth(0);
+    let run = |with_shed: bool| {
+        let dev = Device::a100();
+        let cat = sched_catalog(&dev);
+        let free = dev.mem_capacity() - dev.mem_report().current_bytes;
+        let budget = free * 2 / 5;
+        let at = SimTime::from_secs(dev.elapsed().secs());
+        let mut arrivals = vec![
+            OpenQuery::new(at, "ok", QuerySpec::new(join_plan()).with_budget(budget)),
+            OpenQuery::new(at, "ok", QuerySpec::new(agg_plan()).with_budget(budget)),
+        ];
+        if with_shed {
+            arrivals.push(OpenQuery::new(
+                at,
+                "extra",
+                QuerySpec::new(join_plan()).with_budget(budget),
+            ));
+        }
+        engine::run_open_loop_with(&dev, &cat, arrivals, Policy::RoundRobin, &serving)
+    };
+
+    let baseline = run(false);
+    let with_shed = run(true);
+    assert!(matches!(
+        with_shed[2].result,
+        Err(EngineError::QueueShed { query: 2 })
+    ));
+    for i in 0..2 {
+        let (a, b) = (&baseline[i], &with_shed[i]);
+        let (x, y) = (
+            a.result.as_ref().expect("baseline co-tenant succeeds"),
+            b.result
+                .as_ref()
+                .expect("co-tenant succeeds despite the shed"),
+        );
+        assert_eq!(x.table.rows_sorted(), y.table.rows_sorted(), "q{i} rows");
+        assert_eq!(a.peak_mem_bytes, b.peak_mem_bytes, "q{i} ledger peak");
+        assert_eq!(
+            a.busy.secs().to_bits(),
+            b.busy.secs().to_bits(),
+            "q{i} busy"
+        );
+        assert_eq!(
+            a.completion.secs().to_bits(),
+            b.completion.secs().to_bits(),
+            "q{i} completion stamp"
+        );
+    }
+}
+
+#[test]
+fn zero_capacity_queue_degrades_to_pure_admission_control() {
+    // With `total_depth = 0` there is no waiting room at all: an arrival
+    // either admits on the spot or is shed on the spot. Whether it admits
+    // is purely a memory question.
+    let run = |budget_num: u64, budget_den: u64| {
+        let dev = Device::a100();
+        let cat = sched_catalog(&dev);
+        let free = dev.mem_capacity() - dev.mem_report().current_bytes;
+        let budget = free * budget_num / budget_den;
+        let at = SimTime::from_secs(dev.elapsed().secs());
+        let arrivals = (0..3)
+            .map(|_| OpenQuery::new(at, "c", QuerySpec::new(agg_plan()).with_budget(budget)))
+            .collect();
+        engine::run_open_loop_with(
+            &dev,
+            &cat,
+            arrivals,
+            Policy::Serial,
+            &ServingConfig::new().with_total_depth(0),
+        )
+    };
+
+    // All three reservations fit: nothing ever needs to wait, so the
+    // zero-capacity queue sheds nothing and everyone admits at arrival.
+    let fits = run(1, 4);
+    for r in &fits {
+        assert!(
+            r.result.is_ok(),
+            "q{}: {:?}",
+            r.query,
+            r.result.as_ref().err()
+        );
+        assert_eq!(
+            r.admitted.secs().to_bits(),
+            r.arrival.secs().to_bits(),
+            "q{}: with capacity free nothing queues",
+            r.query
+        );
+    }
+
+    // Only two fit: the third would have to wait, and with no waiting room
+    // that means an immediate shed — pure admission control.
+    let pressured = run(2, 5);
+    assert!(pressured[0].result.is_ok());
+    assert!(pressured[1].result.is_ok());
+    assert!(matches!(
+        pressured[2].result,
+        Err(EngineError::QueueShed { query: 2 })
+    ));
+    assert_eq!(
+        pressured[2].completion.secs().to_bits(),
+        pressured[2].arrival.secs().to_bits(),
+        "a zero-capacity shed is decided at the arrival instant"
     );
 }
