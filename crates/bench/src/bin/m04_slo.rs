@@ -1,0 +1,6 @@
+//! Thin wrapper around [`bench::exp::m04`].
+
+fn main() {
+    let args = bench::Args::parse();
+    let _ = bench::exp::m04::run(&args);
+}

@@ -215,12 +215,38 @@ pub fn run(args: &Args) -> Report {
                 )
             })
             .collect();
+        // Per-query lifecycle timestamps straight off the reports: the
+        // request-scoped observability record (arrival, admitted, first
+        // kernel, completion, queue wait) for every request in the step.
+        let lifecycle_json: Vec<serde_json::Value> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                serde_json::json!({
+                    "query": r.query, "class": mix(i).0,
+                    "arrival_s": r.arrival.secs(), "admitted_s": r.admitted.secs(),
+                    "started_s": r.started.secs(), "completed_s": r.completion.secs(),
+                    "queue_wait_s": r.queue_wait().secs(),
+                })
+            })
+            .collect();
         report.push(serde_json::json!({
             "sweep": "offered_load", "rho": rho, "queries": ARRIVALS_PER_STEP,
             "offered_qps": lambda, "achieved_qps": achieved_qps,
             "utilization": utilization, "mean_in_system": in_system,
             "classes": serde_json::Value::Object(class_json),
+            "lifecycle": lifecycle_json,
         }));
+        if args.digest_enabled() {
+            if let Some(trace) = dev.trace_snapshot() {
+                let explains: Vec<_> = reports
+                    .iter()
+                    .filter_map(|r| r.explain.clone().map(|e| (r.query, e)))
+                    .collect();
+                let digest = engine::slow_queries(&trace, &snap, &explains);
+                args.record_digest(&format!("m02_serving rho={rho:.2}"), &digest);
+            }
+        }
         let worst_p99 = classes.iter().map(|(_, s)| s.p99_s).fold(0.0, f64::max);
         curve.push((rho, achieved_qps, worst_p99));
     }

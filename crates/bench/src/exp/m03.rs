@@ -69,6 +69,32 @@ fn completed(snap: &sim::MetricsSnapshot, class: &str) -> u64 {
         .counter("query_completed_total", &[("class", class)])
 }
 
+/// Per-query lifecycle timestamps off the reports — the request-scoped
+/// observability record each JSON row carries.
+fn lifecycle_json(
+    reports: &[engine::scheduler::QueryReport],
+    class_of: impl Fn(usize) -> &'static str,
+) -> Vec<serde_json::Value> {
+    reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let outcome = match &r.result {
+                Ok(_) => "completed",
+                Err(EngineError::QueueShed { .. }) => "shed",
+                Err(EngineError::AdmissionRejected { .. }) => "rejected",
+                Err(_) => "failed",
+            };
+            serde_json::json!({
+                "query": r.query, "class": class_of(i), "outcome": outcome,
+                "arrival_s": r.arrival.secs(), "admitted_s": r.admitted.secs(),
+                "started_s": r.started.secs(), "completed_s": r.completion.secs(),
+                "queue_wait_s": r.queue_wait().secs(),
+            })
+        })
+        .collect()
+}
+
 /// Run the experiment.
 pub fn run(args: &Args) -> Report {
     let mut report = Report::new(
@@ -184,6 +210,7 @@ pub fn run(args: &Args) -> Report {
                 "queries": ARRIVALS_PER_STEP, "completed": done,
                 "achieved_qps": achieved_qps,
                 "q18_p99_s": p99s[0], "q3_p99_s": p99s[1], "q1_p99_s": p99s[2],
+                "lifecycle": lifecycle_json(&reports, |i| mix(i).0),
             }));
             match label {
                 "fifo" => {
@@ -294,6 +321,7 @@ pub fn run(args: &Args) -> Report {
     report.push(serde_json::json!({
         "sweep": "admission", "arrivals": n_burst + n_doomed, "queue_depth": 1,
         "completed": m_done, "shed": m_shed, "rejected": m_rejected,
+        "lifecycle": lifecycle_json(&reports, |i| if i < n_burst { "burst" } else { "doomed" }),
     }));
     report.finding(format!(
         "a same-instant burst of {n_burst} against two-fifths budgets and a one-slot queue \

@@ -1,0 +1,275 @@
+//! M4 (SLO): per-class latency targets, attainment tracking and automatic
+//! slow-query attribution on the serving path.
+//!
+//! The m02 open-loop mix (Q18/Q3/Q1 shapes, seeded exponential arrivals)
+//! runs at offered loads below, near and past the calibrated capacity,
+//! with a per-class SLO of 2.5x each class's solo service time configured
+//! via [`ServingConfig::with_slo`]. Every step runs with lifecycle tracing
+//! and metrics on, then asks [`engine::slow_queries`] *why* the misses
+//! were slow.
+//!
+//! The headline property, asserted: attribution flips from execution to
+//! queueing as load crosses capacity. Below capacity queries spend their
+//! latency executing (what little misses exist are exec-dominated, and
+//! mean exec time exceeds mean queue wait); past saturation the backlog
+//! grows without bound and the digest pins the blame on the admission
+//! queue — the worst slow query is queue-dominated and mean queue wait
+//! dwarfs mean exec time. SLO attainment and debt come straight from the
+//! metrics registry (`slo_met_total` / `slo_missed_total` /
+//! `slo_attainment_ratio` / `slo_debt_seconds_total`), not bench-side
+//! bookkeeping.
+
+use crate::{Args, Report};
+use engine::demo::{q18_like, q1_like, q3_like, tpch_mini};
+use engine::scheduler::{OpenQuery, Policy, QuerySpec, ServingConfig};
+use engine::Plan;
+use sim::SimTime;
+
+/// Arrivals per offered-load step (same regime as `m02`).
+const ARRIVALS_PER_STEP: usize = 24;
+
+/// Offered load as a fraction of calibrated capacity: one point well
+/// below, one near, one well past saturation.
+const RHO_SWEEP: [f64; 3] = [0.25, 0.75, 1.5];
+
+/// SLO target as a multiple of each class's solo service time: generous
+/// enough that an unloaded system always meets it, tight enough that a
+/// saturated queue cannot.
+const SLO_FACTOR: f64 = 2.5;
+
+/// The demo mix, cycled across arrivals (same rotation as `m01`/`m02`).
+fn mix(i: usize) -> (&'static str, Plan) {
+    match i % 3 {
+        0 => ("q18", q18_like()),
+        1 => ("q3", q3_like()),
+        _ => ("q1", q1_like()),
+    }
+}
+
+/// `splitmix64` step — deterministic, platform-independent arrivals.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `(0, 1]` (never 0, so `ln` is finite).
+fn uniform(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) + 1) as f64 / (1u64 << 53) as f64
+}
+
+/// Run the experiment.
+pub fn run(args: &Args) -> Report {
+    let mut report = Report::new(
+        "m04_slo",
+        "SLO attainment and slow-query attribution across the load curve",
+        args,
+    );
+    let orders = args.tuples() / 16;
+
+    // -- Calibration: solo-Serial service time per mix class ---------------
+    let solo_busy: Vec<f64> = (0..3)
+        .map(|i| {
+            let dev = args.device();
+            let catalog = tpch_mini(&dev, orders, 99);
+            let (_, plan) = mix(i);
+            let reports =
+                engine::run_queries(&dev, &catalog, vec![QuerySpec::new(plan)], Policy::Serial);
+            assert!(reports[0].result.is_ok(), "solo demo query must run");
+            reports[0].busy.secs()
+        })
+        .collect();
+    let mean_service = solo_busy.iter().sum::<f64>() / solo_busy.len() as f64;
+    let capacity_qps = 1.0 / mean_service;
+    let slos: Vec<(&str, f64)> = ["q18", "q3", "q1"]
+        .iter()
+        .zip(&solo_busy)
+        .map(|(&c, &b)| (c, b * SLO_FACTOR))
+        .collect();
+    println!(
+        "M4 — SLO tracking over the demo catalog, {} orders / ~{} lineitems ({})",
+        orders,
+        orders * 4,
+        report.device
+    );
+    println!(
+        "calibrated capacity ~{:.0} q/s; per-class SLO = {SLO_FACTOR}x solo service \
+         (q18 {:.3}ms / q3 {:.3}ms / q1 {:.3}ms)\n",
+        capacity_qps,
+        slos[0].1 * 1e3,
+        slos[1].1 * 1e3,
+        slos[2].1 * 1e3
+    );
+
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>6} {:>14} {:>16}",
+        "rho", "met", "missed", "debt", "slow", "worst stage", "mean queue/exec"
+    );
+
+    // (rho, worst slow query's dominant stage, mean queue wait, mean exec)
+    let mut flips: Vec<(f64, Option<String>, f64, f64)> = Vec::new();
+    for (step, &rho) in RHO_SWEEP.iter().enumerate() {
+        let lambda = rho * capacity_qps;
+        // Fresh device per step; the digest needs lifecycle tracing and
+        // the SLO counters need metrics, so both recorders are always on
+        // here (a --trace/--metrics run exports byte-identical supersets).
+        let dev = args.device();
+        if !dev.tracing_enabled() {
+            dev.enable_tracing();
+        }
+        if !dev.metrics_enabled() {
+            dev.enable_metrics(args.metrics_interval());
+        }
+        let catalog = tpch_mini(&dev, orders, 99);
+        let t0 = dev.elapsed().secs();
+
+        let mut rng = 0x6d30_345f_736c_6f30_u64 ^ (step as u64); // "m04_slo0"
+        let mut at = t0;
+        let arrivals: Vec<OpenQuery> = (0..ARRIVALS_PER_STEP)
+            .map(|i| {
+                at += -uniform(&mut rng).ln() / lambda;
+                let (class, plan) = mix(i);
+                OpenQuery::new(SimTime::from_secs(at), class, QuerySpec::new(plan))
+            })
+            .collect();
+
+        let mut serving = ServingConfig::new();
+        for (class, slo) in &slos {
+            serving = serving.with_slo(*class, *slo);
+        }
+        let reports =
+            engine::run_open_loop_with(&dev, &catalog, arrivals, Policy::Serial, &serving);
+        assert!(
+            reports.iter().all(|r| r.result.is_ok()),
+            "unbounded queue: every request must complete"
+        );
+
+        let snap = dev.metrics_snapshot().expect("metrics recorder is on");
+        let trace = dev.trace_snapshot().expect("trace recorder is on");
+        let explains: Vec<_> = reports
+            .iter()
+            .filter_map(|r| r.explain.clone().map(|e| (r.query, e)))
+            .collect();
+        let digest = engine::slow_queries(&trace, &snap, &explains);
+        assert_eq!(digest.queries, ARRIVALS_PER_STEP);
+        args.record_digest(&format!("m04_slo rho={rho:.2}"), &digest);
+
+        // SLO accounting straight off the registry.
+        let mut met_total = 0u64;
+        let mut missed_total = 0u64;
+        let mut debt_total = 0.0f64;
+        let class_json: Vec<(String, serde_json::Value)> = slos
+            .iter()
+            .map(|(class, slo)| {
+                let labels = [("class", *class)];
+                let met = snap.registry.counter("slo_met_total", &labels);
+                let missed = snap.registry.counter("slo_missed_total", &labels);
+                let attainment = snap.registry.gauge("slo_attainment_ratio", &labels);
+                let debt = snap.registry.gauge("slo_debt_seconds_total", &labels);
+                assert_eq!(
+                    met + missed,
+                    snap.registry.counter("query_completed_total", &labels),
+                    "every completed {class} query is judged against its SLO"
+                );
+                met_total += met;
+                missed_total += missed;
+                debt_total += debt;
+                (
+                    class.to_string(),
+                    serde_json::json!({
+                        "slo_s": slo, "met": met, "missed": missed,
+                        "attainment": attainment, "debt_s": debt,
+                    }),
+                )
+            })
+            .collect();
+
+        // Attribution flip evidence: the digest's verdict on the worst
+        // slow query, plus population means from the lifecycle records.
+        let worst_stage = digest.slow.first().map(|r| r.dominant_stage.clone());
+        let mean_queue =
+            reports.iter().map(|r| r.queue_wait().secs()).sum::<f64>() / reports.len() as f64;
+        let mean_exec = reports.iter().map(|r| r.busy.secs()).sum::<f64>() / reports.len() as f64;
+
+        println!(
+            "{rho:<6} {met_total:>10} {missed_total:>10} {:>10.2}ms {:>6} {:>14} {:>7.2}/{:.2}ms",
+            debt_total * 1e3,
+            digest.slow.len(),
+            worst_stage.as_deref().unwrap_or("-"),
+            mean_queue * 1e3,
+            mean_exec * 1e3
+        );
+
+        let lifecycle_json: Vec<serde_json::Value> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                serde_json::json!({
+                    "query": r.query, "class": mix(i).0,
+                    "arrival_s": r.arrival.secs(), "admitted_s": r.admitted.secs(),
+                    "started_s": r.started.secs(), "completed_s": r.completion.secs(),
+                    "queue_wait_s": r.queue_wait().secs(),
+                })
+            })
+            .collect();
+        report.push(serde_json::json!({
+            "sweep": "slo", "rho": rho, "queries": ARRIVALS_PER_STEP,
+            "met": met_total, "missed": missed_total, "debt_s": debt_total,
+            "slow_queries": digest.slow.len(),
+            "worst_dominant_stage": worst_stage,
+            "mean_queue_wait_s": mean_queue, "mean_exec_s": mean_exec,
+            "classes": serde_json::Value::Object(class_json),
+            "lifecycle": lifecycle_json,
+        }));
+        flips.push((rho, worst_stage, mean_queue, mean_exec));
+    }
+
+    // The acceptance criterion, enforced: attribution flips from execution
+    // to queueing as load crosses capacity.
+    let below = &flips[0]; // rho = 0.25
+    let above = flips.last().unwrap(); // rho = 1.5
+    assert!(
+        below.3 > below.2,
+        "below capacity (rho={}) latency must be execution-dominated: \
+         mean exec {:.3}ms vs mean queue wait {:.3}ms",
+        below.0,
+        below.3 * 1e3,
+        below.2 * 1e3
+    );
+    assert!(
+        above.2 > above.3,
+        "past saturation (rho={}) latency must be queue-dominated: \
+         mean queue wait {:.3}ms vs mean exec {:.3}ms",
+        above.0,
+        above.2 * 1e3,
+        above.3 * 1e3
+    );
+    assert_eq!(
+        above.1.as_deref(),
+        Some("queue"),
+        "past saturation the digest must blame the admission queue for the worst query"
+    );
+    report.finding(format!(
+        "slow-query attribution flips execute->queue across capacity: at rho={} mean \
+         exec/queue is {:.2}ms/{:.2}ms, at rho={} it is {:.2}ms/{:.2}ms and the digest \
+         pins the worst miss on the '{}' stage",
+        below.0,
+        below.3 * 1e3,
+        below.2 * 1e3,
+        above.0,
+        above.3 * 1e3,
+        above.2 * 1e3,
+        above.1.as_deref().unwrap_or("-")
+    ));
+    report.finding(format!(
+        "SLO attainment and debt come from the registry (slo_met/missed_total, \
+         slo_attainment_ratio, slo_debt_seconds_total) under per-class targets of \
+         {SLO_FACTOR}x solo service; each stage attribution partitions its query's \
+         latency exactly"
+    ));
+
+    report.finish(args);
+    report
+}

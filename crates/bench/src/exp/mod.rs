@@ -28,6 +28,7 @@ pub mod g06;
 pub mod m01;
 pub mod m02;
 pub mod m03;
+pub mod m04;
 pub mod q_tpch;
 pub mod table04;
 pub mod table05;

@@ -56,6 +56,13 @@ pub struct Args {
     /// snapshots here as JSON plus OpenMetrics text at the same path with
     /// an `.om` extension.
     pub metrics: Option<PathBuf>,
+    /// Optional slow-query digest output path (`--digest`). When set,
+    /// serving experiments record their [`engine::SlowQueryDigest`]s via
+    /// [`Args::record_digest`], and [`Report::finish`] writes the
+    /// cumulative JSON report here plus the human-readable text at the
+    /// same path with a `.txt` extension. Implies both tracing (for the
+    /// lifecycle spans) and metrics (for SLO annotations).
+    pub digest: Option<PathBuf>,
     /// Devices created while tracing, shared across clones of these args
     /// so a multi-experiment driver (`run_all`) accumulates one trace.
     trace_devices: Arc<Mutex<Vec<Device>>>,
@@ -65,6 +72,9 @@ pub struct Args {
     /// Attributed query reports accumulated by [`Args::record_explain`],
     /// shared across clones like the trace devices.
     explain_queries: Arc<Mutex<Vec<serde_json::Value>>>,
+    /// Slow-query digests accumulated by [`Args::record_digest`], shared
+    /// across clones like the trace devices.
+    digest_sections: Arc<Mutex<Vec<serde_json::Value>>>,
     /// Optional SQL text (`--sql`): the `q_tpch` binary runs this query
     /// instead of its built-in Q3/Q18 pair.
     pub sql: Option<String>,
@@ -80,9 +90,11 @@ impl Default for Args {
             trace: None,
             explain: None,
             metrics: None,
+            digest: None,
             trace_devices: Arc::new(Mutex::new(Vec::new())),
             metrics_devices: Arc::new(Mutex::new(Vec::new())),
             explain_queries: Arc::new(Mutex::new(Vec::new())),
+            digest_sections: Arc::new(Mutex::new(Vec::new())),
             sql: None,
         }
     }
@@ -130,6 +142,11 @@ impl Args {
                         it.next().unwrap_or_else(|| usage("--metrics needs a path")),
                     ));
                 }
+                "--digest" => {
+                    out.digest = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--digest needs a path")),
+                    ));
+                }
                 "--sql" => {
                     out.sql = Some(it.next().unwrap_or_else(|| usage("--sql needs a query")));
                 }
@@ -152,11 +169,13 @@ impl Args {
             other => usage(&format!("unknown device '{other}' (a100|rtx3090)")),
         };
         let dev = Device::new(cfg.scaled(self.regime_factor()));
-        if self.trace.is_some() || self.explain.is_some() {
+        // A digest needs both the lifecycle spans (trace) and the SLO
+        // annotations (metrics), so --digest implies both on every device.
+        if self.trace.is_some() || self.explain.is_some() || self.digest.is_some() {
             dev.enable_tracing();
             self.trace_devices.lock().unwrap().push(dev.clone());
         }
-        if self.metrics.is_some() {
+        if self.metrics.is_some() || self.digest.is_some() {
             dev.enable_metrics(self.metrics_interval());
             self.metrics_devices.lock().unwrap().push(dev.clone());
         }
@@ -225,6 +244,58 @@ impl Args {
         let data = serde_json::to_string_pretty(&doc).expect("explain report serializes");
         std::fs::write(path, data).expect("write explain report");
         println!("(wrote explain: {})", path.display());
+    }
+
+    /// True when `--digest` was given: serving experiments should build
+    /// and record slow-query digests.
+    pub fn digest_enabled(&self) -> bool {
+        self.digest.is_some()
+    }
+
+    /// Record one session's slow-query digest under `label` (an
+    /// experiment-chosen identifier, e.g. `"m04_slo rho=1.50"`). No-op
+    /// without `--digest`.
+    pub fn record_digest(&self, label: &str, digest: &engine::SlowQueryDigest) {
+        if self.digest.is_none() {
+            return;
+        }
+        let body = serde_json::to_value(digest);
+        self.digest_sections
+            .lock()
+            .unwrap()
+            .push(serde_json::json!({
+                "label": label,
+                "digest": body,
+                "text": digest.render(),
+            }));
+    }
+
+    /// Export the cumulative slow-query digest: JSON at the `--digest`
+    /// path and human-readable text next to it (same path, `.txt`
+    /// extension). No-op without `--digest`. Called by [`Report::finish`];
+    /// re-exports overwrite with the cumulative superset.
+    pub fn write_digest(&self) {
+        let Some(path) = &self.digest else { return };
+        let sections = self.digest_sections.lock().unwrap().clone();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let doc = serde_json::json!({ "sections": sections });
+        let data = serde_json::to_string_pretty(&doc).expect("digest report serializes");
+        std::fs::write(path, data).expect("write digest json");
+        let txt_path = path.with_extension("txt");
+        let mut text = String::new();
+        for s in &sections {
+            if let (Some(label), Some(body)) = (s["label"].as_str(), s["text"].as_str()) {
+                text.push_str(&format!("== {label} ==\n{body}\n"));
+            }
+        }
+        std::fs::write(&txt_path, text).expect("write digest text");
+        println!(
+            "(wrote digest: {} + {})",
+            path.display(),
+            txt_path.display()
+        );
     }
 
     /// Export the cumulative trace of every device created so far: Chrome
@@ -303,7 +374,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: <bin> [--scale LOG2] [--device a100|rtx3090] [--json PATH] [--reps N] \
-         [--trace PATH] [--explain PATH] [--metrics PATH] [--sql QUERY]"
+         [--trace PATH] [--explain PATH] [--metrics PATH] [--digest PATH] [--sql QUERY]"
     );
     std::process::exit(2)
 }
@@ -391,9 +462,17 @@ impl Report {
                 "--metrics",
             );
         }
+        if let Some(path) = &args.digest {
+            claim_export_path(
+                path,
+                Arc::as_ptr(&args.digest_sections) as usize,
+                "--digest",
+            );
+        }
         args.write_trace();
         args.write_explain();
         args.write_metrics();
+        args.write_digest();
     }
 }
 

@@ -44,6 +44,7 @@
 
 pub mod cost;
 pub mod demo;
+pub mod digest;
 mod error;
 mod exec;
 pub mod explain;
@@ -56,6 +57,7 @@ pub mod scheduler;
 mod table;
 
 pub use cost::CostEstimate;
+pub use digest::{slow_queries, SlowQueryDigest, SlowQueryReport, StageAttribution};
 pub use error::{EngineError, SqlSpan};
 pub use exec::{
     execute, execute_unfused, Catalog, ColumnMeta, NodeStats, QueryOutput, TableSchema,

@@ -149,6 +149,10 @@ impl PlanCache {
             dev.with_metrics(|reg| {
                 reg.counter_add("plan_cache_hits_total", Vec::new(), 1);
             });
+            if dev.tracing_enabled() {
+                let now = dev.elapsed();
+                dev.trace_lifecycle(dev.query_id(), sim::LifecycleStage::PlanCacheHit, now, now);
+            }
             self.touch(key);
             let entry = &self.entries[&key];
             let ctx = ExecContext::with_replay(dev, Some(catalog), entry.samples.clone());
@@ -159,6 +163,10 @@ impl PlanCache {
         dev.with_metrics(|reg| {
             reg.counter_add("plan_cache_misses_total", Vec::new(), 1);
         });
+        if dev.tracing_enabled() {
+            let now = dev.elapsed();
+            dev.trace_lifecycle(dev.query_id(), sim::LifecycleStage::PlanCacheMiss, now, now);
+        }
         let op = compile(plan);
         let ctx = ExecContext::with_recording(dev, Some(catalog));
         let (table, stats) = run_operator(&ctx, op.as_ref())?;

@@ -90,6 +90,13 @@ pub struct ServingConfig {
     /// registration with [`EngineError::AdmissionRejected`] instead of
     /// admitting it and unwinding mid-flight on `BudgetExceeded`.
     pub memory_gate: bool,
+    /// Per-class latency SLO targets, seconds of `completion - arrival`.
+    /// Classes not listed have no target. A class listed twice keeps the
+    /// *tightest* (minimum) target. Targets feed the per-class
+    /// `slo_met_total` / `slo_missed_total` counters, the
+    /// `slo_attainment_ratio` and `slo_debt_seconds_total` gauges, and
+    /// the windowed `slo_burn_rate` series in the metrics export.
+    pub slo: Vec<(String, f64)>,
 }
 
 impl ServingConfig {
@@ -114,6 +121,24 @@ impl ServingConfig {
     pub fn with_memory_gate(mut self) -> Self {
         self.memory_gate = true;
         self
+    }
+
+    /// Set one class's latency SLO target (seconds, end-to-end
+    /// `completion - arrival`). Listing a class twice keeps the tightest
+    /// target.
+    pub fn with_slo(mut self, class: impl Into<String>, target_seconds: f64) -> Self {
+        self.slo.push((class.into(), target_seconds));
+        self
+    }
+
+    /// The SLO target for `class`, if one is configured (minimum over
+    /// duplicate entries).
+    pub fn slo_for(&self, class: &str) -> Option<f64> {
+        self.slo
+            .iter()
+            .filter(|(c, _)| c == class)
+            .map(|(_, s)| *s)
+            .reduce(f64::min)
     }
 }
 
@@ -220,6 +245,10 @@ pub struct QueryReport {
     /// Device-clock time at which the query's memory reservation was
     /// granted; `admitted - arrival` is its admission-queue wait.
     pub admitted: SimTime,
+    /// Device-clock time at which the query's first kernel turn began —
+    /// the moment it first held the device. Equal to `admitted` for
+    /// queries that never ran a kernel.
+    pub started: SimTime,
     /// Device-clock time at which the query retired — its completion time
     /// on the shared timeline, the metric the fairness suite bounds.
     pub completion: SimTime,
@@ -238,6 +267,18 @@ pub struct QueryReport {
     /// The query's attributed EXPLAIN ANALYZE report. `None` when the
     /// query failed.
     pub explain: Option<QueryExplain>,
+}
+
+impl QueryReport {
+    /// Admission-queue wait, `admitted - arrival`. Zero for shed and
+    /// rejected queries (which were never admitted).
+    pub fn queue_wait(&self) -> SimTime {
+        if self.admitted < self.arrival {
+            SimTime::ZERO
+        } else {
+            self.admitted - self.arrival
+        }
+    }
 }
 
 /// Execute `specs` concurrently on `dev` under `policy`; returns one
@@ -369,6 +410,10 @@ fn run_session(
         return Vec::new();
     }
     let was_tracing = dev.tracing_enabled();
+    // Clock at session start, read before the scheduler mirror exists:
+    // the arrival timestamp lifecycle tracing assigns to queries rejected
+    // before registration (they never get a device-side arrival stamp).
+    let session_start = dev.elapsed();
 
     // Tenant classes index the device-side per-class queue limits. The
     // mapping is deterministic (first appearance in spec order), so limit
@@ -450,6 +495,14 @@ fn run_session(
                     if was_tracing {
                         qdev.enable_tracing();
                     }
+                    // Label the scheduler-side record with the tenant
+                    // class and its SLO target so retire-time lifecycle
+                    // rows (and the burn-rate series) carry them.
+                    let class_name = entry.class.as_deref().unwrap_or("default");
+                    qdev.sched_label(
+                        class_name,
+                        serving.slo_for(class_name).map(SimTime::from_secs),
+                    );
                     Registered::Query {
                         qdev,
                         plan: spec.plan.clone(),
@@ -515,21 +568,34 @@ fn run_session(
     let reports: Vec<QueryReport> = registered
         .into_iter()
         .zip(outcomes)
+        .zip(&entries)
         .enumerate()
-        .map(|(i, (reg, outcome))| match reg {
-            Registered::Rejected { budget, err } => QueryReport {
-                query: i as u32,
-                result: Err(err),
-                budget_bytes: budget,
-                busy: SimTime::ZERO,
-                arrival: SimTime::ZERO,
-                admitted: SimTime::ZERO,
-                completion: SimTime::ZERO,
-                peak_mem_bytes: 0,
-                trace: None,
-                breakdown: Vec::new(),
-                explain: None,
-            },
+        .map(|(i, ((reg, outcome), entry))| match reg {
+            Registered::Rejected { budget, err } => {
+                if was_tracing {
+                    // Rejected before registration: no device query id
+                    // exists, so the terminal span carries `query: None`.
+                    // The arrival timestamp is the scheduled arrival for
+                    // open-loop requests, session start otherwise.
+                    let at = entry.arrival.unwrap_or(session_start);
+                    dev.trace_lifecycle(None, sim::LifecycleStage::Arrival, at, at);
+                    dev.trace_lifecycle(None, sim::LifecycleStage::Rejected, at, at);
+                }
+                QueryReport {
+                    query: i as u32,
+                    result: Err(err),
+                    budget_bytes: budget,
+                    busy: SimTime::ZERO,
+                    arrival: SimTime::ZERO,
+                    admitted: SimTime::ZERO,
+                    started: SimTime::ZERO,
+                    completion: SimTime::ZERO,
+                    peak_mem_bytes: 0,
+                    trace: None,
+                    breakdown: Vec::new(),
+                    explain: None,
+                }
+            }
             Registered::Query { qdev, .. } => {
                 let result = match outcome.expect("admitted query has an outcome") {
                     Ok(res) => res,
@@ -540,6 +606,9 @@ fn run_session(
                 };
                 let qid = qdev.query_id().expect("query handle");
                 let sched = dev.sched_query_stats(qid);
+                if was_tracing {
+                    emit_lifecycle(dev, qid, &sched, &result);
+                }
                 let (breakdown, explain) = match &result {
                     Ok(out) => {
                         let mut rows = Vec::new();
@@ -558,6 +627,7 @@ fn run_session(
                     busy: SimTime::from_secs(sched.busy_secs),
                     arrival: SimTime::from_secs(sched.arrival_secs),
                     admitted: SimTime::from_secs(sched.admitted_secs),
+                    started: SimTime::from_secs(sched.started_secs.unwrap_or(sched.admitted_secs)),
                     completion: SimTime::from_secs(sched.completion_secs),
                     peak_mem_bytes: qdev.mem_report().peak_bytes,
                     trace: qdev.take_trace(),
@@ -568,16 +638,81 @@ fn run_session(
         })
         .collect();
     dev.sched_finish();
-    record_latency_metrics(dev, &entries, &reports);
+    record_latency_metrics(dev, &entries, &reports, serving);
     reports
+}
+
+/// Emit one finished query's lifecycle spans into the base trace, on the
+/// driver thread in spec order (so trace bytes are host-schedule
+/// independent).
+///
+/// The span set *tiles* `[arrival, completion]` exactly:
+/// `queued` covers `[arrival, admitted]`, the recorded exec slices cover
+/// the turns the query held the device, and `interference` fills every
+/// gap between them — so the tick-quantized durations telescope to
+/// `completion - arrival` with no remainder, the identity
+/// `tests/lifecycle_invariants.rs` asserts to the nanosecond.
+fn emit_lifecycle(
+    dev: &Device,
+    qid: u32,
+    sched: &sim::QuerySchedStats,
+    result: &Result<QueryOutput, EngineError>,
+) {
+    use sim::LifecycleStage as Stage;
+    let q = Some(qid);
+    let arrival = SimTime::from_secs(sched.arrival_secs);
+    dev.trace_lifecycle(q, Stage::Arrival, arrival, arrival);
+    if matches!(result, Err(EngineError::QueueShed { .. })) {
+        // Shed at the queue: terminal instant at arrival, no spans — the
+        // query never waited admitted, never ran.
+        dev.trace_lifecycle(q, Stage::Shed, arrival, arrival);
+        return;
+    }
+    let admitted = SimTime::from_secs(sched.admitted_secs);
+    let completion = SimTime::from_secs(sched.completion_secs);
+    dev.trace_lifecycle(q, Stage::Queued, arrival, admitted);
+    dev.trace_lifecycle(q, Stage::Admitted, admitted, admitted);
+    // Slice boundaries are exact mirrors of the scheduler clock, so gap
+    // detection compares the same f64 values the stamps hold — equality
+    // is exact, not approximate.
+    let mut prev = sched.admitted_secs;
+    for (start, end) in dev.sched_query_slices(qid) {
+        if start > prev {
+            dev.trace_lifecycle(
+                q,
+                Stage::Interference,
+                SimTime::from_secs(prev),
+                SimTime::from_secs(start),
+            );
+        }
+        dev.trace_lifecycle(
+            q,
+            Stage::ExecSlice,
+            SimTime::from_secs(start),
+            SimTime::from_secs(end),
+        );
+        prev = end;
+    }
+    if sched.completion_secs > prev {
+        dev.trace_lifecycle(q, Stage::Interference, SimTime::from_secs(prev), completion);
+    }
+    dev.trace_lifecycle(q, Stage::Complete, completion, completion);
 }
 
 /// Record per-class service-level latency observations into the device's
 /// metrics registry (no-op when metrics are disabled). Runs on the driver
 /// thread, in spec order, *after* the session — recording order and values
 /// are both deterministic, so exports stay byte-identical across runs.
-fn record_latency_metrics(dev: &Device, entries: &[SessionEntry], reports: &[QueryReport]) {
+fn record_latency_metrics(
+    dev: &Device,
+    entries: &[SessionEntry],
+    reports: &[QueryReport],
+    serving: &ServingConfig,
+) {
     dev.with_metrics(|reg| {
+        // Classes with an SLO, in first-appearance spec order — the order
+        // the attainment-ratio gauges are (re)computed in below.
+        let mut slo_classes: Vec<&str> = Vec::new();
         for (entry, report) in entries.iter().zip(reports) {
             let class = entry.class.as_deref().unwrap_or("default");
             let labels = || vec![("class", class.to_string())];
@@ -605,6 +740,25 @@ fn record_latency_metrics(dev: &Device, entries: &[SessionEntry], reports: &[Que
                         sim::secs_to_ticks(latency),
                     );
                     reg.counter_add("query_completed_total", labels(), 1);
+                    if let Some(slo) = serving.slo_for(class) {
+                        if !slo_classes.contains(&class) {
+                            slo_classes.push(class);
+                        }
+                        // Met/missed compare tick-quantized values — the
+                        // same quantization the latency histogram stores —
+                        // so the counters and the histogram never disagree
+                        // about which side of the target a query landed on.
+                        let latency_ticks = sim::secs_to_ticks(latency);
+                        let slo_ticks = sim::secs_to_ticks(slo);
+                        if latency_ticks <= slo_ticks {
+                            reg.counter_add("slo_met_total", labels(), 1);
+                        } else {
+                            reg.counter_add("slo_missed_total", labels(), 1);
+                            let debt = (latency_ticks - slo_ticks) as f64 * sim::SECONDS_SCALE;
+                            let prior = reg.gauge("slo_debt_seconds_total", &[("class", class)]);
+                            reg.gauge_set("slo_debt_seconds_total", labels(), prior + debt);
+                        }
+                    }
                 }
                 // Shed and rejected queries never ran: count them in
                 // their own families and keep them out of the latency
@@ -618,6 +772,20 @@ fn record_latency_metrics(dev: &Device, entries: &[SessionEntry], reports: &[Que
                 }
                 Err(_) => reg.counter_add("query_failed_total", labels(), 1),
             }
+        }
+        // Attainment ratios roll up the *cumulative* met/missed counters
+        // (read back from the registry, not this session's tallies alone),
+        // so repeated sessions on one device keep the gauge consistent
+        // with the counters it summarizes.
+        for class in slo_classes {
+            let met = reg.counter("slo_met_total", &[("class", class)]);
+            let missed = reg.counter("slo_missed_total", &[("class", class)]);
+            let ratio = met as f64 / (met + missed).max(1) as f64;
+            reg.gauge_set(
+                "slo_attainment_ratio",
+                vec![("class", class.to_string())],
+                ratio,
+            );
         }
     });
 }

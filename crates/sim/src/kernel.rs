@@ -415,8 +415,9 @@ impl<'d> KernelBuilder<'d> {
         let dev_start = st.clock;
         st.clock += t;
         self.bump(&mut st.counters, t, cfg.clock_hz);
+        let mut dropped = 0;
         if let Some(tr) = st.trace.as_deref_mut() {
-            tr.push_kernel(self.event(dev_start, t, query));
+            dropped += tr.push_kernel(self.event(dev_start, t, query));
         }
         if let Some(qid) = query {
             let q = &mut st.queries[qid as usize];
@@ -424,9 +425,10 @@ impl<'d> KernelBuilder<'d> {
             q.clock += t;
             self.bump(&mut q.counters, t, cfg.clock_hz);
             if let Some(tr) = q.trace.as_deref_mut() {
-                tr.push_kernel(self.event(q_start, t, query));
+                dropped += tr.push_kernel(self.event(q_start, t, query));
             }
         }
+        crate::note_trace_drops(&mut st.metrics, dropped);
         let clock_after = st.clock;
         if let Some(m) = st.metrics.as_deref_mut() {
             // Same arithmetic as bump(): metrics totals cross-check against

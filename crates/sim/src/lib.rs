@@ -95,7 +95,7 @@ pub use sched::{
 };
 pub use stats::OpStats;
 pub use time::{PhaseTimes, SimTime};
-pub use trace::{SpanCat, Trace, TraceEvent};
+pub use trace::{LifecycleEvent, LifecycleStage, SpanCat, Trace, TraceEvent};
 
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -119,6 +119,19 @@ struct PlanningGuard(bool);
 impl Drop for PlanningGuard {
     fn drop(&mut self) {
         PLANNING.with(|p| p.set(self.0));
+    }
+}
+
+/// Fold flight-recorder evictions into the `trace_events_dropped_total`
+/// counter. Called under the state lock right after a trace push, with the
+/// trace borrow already released; a no-op when nothing dropped or metrics
+/// are off.
+pub(crate) fn note_trace_drops(metrics: &mut Option<Box<metrics::DeviceMetrics>>, dropped: u64) {
+    if dropped > 0 {
+        if let Some(m) = metrics.as_deref_mut() {
+            m.registry
+                .counter_add("trace_events_dropped_total", Vec::new(), dropped);
+        }
     }
 }
 
@@ -344,21 +357,25 @@ impl Device {
             Some(qid) => {
                 let q = &mut st.queries[qid as usize];
                 let clock = q.clock;
+                let mut dropped = 0;
                 if let Some(tr) = q.trace.as_deref_mut() {
-                    tr.push_instant("reset_stats", clock);
+                    dropped = tr.push_instant("reset_stats", clock);
                 }
                 q.counters = Counters::default();
                 q.clock = 0.0;
                 q.mem.reset_peak();
+                note_trace_drops(&mut st.metrics, dropped);
             }
             None => {
                 let clock = st.clock;
+                let mut dropped = 0;
                 if let Some(tr) = st.trace.as_deref_mut() {
-                    tr.push_instant("reset_stats", clock);
+                    dropped = tr.push_instant("reset_stats", clock);
                 }
                 st.counters = Counters::default();
                 st.clock = 0.0;
                 st.mem.reset_peak();
+                note_trace_drops(&mut st.metrics, dropped);
                 if let Some(m) = st.metrics.as_deref_mut() {
                     // Cumulative metrics totals stay monotone across the
                     // reset; only the sample grid rebases to the new clock.
@@ -386,6 +403,31 @@ impl Device {
                 if st.trace.is_none() {
                     st.trace = Some(Box::new(Trace::new(self.inner.config.name.clone())));
                 }
+            }
+        }
+    }
+
+    /// [`Device::enable_tracing`] in bounded flight-recorder mode: the
+    /// recorder keeps at most `capacity` events, evicting the oldest when
+    /// full and counting evictions into the `trace_events_dropped_total`
+    /// metric (and [`Trace::dropped_events`]). Long open-loop serving runs
+    /// can keep tracing on without unbounded memory. Calling this on an
+    /// already-tracing handle keeps the event log and (re)sets the cap.
+    pub fn enable_tracing_ring(&self, capacity: usize) {
+        let mut st = self.inner.state.lock();
+        match self.query {
+            Some(qid) => {
+                let name = format!("{}#q{qid}", self.inner.config.name);
+                let q = &mut st.queries[qid as usize];
+                q.trace
+                    .get_or_insert_with(|| Box::new(Trace::new(name)))
+                    .set_capacity(capacity);
+            }
+            None => {
+                let name = self.inner.config.name.clone();
+                st.trace
+                    .get_or_insert_with(|| Box::new(Trace::new(name)))
+                    .set_capacity(capacity);
             }
         }
     }
@@ -429,9 +471,31 @@ impl Device {
             Some(q) => st.queries[q as usize].trace.as_deref_mut(),
             None => st.trace.as_deref_mut(),
         };
+        let mut dropped = 0;
         if let Some(tr) = tr {
-            tr.push_span(cat, name.to_string(), start, end);
+            dropped = tr.push_span(cat, name.to_string(), start, end);
         }
+        note_trace_drops(&mut st.metrics, dropped);
+    }
+
+    /// Record a query-lifecycle stage `[start, end]` (equal for instants)
+    /// into the *base* device trace — the serving path's multi-tenant
+    /// timeline — regardless of which handle this is called on. No-op when
+    /// base tracing is disabled. `query` is `None` for stages that predate
+    /// a query id (admission-rejected specs, standalone plan-cache use).
+    pub fn trace_lifecycle(
+        &self,
+        query: Option<QueryId>,
+        stage: LifecycleStage,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let mut st = self.inner.state.lock();
+        let mut dropped = 0;
+        if let Some(tr) = st.trace.as_deref_mut() {
+            dropped = tr.push_lifecycle(query, stage, start.secs(), end.secs());
+        }
+        note_trace_drops(&mut st.metrics, dropped);
     }
 
     /// Start recording service-level metrics (see the [`metrics`] module):
@@ -537,15 +601,17 @@ impl Device {
     /// resolves to [`AdmitOutcome::Shed`] and it must not run.
     pub fn sched_start_with(&self, policy: SchedPolicy, limits: QueueLimits) {
         assert!(self.query.is_none(), "sched_start on a query handle");
-        let (used, clock) = {
+        let (used, clock, tracing) = {
             let mut st = self.inner.state.lock();
             st.queries.clear();
-            (st.mem.report().current_bytes, st.clock)
+            (st.mem.report().current_bytes, st.clock, st.trace.is_some())
         };
         let available = self.inner.config.global_mem_bytes.saturating_sub(used);
-        self.inner
-            .sched_lock()
-            .start(policy, available, clock, limits);
+        let mut sched = self.inner.sched_lock();
+        sched.start(policy, available, clock, limits);
+        // Exec slices exist for the lifecycle timeline; record them only
+        // when the base trace will consume them.
+        sched.record_slices = tracing;
     }
 
     /// Register a query with the active session, reserving it a memory
@@ -710,8 +776,28 @@ impl Device {
                 completion_secs: stats.completion_secs,
                 busy_secs: stats.busy_secs,
                 budget_bytes: stats.budget_bytes,
+                class: stats.class.clone(),
+                slo_secs: stats.slo_secs,
             });
         }
+    }
+
+    /// Attach a serving-class label and optional latency target to a
+    /// registered query, for lifecycle exports and SLO accounting. Call on
+    /// the query handle from the registering (driver) thread.
+    pub fn sched_label(&self, class: &str, slo: Option<SimTime>) {
+        let qid = self.query.expect("sched_label on a non-query handle");
+        self.inner
+            .sched_lock()
+            .annotate(qid, Some(class.to_string()), slo.map(|s| s.secs()));
+    }
+
+    /// The exec slices (contiguous runs of kernel turns, device-clock
+    /// `[start, end]` pairs) recorded for a query of the current or
+    /// just-finished session. Empty unless the base trace was enabled when
+    /// the session started.
+    pub fn sched_query_slices(&self, query: QueryId) -> Vec<(f64, f64)> {
+        self.inner.sched_lock().slices(query)
     }
 
     /// End the session. Call on the base handle after every query retired.

@@ -138,9 +138,11 @@ impl<T: Element> DeviceBuffer<T> {
                 let cap = dev.inner.config.global_mem_bytes;
                 let addr = st.mem.alloc(bytes, cap, label);
                 let current = st.mem.report().current_bytes;
+                let mut dropped = 0;
                 if let Some(tr) = st.trace.as_deref_mut() {
-                    tr.push_mem(st.clock, current);
+                    dropped = tr.push_mem(st.clock, current);
                 }
+                crate::note_trace_drops(&mut st.metrics, dropped);
                 // Only the base ledger feeds the metrics occupancy series:
                 // base allocations are program-ordered, while query-handle
                 // allocations race co-tenant sample points (their peaks are
@@ -163,9 +165,11 @@ impl<T: Element> DeviceBuffer<T> {
                     Ok(addr) => {
                         let clock = q.clock;
                         let current = q.mem.report().current_bytes;
+                        let mut dropped = 0;
                         if let Some(tr) = q.trace.as_deref_mut() {
-                            tr.push_mem(clock, current);
+                            dropped = tr.push_mem(clock, current);
                         }
+                        crate::note_trace_drops(&mut guard.metrics, dropped);
                         addr
                     }
                     Err(f) => {
@@ -287,9 +291,11 @@ impl<T: Element> Drop for DeviceBuffer<T> {
                 // the ledger, so they produce no timeline sample either.
                 if self.charged_bytes > 0 {
                     let current = st.mem.report().current_bytes;
+                    let mut dropped = 0;
                     if let Some(tr) = st.trace.as_deref_mut() {
-                        tr.push_mem(st.clock, current);
+                        dropped = tr.push_mem(st.clock, current);
                     }
+                    crate::note_trace_drops(&mut st.metrics, dropped);
                     if let Some(m) = st.metrics.as_deref_mut() {
                         m.on_mem(current);
                     }
@@ -304,9 +310,11 @@ impl<T: Element> Drop for DeviceBuffer<T> {
                     if self.charged_bytes > 0 {
                         let clock = q.clock;
                         let current = q.mem.report().current_bytes;
+                        let mut dropped = 0;
                         if let Some(tr) = q.trace.as_deref_mut() {
-                            tr.push_mem(clock, current);
+                            dropped = tr.push_mem(clock, current);
                         }
+                        crate::note_trace_drops(&mut st.metrics, dropped);
                     }
                 }
             }

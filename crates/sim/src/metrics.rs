@@ -320,6 +320,16 @@ impl MetricsRegistry {
         }
     }
 
+    /// Current gauge value (0 when absent) — lets driver-ordered code
+    /// read-modify-write an accumulating gauge such as
+    /// `slo_debt_seconds_total`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        match self.get(name, labels) {
+            Some(Instrument::Gauge(g)) => *g,
+            _ => 0.0,
+        }
+    }
+
     fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Instrument> {
         self.metrics
             .iter()
@@ -426,7 +436,7 @@ pub struct Series {
 }
 
 /// Deterministic lifecycle record of one query, written at retire.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryLifecycle {
     /// Device-side query id.
     pub query: QueryId,
@@ -440,6 +450,10 @@ pub struct QueryLifecycle {
     pub busy_secs: f64,
     /// The reservation it ran under, bytes.
     pub budget_bytes: u64,
+    /// Serving class, when the session annotated one.
+    pub class: Option<String>,
+    /// Per-class latency target (seconds), when one was set.
+    pub slo_secs: Option<f64>,
 }
 
 /// Per-query busy series are emitted only for the first few query ids —
@@ -685,6 +699,7 @@ impl DeviceMetrics {
         lifecycles.sort_by_key(|lc| lc.query);
         let mut series = self.sampler.series.clone();
         series.extend(lifecycle_series(&lifecycles, self.sampler.interval));
+        series.extend(slo_burn_series(&lifecycles, self.sampler.interval));
         series.sort_by(|a, b| (a.name, &a.labels).cmp(&(b.name, &b.labels)));
         MetricsSnapshot {
             device: self.device.clone(),
@@ -751,6 +766,52 @@ fn lifecycle_series(lifecycles: &[QueryLifecycle], interval: f64) -> Vec<Series>
             points: running,
         },
     ]
+}
+
+/// Post-compute per-class SLO burn-rate series from lifecycle records:
+/// each completion past its class target adds `latency − slo` of debt to
+/// the window ending at the first grid tick ≥ the completion; the point
+/// value is window debt divided by the interval (seconds of debt per
+/// second — the classic burn rate). Like the depth series this is computed
+/// at snapshot time from deterministic timestamps, never sampled live, and
+/// its size is bounded by the number of completions.
+fn slo_burn_series(lifecycles: &[QueryLifecycle], interval: f64) -> Vec<Series> {
+    // (class, tick) -> accumulated debt ticks in the window ending at tick.
+    let mut classes: Vec<(&str, Vec<(f64, u64)>)> = Vec::new();
+    for l in lifecycles {
+        let (Some(class), Some(slo)) = (l.class.as_deref(), l.slo_secs) else {
+            continue;
+        };
+        let latency = secs_to_ticks(l.completion_secs) - secs_to_ticks(l.arrival_secs);
+        let debt = latency.saturating_sub(secs_to_ticks(slo));
+        let tick = (l.completion_secs / interval).ceil() * interval;
+        let buckets = match classes.iter_mut().find(|(c, _)| *c == class) {
+            Some((_, b)) => b,
+            None => {
+                classes.push((class, Vec::new()));
+                &mut classes.last_mut().unwrap().1
+            }
+        };
+        match buckets.iter_mut().find(|(t, _)| *t == tick) {
+            Some((_, d)) => *d += debt,
+            None => buckets.push((tick, debt)),
+        }
+    }
+    classes.sort_by_key(|(c, _)| c.to_string());
+    classes
+        .into_iter()
+        .map(|(class, mut buckets)| {
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite completion ticks"));
+            Series {
+                name: "slo_burn_rate",
+                labels: vec![("class", class.to_string())],
+                points: buckets
+                    .into_iter()
+                    .map(|(t, d)| (t, d as f64 * SECONDS_SCALE / interval))
+                    .collect(),
+            }
+        })
+        .collect()
 }
 
 /// Everything one device's metrics recorder observed, frozen for export.
@@ -1032,9 +1093,20 @@ pub fn metrics_json(snaps: &[MetricsSnapshot]) -> String {
             .lifecycles
             .iter()
             .map(|l| {
+                // Class and SLO fields appear only when set, keeping
+                // non-serving exports byte-identical to their history.
+                let mut extra = String::new();
+                if let Some(class) = &l.class {
+                    let mut escaped = String::new();
+                    escape_into(&mut escaped, class);
+                    extra.push_str(&format!(",\"class\":\"{escaped}\""));
+                }
+                if let Some(slo) = l.slo_secs {
+                    extra.push_str(&format!(",\"slo_s\":{}", fmt_f64(slo)));
+                }
                 format!(
                     "{{\"query\":{},\"arrival_s\":{},\"admitted_s\":{},\"completion_s\":{},\
-                     \"busy_s\":{},\"budget_bytes\":{}}}",
+                     \"busy_s\":{},\"budget_bytes\":{}{extra}}}",
                     l.query,
                     fmt_f64(l.arrival_secs),
                     fmt_f64(l.admitted_secs),
@@ -1298,6 +1370,8 @@ mod tests {
                 completion_secs: 4.0,
                 busy_secs: 4.0,
                 budget_bytes: 1,
+                class: None,
+                slo_secs: None,
             },
             QueryLifecycle {
                 query: 1,
@@ -1306,6 +1380,8 @@ mod tests {
                 completion_secs: 6.0,
                 busy_secs: 2.0,
                 budget_bytes: 1,
+                class: None,
+                slo_secs: None,
             },
         ];
         let series = lifecycle_series(&lcs, 1.0);

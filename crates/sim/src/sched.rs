@@ -173,7 +173,7 @@ impl std::fmt::Display for AdmissionError {
 }
 
 /// Scheduling outcome of one retired query, for fairness reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuerySchedStats {
     /// Simulated seconds of kernel time this query received.
     pub busy_secs: f64,
@@ -186,11 +186,18 @@ pub struct QuerySchedStats {
     /// Device clock when the query arrived — registration time for
     /// closed-loop queries, the scheduled open-loop arrival otherwise.
     pub arrival_secs: f64,
+    /// Device clock at the query's first completed kernel turn — when it
+    /// first actually ran. `None` if it never launched a kernel.
+    pub started_secs: Option<f64>,
     /// The reservation the query ran under, bytes.
     pub budget_bytes: u64,
     /// The query was shed by the bounded queue: it never held a
     /// reservation and ran nothing.
     pub shed: bool,
+    /// Serving class label, when the session annotated one.
+    pub class: Option<String>,
+    /// Per-class latency target (seconds), when the session set one.
+    pub slo_secs: Option<f64>,
 }
 
 /// Per-query scheduling bookkeeping.
@@ -218,6 +225,17 @@ pub(crate) struct QuerySched {
     /// is invisible to admission and designation.
     arrival_secs: f64,
     arrived: bool,
+    /// Device clock at the first completed kernel turn.
+    first_turn_secs: Option<f64>,
+    /// Contiguous runs of this query's kernel turns `[(start, end)]` on the
+    /// device clock, recorded only when [`SchedState::record_slices`] is
+    /// set (lifecycle tracing active). Consecutive turns with no foreign
+    /// clock advance in between coalesce into one slice.
+    slices: Vec<(f64, f64)>,
+    /// Serving class label attached by the session for lifecycle exports.
+    class_name: Option<String>,
+    /// Per-class latency target attached by the session.
+    slo_secs: Option<f64>,
 }
 
 /// The state behind the turn gate. Guarded by a dedicated `std` mutex (and
@@ -246,6 +264,10 @@ pub(crate) struct SchedState {
     /// the device state with the sched lock released. Until it commits via
     /// [`SchedState::finish_idle_advance`], no other thread may start one.
     advancing: bool,
+    /// Record per-query exec slices in [`SchedState::complete_turn`]. Set
+    /// by the device when lifecycle tracing is active at session start;
+    /// zero-cost (one branch per turn) otherwise.
+    pub(crate) record_slices: bool,
 }
 
 impl SchedState {
@@ -269,6 +291,7 @@ impl SchedState {
         self.available_bytes = available_bytes;
         self.clock = device_clock;
         self.advancing = false;
+        self.record_slices = false;
     }
 
     pub(crate) fn finish(&mut self) {
@@ -352,8 +375,31 @@ impl SchedState {
             stamp_secs: arrival_secs,
             arrival_secs,
             arrived: arrival_secs <= self.clock,
+            first_turn_secs: None,
+            slices: Vec::new(),
+            class_name: None,
+            slo_secs: None,
         });
         Ok(id)
+    }
+
+    /// Attach a serving-class label and latency target to a registered
+    /// query, for lifecycle exports and SLO accounting.
+    pub(crate) fn annotate(
+        &mut self,
+        id: QueryId,
+        class_name: Option<String>,
+        slo_secs: Option<f64>,
+    ) {
+        let q = &mut self.queries[id as usize];
+        q.class_name = class_name;
+        q.slo_secs = slo_secs;
+    }
+
+    /// The exec slices recorded for a query (empty unless
+    /// [`SchedState::record_slices`] was set for the session).
+    pub(crate) fn slices(&self, id: QueryId) -> Vec<(f64, f64)> {
+        self.queries[id as usize].slices.clone()
     }
 
     /// Flip queries whose arrival time the clock has reached to arrived;
@@ -528,9 +574,24 @@ impl SchedState {
     /// post-kernel clock, and new arrivals may enter the system.
     pub(crate) fn complete_turn(&mut self, id: QueryId, kernel_secs: f64) {
         debug_assert_eq!(self.designated, Some(id), "turn completed out of order");
+        let turn_start = self.clock;
         self.queries[id as usize].busy_secs += kernel_secs;
         self.clock += kernel_secs;
-        self.queries[id as usize].stamp_secs = self.clock;
+        let clock = self.clock;
+        {
+            let q = &mut self.queries[id as usize];
+            q.stamp_secs = clock;
+            if q.first_turn_secs.is_none() {
+                q.first_turn_secs = Some(turn_start);
+            }
+            if self.record_slices {
+                match q.slices.last_mut() {
+                    // Back-to-back turns share a boundary: extend the slice.
+                    Some(last) if last.1 == turn_start => last.1 = clock,
+                    _ => q.slices.push((turn_start, clock)),
+                }
+            }
+        }
         let newly = self.mark_arrivals();
         self.admit_pass();
         self.shed_overflow(&newly);
@@ -564,8 +625,11 @@ impl SchedState {
             completion_secs: q.completion_secs,
             admitted_secs: q.admitted_secs,
             arrival_secs: q.arrival_secs,
+            started_secs: q.first_turn_secs,
             budget_bytes: q.budget_bytes,
             shed: q.shed,
+            class: q.class_name.clone(),
+            slo_secs: q.slo_secs,
         }
     }
 

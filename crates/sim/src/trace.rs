@@ -170,6 +170,92 @@ pub struct InstantEvent {
     pub ts: f64,
 }
 
+/// A stage of a query's serving-path lifecycle.
+///
+/// Stages come in two shapes: *spans* (`queued`, `exec_slice`,
+/// `interference`) cover an interval of the query's wall time, and
+/// *instants* (everything else) mark a point. Together, a completed query's
+/// spans tile `[arrival, completion]` exactly — see
+/// [`LifecycleEvent`] for the partition guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleStage {
+    /// The query arrived at the serving path (instant).
+    Arrival,
+    /// Waiting for admission: `[arrival, admitted]` (span).
+    Queued,
+    /// Admission control granted the memory reservation (instant).
+    Admitted,
+    /// Admission control shed the query from the queue (terminal instant).
+    Shed,
+    /// Admission control rejected the query outright (terminal instant).
+    Rejected,
+    /// The plan cache served a compiled plan (instant).
+    PlanCacheHit,
+    /// The plan cache compiled and inserted a plan (instant).
+    PlanCacheMiss,
+    /// One contiguous run of kernel turns designated to this query (span).
+    ExecSlice,
+    /// Runnable but not designated by the turn gate: wall time spent
+    /// waiting on co-tenants' kernels or idle advances (span).
+    Interference,
+    /// The query retired (instant).
+    Complete,
+}
+
+impl LifecycleStage {
+    /// Stable lowercase label used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LifecycleStage::Arrival => "arrival",
+            LifecycleStage::Queued => "queued",
+            LifecycleStage::Admitted => "admitted",
+            LifecycleStage::Shed => "shed",
+            LifecycleStage::Rejected => "rejected",
+            LifecycleStage::PlanCacheHit => "plan_cache_hit",
+            LifecycleStage::PlanCacheMiss => "plan_cache_miss",
+            LifecycleStage::ExecSlice => "exec_slice",
+            LifecycleStage::Interference => "interference",
+            LifecycleStage::Complete => "complete",
+        }
+    }
+
+    /// Whether this stage covers an interval (vs. marking a point).
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            LifecycleStage::Queued | LifecycleStage::ExecSlice | LifecycleStage::Interference
+        )
+    }
+}
+
+/// One stage of one query's end-to-end lifecycle on the serving path.
+///
+/// For every completed query the span stages partition its latency
+/// *exactly*: converting each boundary with
+/// [`crate::metrics::secs_to_ticks`] and summing per-span tick differences,
+/// `queued + Σ exec_slice + Σ interference == complete − arrival` to the
+/// nanosecond, because consecutive spans share their boundary timestamps
+/// and the tick sum telescopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleEvent {
+    /// The query this stage belongs to. `None` for events that predate a
+    /// query id (admission-rejected specs) or standalone plan-cache use.
+    pub query: Option<u32>,
+    /// Which lifecycle stage.
+    pub stage: LifecycleStage,
+    /// Simulated start time, seconds. Equal to `end` for instant stages.
+    pub start: f64,
+    /// Simulated end time, seconds.
+    pub end: f64,
+}
+
+impl LifecycleEvent {
+    /// Stage duration in simulated seconds (zero for instants).
+    pub fn dur(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+}
+
 /// One recorded trace event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -181,6 +267,8 @@ pub enum TraceEvent {
     Mem(MemEvent),
     /// A point marker.
     Instant(InstantEvent),
+    /// A query-lifecycle stage on the serving path.
+    Lifecycle(LifecycleEvent),
 }
 
 /// A device's recorded event log, in recording order.
@@ -195,6 +283,11 @@ pub struct Trace {
     /// All events, in recording order. Spans are recorded retroactively
     /// (when they close), so a parent span appears *after* its children.
     pub events: Vec<TraceEvent>,
+    /// Flight-recorder capacity ([`crate::Device::enable_tracing_ring`]):
+    /// `None` records unbounded.
+    capacity: Option<usize>,
+    /// Total events evicted by the flight recorder.
+    dropped: u64,
 }
 
 impl Trace {
@@ -202,7 +295,34 @@ impl Trace {
         Trace {
             device,
             events: Vec::new(),
+            capacity: None,
+            dropped: 0,
         }
+    }
+
+    /// Cap the recorder at `capacity` events, keeping the newest.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = Some(capacity.max(1));
+    }
+
+    /// Total events evicted by the flight recorder so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Evict the oldest events if the flight recorder is over capacity,
+    /// returning how many were dropped. Eviction removes a block (a
+    /// quarter of the capacity) at a time so steady-state recording is not
+    /// a per-event `Vec` front-drain.
+    fn enforce_capacity(&mut self) -> u64 {
+        let Some(cap) = self.capacity else { return 0 };
+        if self.events.len() <= cap {
+            return 0;
+        }
+        let block = (cap / 4).max(1).max(self.events.len() - cap);
+        self.events.drain(..block);
+        self.dropped += block as u64;
+        block as u64
     }
 
     /// Iterate over the kernel events.
@@ -229,27 +349,43 @@ impl Trace {
         })
     }
 
-    pub(crate) fn push_kernel(&mut self, k: KernelEvent) {
-        self.events.push(TraceEvent::Kernel(k));
+    /// Iterate over the query-lifecycle events.
+    pub fn lifecycles(&self) -> impl Iterator<Item = &LifecycleEvent> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Lifecycle(l) => Some(l),
+            _ => None,
+        })
     }
 
-    pub(crate) fn push_span(&mut self, cat: SpanCat, name: String, start: SimTime, end: SimTime) {
+    pub(crate) fn push_kernel(&mut self, k: KernelEvent) -> u64 {
+        self.events.push(TraceEvent::Kernel(k));
+        self.enforce_capacity()
+    }
+
+    pub(crate) fn push_span(
+        &mut self,
+        cat: SpanCat,
+        name: String,
+        start: SimTime,
+        end: SimTime,
+    ) -> u64 {
         self.events.push(TraceEvent::Span(SpanEvent {
             cat,
             name,
             start: start.secs(),
             end: end.secs(),
         }));
+        self.enforce_capacity()
     }
 
-    pub(crate) fn push_mem(&mut self, ts: f64, current_bytes: u64) {
+    pub(crate) fn push_mem(&mut self, ts: f64, current_bytes: u64) -> u64 {
         // The clock is frozen between kernel launches, so a burst of
         // allocations lands on one instant; coalesce it into one sample.
         if let Some(TraceEvent::Mem(last)) = self.events.last_mut() {
             if last.ts == ts {
                 last.current_bytes = current_bytes;
                 last.high_water_bytes = last.high_water_bytes.max(current_bytes);
-                return;
+                return 0;
             }
         }
         self.events.push(TraceEvent::Mem(MemEvent {
@@ -257,11 +393,29 @@ impl Trace {
             current_bytes,
             high_water_bytes: current_bytes,
         }));
+        self.enforce_capacity()
     }
 
-    pub(crate) fn push_instant(&mut self, name: &'static str, ts: f64) {
+    pub(crate) fn push_instant(&mut self, name: &'static str, ts: f64) -> u64 {
         self.events
             .push(TraceEvent::Instant(InstantEvent { name, ts }));
+        self.enforce_capacity()
+    }
+
+    pub(crate) fn push_lifecycle(
+        &mut self,
+        query: Option<u32>,
+        stage: LifecycleStage,
+        start: f64,
+        end: f64,
+    ) -> u64 {
+        self.events.push(TraceEvent::Lifecycle(LifecycleEvent {
+            query,
+            stage,
+            start,
+            end,
+        }));
+        self.enforce_capacity()
     }
 }
 
@@ -314,6 +468,31 @@ pub fn chrome_trace_json(traces: &[Trace]) -> String {
             ),
         );
         for (tid, tname) in [(1, "operators & phases"), (2, "kernels")] {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{tname}\"}}}}"
+                ),
+            );
+        }
+        // One lifecycle track per query (tid 100 + id; tid 99 for events
+        // with no query id). Emitted only when lifecycle events exist, so
+        // pre-serving traces keep their exact historical bytes.
+        let mut life_tids: Vec<(u64, String)> = Vec::new();
+        for ev in &tr.events {
+            if let TraceEvent::Lifecycle(l) = ev {
+                let (tid, tname) = match l.query {
+                    Some(q) => (100 + q as u64, format!("q{q} lifecycle")),
+                    None => (99, "lifecycle".to_string()),
+                };
+                if !life_tids.iter().any(|(t, _)| *t == tid) {
+                    life_tids.push((tid, tname));
+                }
+            }
+        }
+        life_tids.sort_by_key(|(t, _)| *t);
+        for (tid, tname) in &life_tids {
             push(
                 &mut out,
                 format!(
@@ -399,6 +578,38 @@ pub fn chrome_trace_json(traces: &[Trace]) -> String {
                         ),
                     ));
                 }
+                TraceEvent::Lifecycle(l) => {
+                    let tid = match l.query {
+                        Some(q) => 100 + q as u64,
+                        None => 99,
+                    };
+                    if l.stage.is_span() {
+                        timed.push((
+                            l.start,
+                            l.dur(),
+                            format!(
+                                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+                                 \"cat\":\"lifecycle\",\"name\":\"{name}\",\
+                                 \"ts\":{ts},\"dur\":{dur}}}",
+                                name = l.stage.as_str(),
+                                ts = us(l.start),
+                                dur = us(l.dur()),
+                            ),
+                        ));
+                    } else {
+                        timed.push((
+                            l.start,
+                            0.0,
+                            format!(
+                                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\
+                                 \"cat\":\"lifecycle\",\"name\":\"{name}\",\
+                                 \"ts\":{ts},\"s\":\"t\"}}",
+                                name = l.stage.as_str(),
+                                ts = us(l.start),
+                            ),
+                        ));
+                    }
+                }
             }
         }
         timed.sort_by(|a, b| {
@@ -475,6 +686,19 @@ pub fn jsonl(traces: &[Trace]) -> String {
                         "{{\"type\":\"instant\",\"device\":\"{dev}\",\
                          \"name\":\"{name}\",\"ts\":{}}}\n",
                         ins.ts,
+                    ));
+                }
+                TraceEvent::Lifecycle(l) => {
+                    let qfield = match l.query {
+                        Some(q) => format!("\"query\":{q},"),
+                        None => String::new(),
+                    };
+                    out.push_str(&format!(
+                        "{{\"type\":\"lifecycle\",\"device\":\"{dev}\",{qfield}\
+                         \"stage\":\"{stage}\",\"start\":{},\"end\":{}}}\n",
+                        l.start,
+                        l.end,
+                        stage = l.stage.as_str(),
                     ));
                 }
             }
@@ -669,6 +893,111 @@ mod tests {
         let tr = dev.take_trace().unwrap();
         assert_eq!(tr, snap);
         assert!(!dev.tracing_enabled());
+    }
+
+    #[test]
+    fn ring_capacity_bounds_events_and_counts_drops() {
+        let dev = Device::a100();
+        dev.enable_tracing_ring(2);
+        for i in 0..5 {
+            dev.kernel(if i % 2 == 0 { "a" } else { "b" })
+                .items(32, 1.0)
+                .launch();
+        }
+        let tr = dev.take_trace().unwrap();
+        assert!(tr.events.len() <= 2, "capacity must bound retained events");
+        assert_eq!(
+            tr.events.len() as u64 + tr.dropped_events(),
+            5,
+            "every launch is either retained or counted as dropped"
+        );
+        // The retained suffix is the *newest* events: flight-recorder
+        // semantics, the oldest go first.
+        let last = tr.kernels().last().unwrap();
+        assert!(last.start > 0.0, "the first (oldest) launch was dropped");
+    }
+
+    #[test]
+    fn ring_capacity_one_never_underflows() {
+        let dev = Device::a100();
+        dev.enable_tracing_ring(1);
+        dev.kernel("a").items(32, 1.0).launch();
+        dev.kernel("b").items(32, 1.0).launch();
+        let tr = dev.take_trace().unwrap();
+        assert_eq!(tr.events.len(), 1);
+        assert_eq!(tr.dropped_events(), 1);
+    }
+
+    #[test]
+    fn lifecycle_events_round_trip_both_exports() {
+        let dev = traced_device();
+        dev.trace_lifecycle(
+            Some(3),
+            LifecycleStage::Arrival,
+            crate::SimTime::from_secs(1e-6),
+            crate::SimTime::from_secs(1e-6),
+        );
+        dev.trace_lifecycle(
+            Some(3),
+            LifecycleStage::Queued,
+            crate::SimTime::from_secs(1e-6),
+            crate::SimTime::from_secs(3e-6),
+        );
+        dev.trace_lifecycle(
+            None,
+            LifecycleStage::Rejected,
+            crate::SimTime::from_secs(2e-6),
+            crate::SimTime::from_secs(2e-6),
+        );
+        let tr = dev.take_trace().unwrap();
+        assert_eq!(tr.lifecycles().count(), 3);
+
+        // Chrome export: per-query lifecycle track, spans as "X" with a
+        // duration, instants as "i".
+        let chrome = chrome_trace_json(std::slice::from_ref(&tr));
+        assert!(chrome.contains("\"q3 lifecycle\""), "per-query track name");
+        assert!(chrome.contains("\"cat\":\"lifecycle\""));
+        let event_of = |name: &str| {
+            chrome
+                .lines()
+                .find(|l| l.contains(&format!("\"name\":\"{name}\"")))
+                .unwrap_or_else(|| panic!("chrome export has a '{name}' event"))
+                .to_string()
+        };
+        let queued = event_of("queued");
+        assert!(queued.contains("\"ph\":\"X\"") && queued.contains("\"dur\":"));
+        assert!(event_of("arrival").contains("\"ph\":\"i\""));
+        assert!(event_of("rejected").contains("\"ph\":\"i\""));
+
+        // JSONL export: one lifecycle object per event, query omitted when
+        // none was assigned.
+        let lines = jsonl(&[tr]);
+        let life: Vec<&str> = lines
+            .lines()
+            .filter(|l| l.contains("\"type\":\"lifecycle\""))
+            .collect();
+        assert_eq!(life.len(), 3);
+        assert!(life[0].contains("\"query\":3"));
+        assert!(life[1].contains("\"stage\":\"queued\""));
+        assert!(!life[2].contains("\"query\""), "query: None is omitted");
+    }
+
+    #[test]
+    fn lifecycle_stage_spans_vs_instants() {
+        assert!(LifecycleStage::Queued.is_span());
+        assert!(LifecycleStage::ExecSlice.is_span());
+        assert!(LifecycleStage::Interference.is_span());
+        for s in [
+            LifecycleStage::Arrival,
+            LifecycleStage::Admitted,
+            LifecycleStage::Shed,
+            LifecycleStage::Rejected,
+            LifecycleStage::PlanCacheHit,
+            LifecycleStage::PlanCacheMiss,
+            LifecycleStage::Complete,
+        ] {
+            assert!(!s.is_span(), "{} is an instant", s.as_str());
+        }
     }
 
     #[test]

@@ -303,11 +303,85 @@ assert doc["kernels"], "no kernel analysis"
 print("    explain_m03 valid: cache-hit EXPLAIN carries its provenance line")
 PY
 
+echo "==> SLO smoke (m04_slo --scale 14 --trace --metrics --digest)"
+(cd "$smoke_dir" \
+    && cargo run --release --quiet --manifest-path "$repo_dir/Cargo.toml" \
+        -p bench --bin m04_slo -- --scale 14 --reps 1 \
+        --trace trace_m04.json --metrics metrics_m04.json \
+        --digest digest.json >m04.log 2>&1) || {
+    echo "m04_slo smoke failed; tail of log:"
+    tail -40 "$smoke_dir/m04.log"
+    exit 1
+}
+# The headline finding: slow-query attribution flips from execution to
+# queueing as offered load crosses the calibrated capacity.
+grep -q "attribution flips execute->queue across capacity" \
+    "$smoke_dir/m04.log" || {
+    echo "m04_slo smoke: missing attribution-flip finding in output"
+    exit 1
+}
+# The --digest export must parse, every slow-query attribution must
+# partition its query's latency exactly, the reported dominant stage must
+# match the attribution, the saturated step must blame the queue, and the
+# SLO counters in the metrics export must account every completed query.
+test -s "$smoke_dir/digest.json" || {
+    echo "m04_slo smoke produced no digest.json"
+    exit 1
+}
+test -s "$smoke_dir/digest.txt" || {
+    echo "m04_slo smoke produced no digest.txt"
+    exit 1
+}
+python3 - "$smoke_dir/digest.json" "$smoke_dir/metrics_m04.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sections = doc["sections"]
+assert sections, "digest.json records no sections"
+stages = {"queue": "queue_ns", "planning": "planning_ns",
+          "exec": "exec_ns", "interference": "interference_ns"}
+slow_total = 0
+for sec in sections:
+    d = sec["digest"]
+    assert d["queries"] > 0, f"{sec['label']}: no completed queries"
+    for r in d["slow"]:
+        a = r["attribution"]
+        total = sum(a[k] for k in stages.values())
+        assert total == r["latency_ns"], (
+            f"{sec['label']} q{r['query']}: attribution {total} != "
+            f"latency {r['latency_ns']}")
+        assert a[stages[r["dominant_stage"]]] == max(a.values()), (
+            f"{sec['label']} q{r['query']}: dominant stage "
+            f"{r['dominant_stage']} is not the attribution max")
+    slow_total += len(d["slow"])
+assert slow_total > 0, "no slow queries across the whole sweep"
+worst = sections[-1]["digest"]["slow"]
+assert worst and worst[0]["dominant_stage"] == "queue", (
+    "saturated step must pin the worst miss on the queue")
+mdoc = json.load(open(sys.argv[2]))
+checked = 0
+for dev in mdoc["devices"]:
+    tot = {}
+    for c in dev["counters"]:
+        key = (c["name"], tuple(sorted(c.get("labels", {}).items())))
+        tot[key] = tot.get(key, 0) + c["value"]
+    for (name, labels), v in list(tot.items()):
+        if name != "slo_met_total":
+            continue
+        missed = tot.get(("slo_missed_total", labels), 0)
+        done = tot.get(("query_completed_total", labels), 0)
+        assert v + missed == done, (name, labels, v, missed, done)
+        checked += 1
+assert checked > 0, "metrics_m04.json carries no per-class SLO counters"
+print(f"    digest valid: {len(sections)} sections, {slow_total} slow queries, "
+      f"attributions exact, SLO counters account {checked} classes")
+PY
+
 # Keep the smoke trace, explain report and fresh results where CI can pick
 # them up as artifacts (and where `bench_gate`'s default --fresh finds them).
 mkdir -p "$repo_dir/target/smoke"
 cp "$smoke_dir/trace.json" "$smoke_dir/trace.jsonl" "$smoke_dir/explain.json" \
     "$smoke_dir/metrics.json" "$smoke_dir/metrics.om" \
+    "$smoke_dir/digest.json" "$smoke_dir/digest.txt" \
     "$repo_dir/target/smoke/"
 rm -rf "$repo_dir/target/smoke/results"
 cp -r "$smoke_dir/results" "$repo_dir/target/smoke/results"
